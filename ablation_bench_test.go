@@ -1,0 +1,165 @@
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out. Each
+// isolates one mechanism of the cost model or one algorithmic alternative
+// the paper discusses.
+package s3asim_test
+
+import (
+	"os"
+	"testing"
+
+	"s3asim"
+)
+
+// ablationConfig returns the base configuration for ablations: the paper
+// workload at 64 processes (quick scale honors S3ASIM_BENCH_SCALE).
+func ablationConfig() s3asim.Config {
+	cfg := s3asim.DefaultConfig()
+	if os.Getenv("S3ASIM_BENCH_SCALE") == "quick" {
+		q := s3asim.QuickOptions()
+		cfg = q.Base
+		cfg.Procs = 8
+	}
+	return cfg
+}
+
+func runCfg(b *testing.B, cfg s3asim.Config) *s3asim.Report {
+	b.Helper()
+	rep, err := s3asim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkAblationListVsPosixOverhead sweeps the per-segment server
+// overhead, the parameter separating list I/O from POSIX I/O: when segment
+// processing is as costly as a whole request (2006 PVFS2 regime), batching
+// buys less; when segments are nearly free, list I/O's advantage is the
+// request-count ratio.
+func BenchmarkAblationListVsPosixOverhead(b *testing.B) {
+	base := ablationConfig()
+	var lastRatio float64
+	for i := 0; i < b.N; i++ {
+		for _, mult := range []float64{0.1, 1, 4} {
+			cfg := base
+			cfg.FS.SegmentOverhead = nsTime(float64(base.FS.SegmentOverhead) * mult)
+			cfg.Strategy = s3asim.WWList
+			list := runCfg(b, cfg)
+			cfg.Strategy = s3asim.WWPosix
+			posix := runCfg(b, cfg)
+			ratio := float64(posix.Overall) / float64(list.Overall)
+			if mult == 1 {
+				lastRatio = ratio
+			}
+			b.Logf("segment-overhead x%g: posix/list = %.2f (list %.1fs, posix %.1fs)",
+				mult, ratio, list.Overall.Seconds(), posix.Overall.Seconds())
+		}
+	}
+	b.ReportMetric(lastRatio, "posix/list")
+}
+
+// BenchmarkAblationCollectiveImpl compares ROMIO-style two-phase collective
+// I/O (WW-Coll) against the paper's closing suggestion: a collective built
+// from list I/O plus forced synchronization (WW-List with query sync).
+func BenchmarkAblationCollectiveImpl(b *testing.B) {
+	base := ablationConfig()
+	var coll, listSync *s3asim.Report
+	for i := 0; i < b.N; i++ {
+		cfg := base
+		cfg.Strategy = s3asim.WWColl
+		coll = runCfg(b, cfg)
+		cfg.Strategy = s3asim.WWList
+		cfg.QuerySync = true
+		listSync = runCfg(b, cfg)
+	}
+	b.Logf("two-phase collective: %.1fs; list I/O + forced sync: %.1fs (paper predicts the latter wins)",
+		coll.Overall.Seconds(), listSync.Overall.Seconds())
+	b.ReportMetric(coll.Overall.Seconds(), "two-phase-s")
+	b.ReportMetric(listSync.Overall.Seconds(), "list+sync-s")
+}
+
+// BenchmarkAblationMasterNIC isolates receive-side NIC serialization at the
+// master under MW by giving the master's node unbounded NIC parallelism.
+func BenchmarkAblationMasterNIC(b *testing.B) {
+	base := ablationConfig()
+	var with, without *s3asim.Report
+	for i := 0; i < b.N; i++ {
+		cfg := base
+		cfg.Strategy = s3asim.MW
+		with = runCfg(b, cfg)
+		cfg.DisableMasterNICSerialization = true
+		without = runCfg(b, cfg)
+	}
+	b.Logf("MW with NIC serialization: %.1fs; without: %.1fs",
+		with.Overall.Seconds(), without.Overall.Seconds())
+	b.ReportMetric(with.Overall.Seconds()-without.Overall.Seconds(), "nic-cost-s")
+}
+
+// BenchmarkAblationWriteAtEnd compares writing after every query (the
+// paper's setup, resumable) against writing everything at the end
+// (mpiBLAST 1.2 / pioBLAST behaviour).
+func BenchmarkAblationWriteAtEnd(b *testing.B) {
+	base := ablationConfig()
+	for _, strat := range []s3asim.Strategy{s3asim.MW, s3asim.WWList} {
+		strat := strat
+		b.Run(strat.String(), func(b *testing.B) {
+			var perQuery, atEnd *s3asim.Report
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Strategy = strat
+				cfg.QueriesPerWrite = 1
+				perQuery = runCfg(b, cfg)
+				cfg.QueriesPerWrite = cfg.Workload.NumQueries
+				atEnd = runCfg(b, cfg)
+			}
+			b.Logf("%s: per-query %.1fs, write-at-end %.1fs",
+				strat, perQuery.Overall.Seconds(), atEnd.Overall.Seconds())
+			b.ReportMetric(perQuery.Overall.Seconds(), "per-query-s")
+			b.ReportMetric(atEnd.Overall.Seconds(), "at-end-s")
+		})
+	}
+}
+
+// BenchmarkAblationFileSync measures the cost of MPI_File_sync after every
+// write (always on in the paper's tests).
+func BenchmarkAblationFileSync(b *testing.B) {
+	base := ablationConfig()
+	var with, without *s3asim.Report
+	for i := 0; i < b.N; i++ {
+		cfg := base
+		cfg.Strategy = s3asim.WWList
+		cfg.SyncEveryWrite = true
+		with = runCfg(b, cfg)
+		cfg.SyncEveryWrite = false
+		without = runCfg(b, cfg)
+	}
+	b.Logf("WW-List with file sync: %.1fs; without: %.1fs",
+		with.Overall.Seconds(), without.Overall.Seconds())
+	b.ReportMetric(with.Overall.Seconds()-without.Overall.Seconds(), "sync-cost-s")
+}
+
+// nsTime converts a float64 nanosecond count to the facade Time type.
+func nsTime(ns float64) s3asim.Time { return s3asim.Time(ns) }
+
+// BenchmarkAblationFileLocking compares PVFS2's lock-free write path
+// against a lock-based file system (GPFS-like block locks) for the
+// interleaved, non-overlapping WW write pattern — quantifying §3.1's
+// warning that locking "may unnecessarily serialize writes in the I/O
+// phase" through false sharing.
+func BenchmarkAblationFileLocking(b *testing.B) {
+	base := ablationConfig()
+	base.Strategy = s3asim.WWList
+	var free, locked *s3asim.Report
+	for i := 0; i < b.N; i++ {
+		cfg := base
+		cfg.FS.LockGranularity = 0 // PVFS2: no locks
+		free = runCfg(b, cfg)
+		cfg.FS.LockGranularity = 1 << 20     // coarse 1 MB block locks
+		cfg.FS.LockAcquireCost = nsTime(2e6) // 2 ms lock-manager round trip
+		locked = runCfg(b, cfg)
+	}
+	b.Logf("WW-List lock-free: %.1fs; 1MB block locks: %.1fs",
+		free.Overall.Seconds(), locked.Overall.Seconds())
+	b.ReportMetric(free.Overall.Seconds(), "lockfree-s")
+	b.ReportMetric(locked.Overall.Seconds(), "locked-s")
+}

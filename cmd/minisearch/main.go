@@ -1,0 +1,113 @@
+// Command minisearch is a real (non-simulated) miniature parallel
+// sequence-search tool in the mpiBLAST family: it segments a FASTA database
+// into fragments, searches every query against every fragment with a pool
+// of worker goroutines (k-mer seeding + banded Smith-Waterman), merges
+// results by score, and writes a TSV results file using either the
+// master-writing or the worker-writing strategy — the same structure the
+// S3aSim simulator models.
+//
+// Usage:
+//
+//	minisearch -db db.fasta[.gz] -queries q.fasta [-out results.tsv]
+//	           [-workers 4] [-fragments 16] [-strategy worker-writes]
+//	           [-k 8] [-min-score 16]
+//
+// Generate inputs with fastagen:
+//
+//	fastagen -n 500 -hist uniform -min 300 -max 3000 -seed 1 > db.fasta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3asim/internal/align"
+	"s3asim/internal/bio"
+	"s3asim/internal/parsearch"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "FASTA database (.gz supported)")
+		qPath     = flag.String("queries", "", "FASTA query set (.gz supported)")
+		outPath   = flag.String("out", "results.tsv", "output TSV path")
+		workers   = flag.Int("workers", 4, "searcher goroutines")
+		fragments = flag.Int("fragments", 16, "database fragments")
+		strategy  = flag.String("strategy", "worker-writes", "master-writes or worker-writes")
+		k         = flag.Int("k", 8, "seed length")
+		minScore  = flag.Int("min-score", 16, "discard hits below this score")
+		maxHits   = flag.Int("max-hits", 0, "keep at most this many hits per (query, fragment); 0 = all")
+		showAlign = flag.Bool("align", false, "print the best alignment per query (traceback)")
+	)
+	flag.Parse()
+	if *dbPath == "" || *qPath == "" {
+		fmt.Fprintln(os.Stderr, "minisearch: -db and -queries are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dbSeqs, err := bio.ReadFASTAFile(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	queries, err := bio.ReadFASTAFile(*qPath)
+	if err != nil {
+		fatal(err)
+	}
+	db := bio.NewDatabase(dbSeqs)
+	min, max, mean := db.Stats()
+	fmt.Fprintf(os.Stderr, "database: %d sequences, %d bytes (min %d, mean %.0f, max %d)\n",
+		len(db.Seqs), db.TotalBytes, min, mean, max)
+	fmt.Fprintf(os.Stderr, "queries:  %d sequences\n", len(queries))
+
+	cfg := parsearch.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.Fragments = *fragments
+	cfg.K = *k
+	cfg.Search = align.DefaultSearchOptions()
+	cfg.Search.MinScore = *minScore
+	cfg.Search.MaxHits = *maxHits
+	switch *strategy {
+	case "master-writes":
+		cfg.Strategy = parsearch.MasterWrites
+	case "worker-writes":
+		cfg.Strategy = parsearch.WorkerWrites
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	sum, err := parsearch.Run(cfg, db, queries, *outPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %d tasks, %d hits, %d bytes -> %s (index %v, total %v)\n",
+		cfg.Strategy, sum.Tasks, sum.Hits, sum.OutputBytes, *outPath,
+		sum.Index.Round(1e6), sum.Wall.Round(1e6))
+
+	if *showAlign {
+		printAlignments(db, queries, cfg)
+	}
+}
+
+// printAlignments re-searches each query against a whole-database index and
+// prints the traceback of its best hit.
+func printAlignments(db *bio.Database, queries []bio.Sequence, cfg parsearch.Config) {
+	ix := align.NewIndex(db.Seqs, cfg.K)
+	for _, q := range queries {
+		hits := ix.Search(q.Data, cfg.Search)
+		if len(hits) == 0 {
+			fmt.Printf("# %s: no hits\n", q.ID)
+			continue
+		}
+		best := hits[0]
+		al := align.LocalAlign(q.Data, db.Seqs[best.SubjectIndex].Data, cfg.Search.Scoring)
+		fmt.Printf("# %s vs %s\n%s\n", q.ID, best.SubjectID, al.Pretty(70))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minisearch:", err)
+	os.Exit(1)
+}

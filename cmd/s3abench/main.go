@@ -1,0 +1,157 @@
+// Command s3abench regenerates the paper's evaluation figures: the
+// process-scalability suite (Figures 2–4), the compute-speed suite
+// (Figures 5–7), and the §4 headline ratios. Output is printed as aligned
+// tables (or CSV) — the same rows/series the paper plots.
+//
+// Usage:
+//
+//	s3abench [-suite procs|speed|extensions|all] [-quick] [-csv] [-reps N]
+//
+// The full paper suite takes several minutes; -quick runs a scaled-down
+// version in seconds. The extensions suite covers the paper's §5 future
+// work: collective implementations, hybrid segmentation, the
+// write-frequency/failure trade-off, and file-system sensitivity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"s3asim"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "all", "which suite to run: procs, speed, extensions, all")
+		quick = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		reps  = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
+		quiet = flag.Bool("quiet", false, "suppress per-cell progress")
+		chart = flag.Bool("chart", false, "render ASCII charts after the tables")
+		figs  = flag.String("figs", "", "write figure SVGs into this directory")
+	)
+	flag.Parse()
+	if *figs != "" {
+		if err := os.MkdirAll(*figs, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := s3asim.PaperOptions()
+	if *quick {
+		opts = s3asim.QuickOptions()
+	}
+	opts.Repetitions = *reps
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	emit := func(sr *s3asim.SweepResult) {
+		for _, tb := range sr.Tables() {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		if *chart {
+			fmt.Println(sr.OverallChart(false).ASCII(90, 18))
+			fmt.Println(sr.OverallChart(true).ASCII(90, 18))
+		}
+		if *figs != "" {
+			writeFigures(*figs, sr)
+		}
+	}
+
+	if *suite == "procs" || *suite == "all" {
+		sr, err := s3asim.RunProcessSweep(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(sr)
+	}
+	if *suite == "speed" || *suite == "all" {
+		sr, err := s3asim.RunSpeedSweep(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(sr)
+	}
+	if *suite == "extensions" || *suite == "all" {
+		runExtensions(opts, *csv)
+	}
+	switch *suite {
+	case "procs", "speed", "extensions", "all":
+	default:
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, extensions, or all)", *suite))
+	}
+}
+
+// runExtensions prints the §5 future-work studies.
+func runExtensions(opts s3asim.Options, csv bool) {
+	base := opts.Base
+	base.Procs = opts.SpeedProcs
+	show := func(tbl *s3asim.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		if csv {
+			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+	}
+	procs := []int{base.Procs / 4, base.Procs}
+	if procs[0] < 2 {
+		procs[0] = 2
+	}
+	show(s3asim.CollectiveComparison(base, procs))
+	hybrid := base
+	hybrid.Strategy = s3asim.MW
+	show(s3asim.HybridComparison(hybrid, []int{1, 2, 4}))
+	outcomes, err := s3asim.ResumeTradeoff(base, []int{1, 5, base.Workload.NumQueries}, 0.5)
+	if err != nil {
+		fatal(err)
+	}
+	show(s3asim.ResumeTable(outcomes), nil)
+	show(s3asim.ServerSweep(base, []int{8, 16, 32, 64}))
+	show(s3asim.OutputScaleSweep(base, []float64{0.25, 1, 4}))
+}
+
+// writeFigures renders the sweep as paper-style SVG figures: a line chart
+// per sync mode plus a stacked phase chart per strategy and sync mode.
+func writeFigures(dir string, sr *s3asim.SweepResult) {
+	prefix := map[string]string{"procs": "fig2", "speed": "fig5"}[sr.Kind]
+	phasePrefix := map[string]string{"procs": "fig3-4", "speed": "fig6-7"}[sr.Kind]
+	save := func(name, content string) {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	for _, sync := range []bool{false, true} {
+		label := "nosync"
+		if sync {
+			label = "sync"
+		}
+		save(fmt.Sprintf("%s-%s.svg", prefix, label),
+			sr.OverallChart(sync).SVG(720, 420))
+		for _, s := range sr.Strat {
+			save(fmt.Sprintf("%s-%s-%s.svg", phasePrefix, slug(s.String()), label),
+				sr.PhaseChart(s, sync).SVG(720, 420))
+		}
+	}
+}
+
+func slug(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, "-", ""))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s3abench:", err)
+	os.Exit(1)
+}

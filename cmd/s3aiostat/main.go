@@ -1,0 +1,65 @@
+// Command s3aiostat runs one S3aSim simulation with file-system request
+// tracing enabled and prints an I/O analysis: request counts and rates,
+// queueing and service times, request-size distribution, and per-server
+// load balance — the quantities behind the paper's "I/O ops/s" and "stress
+// on the file system" discussions.
+//
+// Usage:
+//
+//	s3aiostat -procs 96 -strategy WW-POSIX
+//	s3aiostat -procs 96 -strategy WW-List -sync
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3asim"
+)
+
+func main() {
+	var (
+		procs     = flag.Int("procs", 64, "total MPI processes")
+		strategy  = flag.String("strategy", "WW-List", "I/O strategy: MW, WW-POSIX, WW-List, WW-Coll")
+		sync      = flag.Bool("sync", false, "enable the query-sync option")
+		speed     = flag.Float64("speed", 1, "compute speed factor")
+		queries   = flag.Int("queries", 20, "number of input queries")
+		fragments = flag.Int("fragments", 128, "number of database fragments")
+	)
+	flag.Parse()
+
+	cfg := s3asim.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.QuerySync = *sync
+	cfg.ComputeSpeed = *speed
+	cfg.Workload.NumQueries = *queries
+	cfg.Workload.NumFragments = *fragments
+	cfg.TraceIO = true
+	var err error
+	cfg.Strategy, err = s3asim.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := s3asim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s %s, %d procs — overall %.2fs, %.1f MB output\n\n",
+		rep.Strategy, syncWord(rep.QuerySync), rep.Procs,
+		rep.Overall.Seconds(), float64(rep.OutputBytes)/1e6)
+	fmt.Print(s3asim.AnalyzeIOTrace(rep).Render())
+}
+
+func syncWord(b bool) string {
+	if b {
+		return "sync"
+	}
+	return "no-sync"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s3aiostat:", err)
+	os.Exit(1)
+}

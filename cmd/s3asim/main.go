@@ -1,0 +1,109 @@
+// Command s3asim runs a single S3aSim simulation and prints the overall
+// execution time, the per-phase decomposition (master and worker-average),
+// and file-system statistics.
+//
+// Usage:
+//
+//	s3asim [flags]
+//
+// Examples:
+//
+//	s3asim -procs 96 -strategy WW-List
+//	s3asim -procs 64 -strategy WW-Coll -sync -speed 3.2
+//	s3asim -procs 16 -strategy MW -trace trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3asim"
+	"s3asim/internal/trace"
+)
+
+func main() {
+	var (
+		procs      = flag.Int("procs", 64, "total MPI processes (1 master + workers)")
+		strategy   = flag.String("strategy", "WW-List", "I/O strategy: MW, WW-POSIX, WW-List, WW-Coll")
+		sync       = flag.Bool("sync", false, "enable the query-sync option")
+		speed      = flag.Float64("speed", 1, "compute speed factor (paper sweeps 0.1..25.6)")
+		queries    = flag.Int("queries", 20, "number of input queries")
+		fragments  = flag.Int("fragments", 128, "number of database fragments")
+		perWrite   = flag.Int("queries-per-write", 1, "flush results every n queries (n=queries writes at end)")
+		noFileSync = flag.Bool("no-file-sync", false, "skip MPI_File_sync after writes")
+		servers    = flag.Int("servers", 16, "PVFS2 I/O servers")
+		seed       = flag.Int64("seed", 0, "workload seed (0 = paper default)")
+		tracePath  = flag.String("trace", "", "write a phase timeline (JSON lines) to this file")
+		csv        = flag.Bool("csv", false, "print the phase table as CSV")
+	)
+	flag.Parse()
+
+	cfg := s3asim.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.QuerySync = *sync
+	cfg.ComputeSpeed = *speed
+	cfg.Workload.NumQueries = *queries
+	cfg.Workload.NumFragments = *fragments
+	cfg.QueriesPerWrite = *perWrite
+	cfg.SyncEveryWrite = !*noFileSync
+	cfg.FS.NumServers = *servers
+	if *seed != 0 {
+		cfg.Workload.Seed = *seed
+	}
+	var err error
+	cfg.Strategy, err = s3asim.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	var tr *trace.Tracer
+	if *tracePath != "" {
+		tr = trace.New()
+		cfg.Tracer = tr
+	}
+
+	rep, err := s3asim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("S3aSim: %s %s, %d processes, compute speed %g\n",
+		rep.Strategy, syncWord(rep.QuerySync), rep.Procs, rep.ComputeSpeed)
+	fmt.Printf("overall execution time: %.3f s\n", rep.Overall.Seconds())
+	fmt.Printf("output: %.1f MB across %d PVFS2 servers (%d requests, %d segments, %d syncs)\n",
+		float64(rep.OutputBytes)/1e6, len(rep.FS.Servers),
+		rep.FS.TotalRequests, rep.FS.TotalSegments, rep.FS.TotalSyncs)
+	fmt.Printf("network: %d messages, %.1f MB\n", rep.Messages, float64(rep.NetBytes)/1e6)
+	fmt.Println()
+	if *csv {
+		fmt.Print(rep.PhaseTable().CSV())
+	} else {
+		fmt.Print(rep.PhaseTable().String())
+	}
+
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (render with s3atrace)\n", *tracePath)
+	}
+}
+
+func syncWord(b bool) string {
+	if b {
+		return "sync"
+	}
+	return "no-sync"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s3asim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command s3atrace renders a phase-timeline trace produced by
+// `s3asim -trace` as an ASCII Gantt chart — the stand-in for the
+// MPE/Jumpshot visualization the original S3aSim used (paper §3).
+//
+// Usage:
+//
+//	s3asim -procs 8 -strategy WW-Coll -trace t.jsonl
+//	s3atrace -width 120 t.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3asim/internal/trace"
+)
+
+func main() {
+	width := flag.Int("width", 100, "chart width in columns (ASCII) or pixels (SVG)")
+	svgPath := flag.String("svg", "", "write an SVG timeline to this file instead of ASCII")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: s3atrace [-width N] [-svg out.svg] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *svgPath != "" {
+		w := *width
+		if w < 300 {
+			w = 900
+		}
+		if err := os.WriteFile(*svgPath, []byte(trace.GanttSVG(events, w, 0)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *svgPath)
+		return
+	}
+	fmt.Print(trace.Gantt(events, *width))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s3atrace:", err)
+	os.Exit(1)
+}

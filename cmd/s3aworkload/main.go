@@ -1,0 +1,88 @@
+// Command s3aworkload describes a generated S3aSim workload without running
+// a simulation: total output volume, per-query result counts and bytes,
+// the (query, fragment) task-size distribution that drives compute-time
+// variance, and the compute-model totals at a given speed.
+//
+// Usage:
+//
+//	s3aworkload                      # the paper's §3.3 workload
+//	s3aworkload -queries 40 -seed 7 -speed 3.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3asim/internal/des"
+	"s3asim/internal/search"
+	"s3asim/internal/stats"
+)
+
+func main() {
+	var (
+		queries   = flag.Int("queries", 0, "override query count (0 = paper default)")
+		fragments = flag.Int("fragments", 0, "override fragment count")
+		seed      = flag.Int64("seed", 0, "override workload seed")
+		speed     = flag.Float64("speed", 1, "compute speed for the time totals")
+	)
+	flag.Parse()
+
+	spec := search.DefaultSpec()
+	if *queries > 0 {
+		spec.NumQueries = *queries
+	}
+	if *fragments > 0 {
+		spec.NumFragments = *fragments
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	w := search.Generate(spec)
+	model := search.DefaultComputeModel()
+
+	fmt.Printf("workload: %d queries x %d fragments, seed %d\n",
+		spec.NumQueries, spec.NumFragments, spec.Seed)
+	fmt.Printf("output: %.1f MB across %d results\n",
+		float64(w.TotalBytes)/1e6, totalResults(w))
+
+	qt := stats.NewTable("per-query", "query", "len (B)", "results", "bytes (MB)",
+		"max task (KB)", "compute (s)")
+	var taskSizes stats.Online
+	var totalCompute des.Time
+	for q := range w.Queries {
+		qry := &w.Queries[q]
+		var qmax int64
+		var qCompute des.Time
+		for f := 0; f < spec.NumFragments; f++ {
+			b := w.TaskBytes(q, f)
+			taskSizes.Add(float64(b))
+			if b > qmax {
+				qmax = b
+			}
+			qCompute += model.TaskTime(b, *speed)
+		}
+		totalCompute += qCompute
+		qt.AddRowf(q, qry.Length, len(qry.Results),
+			float64(qry.Bytes)/1e6, float64(qmax)/1e3, qCompute.Seconds())
+	}
+	fmt.Println()
+	fmt.Print(qt.String())
+	fmt.Println()
+	fmt.Printf("task sizes: mean %.1f KB, std %.1f KB, max %.1f KB (n=%d)\n",
+		taskSizes.Mean()/1e3, taskSizes.Std()/1e3, taskSizes.Max()/1e3, taskSizes.N())
+	fmt.Printf("aggregate compute at speed %g: %.1f core-seconds\n",
+		*speed, totalCompute.Seconds())
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "s3aworkload: unexpected arguments")
+		os.Exit(2)
+	}
+}
+
+func totalResults(w *search.Workload) int {
+	n := 0
+	for q := range w.Queries {
+		n += len(w.Queries[q].Results)
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package s3asim_test
+
+import (
+	"fmt"
+
+	"s3asim"
+)
+
+// ExampleRun simulates a small S3aSim application and prints which
+// strategy was used and whether the output file was fully written.
+func ExampleRun() {
+	cfg := s3asim.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Workload.NumQueries = 2
+	cfg.Workload.NumFragments = 8
+	cfg.Workload.MinResults = 10
+	cfg.Workload.MaxResults = 10
+	cfg.Workload.QueryHist = s3asim.UniformHistogram(100, 1000)
+	cfg.Workload.DBSeqHist = s3asim.UniformHistogram(100, 5000)
+	cfg.Workload.Seed = 1
+
+	rep, err := s3asim.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("strategy=%s procs=%d covered=%v\n",
+		rep.Strategy, rep.Procs, rep.FileCoverage == rep.OutputBytes)
+	// Output:
+	// strategy=WW-List procs=4 covered=true
+}
+
+// ExampleParseStrategy resolves strategies by their paper names.
+func ExampleParseStrategy() {
+	for _, name := range []string{"MW", "WW-POSIX", "WW-List", "WW-Coll"} {
+		s, err := s3asim.ParseStrategy(name)
+		fmt.Println(s, err == nil, s.WorkerWriting())
+	}
+	// Output:
+	// MW true false
+	// WW-POSIX true true
+	// WW-List true true
+	// WW-Coll true true
+}
+
+// ExampleRunProcessSweep runs a miniature Figure-2 sweep and prints the
+// winner at the largest process count.
+func ExampleRunProcessSweep() {
+	opts := s3asim.QuickOptions()
+	opts.Procs = []int{2, 4}
+	opts.Strategies = []s3asim.Strategy{s3asim.MW, s3asim.WWList}
+	sweep, err := s3asim.RunProcessSweep(opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mw := sweep.Cell(s3asim.MW, false, 4).Overall
+	list := sweep.Cell(s3asim.WWList, false, 4).Overall
+	fmt.Printf("WW-List faster than MW at 4 procs: %v\n", list < mw)
+	// Output:
+	// WW-List faster than MW at 4 procs: true
+}
+
+// ExampleNTHistogram shows the NT-database statistics the paper reports.
+func ExampleNTHistogram() {
+	h := s3asim.NTHistogram()
+	fmt.Printf("min=%d mean≈%dKB-scale max>43MB=%v\n",
+		h.Min(), int(h.Mean())/1000, h.Max() > 43<<20)
+	// Output:
+	// min=6 mean≈4KB-scale max>43MB=true
+}

@@ -1,0 +1,41 @@
+// Compute scaling: a Figure-5-style experiment — hold the process count
+// fixed and sweep the compute-speed factor, modeling faster processors,
+// FPGA/ASIC search hardware, or smarter heuristics (the paper's motivation
+// for why I/O will dominate future sequence-search tools).
+//
+//	go run ./examples/compute_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"s3asim"
+)
+
+func main() {
+	opts := s3asim.QuickOptions()
+	opts.Speeds = []float64{0.25, 0.5, 1, 2, 4, 8}
+	opts.SpeedProcs = 8
+	opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ", line) }
+
+	fmt.Fprintln(os.Stderr, "running the compute-speed suite (reduced workload)...")
+	sweep, err := s3asim.RunSpeedSweep(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(sweep.OverallTable(false))
+
+	// The paper's observation: MW barely benefits from faster compute
+	// (its master is the bottleneck), while individual worker-writing
+	// strategies convert compute speedups into end-to-end speedups.
+	slowest, fastest := opts.Speeds[0], opts.Speeds[len(opts.Speeds)-1]
+	for _, s := range s3asim.Strategies {
+		lo := sweep.Cell(s, false, fastest).Overall.Seconds()
+		hi := sweep.Cell(s, false, slowest).Overall.Seconds()
+		fmt.Printf("%-9s %6.2fs -> %6.2fs (%.1fx) from compute speed %gx to %gx\n",
+			s, hi, lo, hi/lo, slowest, fastest)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: run one S3aSim simulation with the paper's §3.3 setup and
+// print the overall time and per-phase breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"s3asim"
+)
+
+func main() {
+	// The default configuration reproduces the paper's test setup:
+	// 64 processes, WW-List strategy, 20 NT-histogram queries over 128
+	// database fragments, ≈208 MB of result output to 16 PVFS2 servers,
+	// MPI_File_sync after every write.
+	cfg := s3asim.DefaultConfig()
+
+	// Shrink the workload so the example runs in about a second; delete
+	// these lines to simulate the full paper configuration.
+	cfg.Procs = 16
+	cfg.Workload.NumQueries = 6
+	cfg.Workload.NumFragments = 32
+
+	rep, err := s3asim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strategy %s, %d processes\n", rep.Strategy, rep.Procs)
+	fmt.Printf("overall execution time: %.2f s (virtual)\n", rep.Overall.Seconds())
+	fmt.Printf("result data written: %.1f MB, fully covered: %v\n",
+		float64(rep.OutputBytes)/1e6, rep.FileCoverage == rep.OutputBytes)
+	fmt.Println()
+	fmt.Print(rep.PhaseTable())
+
+	// Compare against the master-writing strategy on the same workload.
+	cfg.Strategy = s3asim.MW
+	mw, err := s3asim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMW on the same workload: %.2f s (%.0f%% slower than WW-List)\n",
+		mw.Overall.Seconds(),
+		100*(float64(mw.Overall)/float64(rep.Overall)-1))
+}

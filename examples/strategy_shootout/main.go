@@ -1,0 +1,38 @@
+// Strategy shootout: a Figure-2-style comparison of all four I/O
+// strategies while scaling the number of processes, in both query-sync
+// modes. This is the paper's headline experiment at reduced scale.
+//
+//	go run ./examples/strategy_shootout
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"s3asim"
+)
+
+func main() {
+	opts := s3asim.QuickOptions()
+	// A slightly richer sweep than the test-sized default.
+	opts.Procs = []int{2, 4, 8, 16}
+	opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ", line) }
+
+	fmt.Fprintln(os.Stderr, "running the process-scalability suite (reduced workload)...")
+	sweep, err := s3asim.RunProcessSweep(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(sweep.OverallTable(false))
+	fmt.Println(sweep.OverallTable(true))
+
+	// The paper's §4 headline: how much WW-List outperforms the rest at the
+	// largest process count.
+	fmt.Println(sweep.HeadlineTable(float64(opts.Procs[len(opts.Procs)-1])))
+
+	// Per-phase decomposition for the two strategies Figure 3 plots.
+	fmt.Println(sweep.PhaseTable(s3asim.MW, false))
+	fmt.Println(sweep.PhaseTable(s3asim.WWPosix, false))
+}

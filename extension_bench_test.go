@@ -1,0 +1,128 @@
+// Benchmarks for the paper's §5 future-work studies, implemented as
+// first-class extensions: the improved collective, hybrid segmentation,
+// the write-frequency/failure-recovery trade-off, and file-system
+// sensitivity sweeps.
+package s3asim_test
+
+import (
+	"testing"
+
+	"s3asim"
+)
+
+// BenchmarkExtensionCollectiveImpls compares ROMIO two-phase, the
+// list-I/O-plus-forced-sync collective the paper's conclusion proposes,
+// and WW-List with query sync, across process counts.
+func BenchmarkExtensionCollectiveImpls(b *testing.B) {
+	base := ablationConfig()
+	var tbl *s3asim.Table
+	procs := []int{16, 48}
+	if base.Procs < 16 { // quick scale
+		procs = []int{4, 8}
+	}
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = s3asim.CollectiveComparison(base, procs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkExtensionHybridSegmentation runs the hybrid query/database
+// segmentation study for MW (where splitting the master helps most) and
+// WW-List.
+func BenchmarkExtensionHybridSegmentation(b *testing.B) {
+	for _, strat := range []s3asim.Strategy{s3asim.MW, s3asim.WWList} {
+		strat := strat
+		b.Run(strat.String(), func(b *testing.B) {
+			base := ablationConfig()
+			base.Strategy = strat
+			groups := []int{1, 2, 4}
+			var tbl *s3asim.Table
+			for i := 0; i < b.N; i++ {
+				var err error
+				tbl, err = s3asim.HybridComparison(base, groups)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Log("\n" + tbl.String())
+		})
+	}
+}
+
+// BenchmarkExtensionResumeTradeoff quantifies what per-query writes buy
+// when a failure strikes mid-run (§2's resumability motivation).
+func BenchmarkExtensionResumeTradeoff(b *testing.B) {
+	base := ablationConfig()
+	base.Strategy = s3asim.WWList
+	grans := []int{1, 5, base.Workload.NumQueries}
+	var outcomes []s3asim.ResumeOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outcomes, err = s3asim.ResumeTradeoff(base, grans, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + s3asim.ResumeTable(outcomes).String())
+	if len(outcomes) > 0 {
+		first, last := outcomes[0], outcomes[len(outcomes)-1]
+		b.ReportMetric(first.TotalWithFail.Seconds(), "per-query-total-s")
+		b.ReportMetric(last.TotalWithFail.Seconds(), "at-end-total-s")
+	}
+}
+
+// BenchmarkExtensionServerScaling sweeps the PVFS2 server count — the
+// paper's "larger file system configuration with more I/O bandwidth may
+// have provided more scalable I/O performance".
+func BenchmarkExtensionServerScaling(b *testing.B) {
+	base := ablationConfig()
+	base.Strategy = s3asim.WWList
+	var tbl *s3asim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = s3asim.ServerSweep(base, []int{8, 16, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkExtensionSegmentationBaseline quantifies §1's motivation for
+// database segmentation: the query-segmentation baseline re-reads the
+// database overflow per query once it exceeds worker memory.
+func BenchmarkExtensionSegmentationBaseline(b *testing.B) {
+	base := ablationConfig()
+	base.Strategy = s3asim.WWList
+	base.WorkerMemoryBytes = 512 << 20
+	sizes := []int64{256 << 20, 1 << 30, 4 << 30}
+	var tbl *s3asim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = s3asim.SegmentationComparison(base, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+// BenchmarkExtensionOutputScaling sweeps the result volume (§5's
+// "different I/O characteristics ... amount of results").
+func BenchmarkExtensionOutputScaling(b *testing.B) {
+	base := ablationConfig()
+	base.Strategy = s3asim.WWList
+	var tbl *s3asim.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = s3asim.OutputScaleSweep(base, []float64{0.25, 1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}

@@ -1,0 +1,102 @@
+package s3asim_test
+
+import (
+	"testing"
+
+	"s3asim"
+)
+
+// quickCfg is a fast facade-level configuration.
+func quickCfg() s3asim.Config {
+	opts := s3asim.QuickOptions()
+	cfg := opts.Base
+	cfg.Procs = 6
+	return cfg
+}
+
+func TestFacadeCollectiveComparison(t *testing.T) {
+	tbl, err := s3asim.CollectiveComparison(quickCfg(), []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestFacadeHybridComparison(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Strategy = s3asim.MW
+	tbl, err := s3asim.HybridComparison(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestFacadeResumeTradeoff(t *testing.T) {
+	cfg := quickCfg()
+	outcomes, err := s3asim.ResumeTradeoff(cfg, []int{1, cfg.Workload.NumQueries}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	tbl := s3asim.ResumeTable(outcomes)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("table rows = %d", tbl.NumRows())
+	}
+	// Per-query writes must preserve at least as much durable work as
+	// write-at-end under a mid-run failure.
+	if outcomes[0].ResumeFrom < outcomes[1].ResumeFrom {
+		t.Fatalf("per-query writes preserved less work: %+v", outcomes)
+	}
+}
+
+func TestFacadeServerAndOutputSweeps(t *testing.T) {
+	cfg := quickCfg()
+	servers, err := s3asim.ServerSweep(cfg, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servers.NumRows() != 2 {
+		t.Fatalf("server rows = %d", servers.NumRows())
+	}
+	output, err := s3asim.OutputScaleSweep(cfg, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if output.NumRows() != 2 {
+		t.Fatalf("output rows = %d", output.NumRows())
+	}
+}
+
+func TestFacadeCollMethodAndGroups(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Strategy = s3asim.WWColl
+	cfg.CollMethod = s3asim.ListSync
+	cfg.QueryGroups = 2
+	rep, err := s3asim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueryGroups != 2 || len(rep.Masters) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if s3asim.ListSync.String() != "list-sync" || s3asim.TwoPhase.String() != "two-phase" {
+		t.Fatal("collective method names")
+	}
+}
+
+func TestFacadePaperOptionsShape(t *testing.T) {
+	opts := s3asim.PaperOptions()
+	if len(opts.Procs) != 8 || opts.Procs[len(opts.Procs)-1] != 96 {
+		t.Fatalf("paper proc sweep = %v", opts.Procs)
+	}
+	if len(opts.Speeds) != 9 || opts.SpeedProcs != 64 {
+		t.Fatalf("paper speed sweep = %v @ %d", opts.Speeds, opts.SpeedProcs)
+	}
+}

@@ -1,0 +1,3 @@
+module s3asim
+
+go 1.22

@@ -1,0 +1,279 @@
+// Package align implements a small but real sequence-similarity search
+// engine in the BLAST family: exact k-mer seeding against an indexed
+// database fragment, ungapped X-drop extension, and banded Smith-Waterman
+// rescoring. It is the "actual search algorithm" substrate standing in for
+// NCBI BLAST in the real-execution example (examples/realsearch and
+// internal/parsearch); the S3aSim simulator models this cost instead of
+// running it, exactly as the paper's simulator did.
+package align
+
+import (
+	"sort"
+
+	"s3asim/internal/bio"
+)
+
+// Scoring holds the match/mismatch and affine gap parameters.
+type Scoring struct {
+	Match     int // > 0
+	Mismatch  int // < 0
+	GapOpen   int // < 0, charged on the first residue of a gap
+	GapExtend int // < 0, charged on each subsequent residue
+}
+
+// DefaultDNA returns blastn-like scoring.
+func DefaultDNA() Scoring {
+	return Scoring{Match: 2, Mismatch: -3, GapOpen: -5, GapExtend: -2}
+}
+
+// Hit is one local alignment between a query and a database sequence.
+type Hit struct {
+	SubjectIndex int    // index into the indexed sequence set
+	SubjectID    string // FASTA ID
+	Score        int
+	QStart, QEnd int // query range [QStart, QEnd)
+	SStart, SEnd int // subject range [SStart, SEnd)
+	Identity     float64
+}
+
+// posting locates one k-mer occurrence.
+type posting struct {
+	seq int32
+	pos int32
+}
+
+// Index is a k-mer lookup table over a set of sequences (one database
+// fragment, in database-segmentation terms).
+type Index struct {
+	k        int
+	seqs     [][]byte
+	ids      []string
+	postings map[string][]posting
+}
+
+// NewIndex builds a k-mer index (k ≥ 4 recommended for DNA).
+func NewIndex(seqs []bio.Sequence, k int) *Index {
+	if k < 1 {
+		panic("align: k must be >= 1")
+	}
+	ix := &Index{k: k, postings: make(map[string][]posting)}
+	for si := range seqs {
+		data := seqs[si].Data
+		ix.seqs = append(ix.seqs, data)
+		ix.ids = append(ix.ids, seqs[si].ID)
+		for p := 0; p+k <= len(data); p++ {
+			key := string(data[p : p+k])
+			ix.postings[key] = append(ix.postings[key], posting{seq: int32(si), pos: int32(p)})
+		}
+	}
+	return ix
+}
+
+// K returns the seed length.
+func (ix *Index) K() int { return ix.k }
+
+// NumSeqs returns the number of indexed sequences.
+func (ix *Index) NumSeqs() int { return len(ix.seqs) }
+
+// SearchOptions tunes a search.
+type SearchOptions struct {
+	Scoring  Scoring
+	MinScore int // discard hits below this score
+	XDrop    int // ungapped extension drop-off (> 0)
+	Band     int // banded SW half-width (0 = ungapped score only)
+	MaxHits  int // keep at most this many hits (0 = unlimited)
+}
+
+// DefaultSearchOptions returns sensible DNA defaults.
+func DefaultSearchOptions() SearchOptions {
+	return SearchOptions{Scoring: DefaultDNA(), MinScore: 16, XDrop: 12, Band: 8}
+}
+
+// seedHit is the best seed found on one (sequence, diagonal).
+type seedHit struct {
+	seq  int32
+	diag int32 // pos - qpos
+	qpos int32
+	pos  int32
+}
+
+// Search finds local alignments of query against the index, sorted by
+// descending score (ties broken by subject index then position, so results
+// are deterministic).
+func (ix *Index) Search(query []byte, opts SearchOptions) []Hit {
+	if len(query) < ix.k {
+		return nil
+	}
+	if opts.XDrop <= 0 {
+		opts.XDrop = 12
+	}
+	// Stage 1: seeds, deduplicated per (sequence, diagonal).
+	type diagKey struct {
+		seq  int32
+		diag int32
+	}
+	seeds := make(map[diagKey]seedHit)
+	for qp := 0; qp+ix.k <= len(query); qp++ {
+		key := string(query[qp : qp+ix.k])
+		for _, p := range ix.postings[key] {
+			dk := diagKey{seq: p.seq, diag: p.pos - int32(qp)}
+			if _, ok := seeds[dk]; !ok {
+				seeds[dk] = seedHit{seq: p.seq, diag: dk.diag, qpos: int32(qp), pos: p.pos}
+			}
+		}
+	}
+	ordered := make([]seedHit, 0, len(seeds))
+	for _, s := range seeds {
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		if a.diag != b.diag {
+			return a.diag < b.diag
+		}
+		return a.qpos < b.qpos
+	})
+
+	// Stage 2: ungapped X-drop extension; stage 3: optional banded SW.
+	var hits []Hit
+	for _, s := range ordered {
+		subject := ix.seqs[s.seq]
+		h := ix.extend(query, subject, int(s.qpos), int(s.pos), opts)
+		if h.Score < opts.MinScore {
+			continue
+		}
+		if opts.Band > 0 {
+			qs, qe, ss, se := h.QStart, h.QEnd, h.SStart, h.SEnd
+			score, ident := bandedScore(query[qs:qe], subject[ss:se], opts.Scoring, opts.Band)
+			if score > h.Score {
+				h.Score = score
+				h.Identity = ident
+			}
+		}
+		h.SubjectIndex = int(s.seq)
+		h.SubjectID = ix.ids[s.seq]
+		hits = append(hits, h)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].SubjectIndex != hits[j].SubjectIndex {
+			return hits[i].SubjectIndex < hits[j].SubjectIndex
+		}
+		return hits[i].SStart < hits[j].SStart
+	})
+	// Per (subject, overlapping region) dedup: keep the best hit per
+	// subject+query-start to avoid near-duplicate diagonals.
+	hits = dedup(hits)
+	if opts.MaxHits > 0 && len(hits) > opts.MaxHits {
+		hits = hits[:opts.MaxHits]
+	}
+	return hits
+}
+
+// dedup removes lower-scoring hits that substantially overlap a better hit
+// on the same subject.
+func dedup(hits []Hit) []Hit {
+	var out []Hit
+	for _, h := range hits {
+		redundant := false
+		for _, k := range out {
+			if k.SubjectIndex != h.SubjectIndex {
+				continue
+			}
+			qo := overlap(h.QStart, h.QEnd, k.QStart, k.QEnd)
+			so := overlap(h.SStart, h.SEnd, k.SStart, k.SEnd)
+			if qo*2 > h.QEnd-h.QStart && so*2 > h.SEnd-h.SStart {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func overlap(a1, a2, b1, b2 int) int {
+	lo, hi := a1, a2
+	if b1 > lo {
+		lo = b1
+	}
+	if b2 < hi {
+		hi = b2
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// extend grows an exact seed in both directions without gaps, stopping when
+// the running score drops XDrop below the best seen (BLAST's X-drop rule).
+func (ix *Index) extend(query, subject []byte, qp, sp int, opts SearchOptions) Hit {
+	sc := opts.Scoring
+	k := ix.k
+
+	// Score the seed itself.
+	score := k * sc.Match
+	best := score
+	bqs, bqe := qp, qp+k
+	bss, bse := sp, sp+k
+
+	// Right extension.
+	q, s := qp+k, sp+k
+	run := score
+	for q < len(query) && s < len(subject) {
+		if query[q] == subject[s] {
+			run += sc.Match
+		} else {
+			run += sc.Mismatch
+		}
+		q++
+		s++
+		if run > best {
+			best = run
+			bqe, bse = q, s
+		}
+		if run < best-opts.XDrop {
+			break
+		}
+	}
+
+	// Left extension continues from the best right-extended score.
+	run = best
+	q, s = qp-1, sp-1
+	for q >= 0 && s >= 0 {
+		if query[q] == subject[s] {
+			run += sc.Match
+		} else {
+			run += sc.Mismatch
+		}
+		if run > best {
+			best = run
+			bqs, bss = q, s
+		}
+		if run < best-opts.XDrop {
+			break
+		}
+		q--
+		s--
+	}
+
+	matches := 0
+	for i := 0; i < bqe-bqs; i++ {
+		if query[bqs+i] == subject[bss+i] {
+			matches++
+		}
+	}
+	ident := 0.0
+	if bqe > bqs {
+		ident = float64(matches) / float64(bqe-bqs)
+	}
+	return Hit{Score: best, QStart: bqs, QEnd: bqe, SStart: bss, SEnd: bse, Identity: ident}
+}

@@ -1,0 +1,245 @@
+package align
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"s3asim/internal/bio"
+)
+
+func seqs(data ...string) []bio.Sequence {
+	var out []bio.Sequence
+	for i, d := range data {
+		out = append(out, bio.Sequence{ID: string(rune('a' + i)), Data: []byte(d)})
+	}
+	return out
+}
+
+func TestExactMatchFindsPerfectHit(t *testing.T) {
+	db := seqs("TTTTTTGGGGACGTACGTACGTCCCCCC")
+	ix := NewIndex(db, 8)
+	query := []byte("ACGTACGTACGT")
+	hits := ix.Search(query, DefaultSearchOptions())
+	if len(hits) == 0 {
+		t.Fatal("no hits for exact substring")
+	}
+	h := hits[0]
+	if h.Score < len(query)*2 {
+		t.Fatalf("score %d below perfect %d", h.Score, len(query)*2)
+	}
+	if h.SubjectID != "a" || h.Identity != 1.0 {
+		t.Fatalf("hit = %+v", h)
+	}
+	if string(db[0].Data[h.SStart:h.SEnd]) != string(query[h.QStart:h.QEnd]) {
+		t.Fatal("coordinates do not describe the exact match")
+	}
+}
+
+func TestNoHitsForForeignQuery(t *testing.T) {
+	ix := NewIndex(seqs(strings.Repeat("A", 200)), 8)
+	hits := ix.Search([]byte(strings.Repeat("C", 50)), DefaultSearchOptions())
+	if len(hits) != 0 {
+		t.Fatalf("unexpected hits: %+v", hits)
+	}
+}
+
+func TestShortQueryReturnsNil(t *testing.T) {
+	ix := NewIndex(seqs("ACGTACGTACGT"), 8)
+	if hits := ix.Search([]byte("ACGT"), DefaultSearchOptions()); hits != nil {
+		t.Fatal("query shorter than k should yield nil")
+	}
+}
+
+func TestMismatchToleratedByExtension(t *testing.T) {
+	subject := "GGGGGGGG" + "ACGTACGTTCGTACGTACGT" + "GGGGGGGG" // one T↔A flip
+	query := "ACGTACGTACGTACGTACGT"
+	ix := NewIndex(seqs(subject), 8)
+	hits := ix.Search([]byte(query), DefaultSearchOptions())
+	if len(hits) == 0 {
+		t.Fatal("no hit across a single mismatch")
+	}
+	h := hits[0]
+	if h.Identity >= 1.0 || h.Identity < 0.9 {
+		t.Fatalf("identity = %v, want one mismatch in ~20", h.Identity)
+	}
+	if h.QEnd-h.QStart < 18 {
+		t.Fatalf("extension too short: %+v", h)
+	}
+}
+
+func TestHitsSortedByScoreDeterministically(t *testing.T) {
+	db := seqs(
+		"TTTTACGTACGTACGTACGTTTTT",   // long (strong) match
+		"CCCCACGTACGTCCCCCCCCCCCC",   // short (weak) match
+		"GGGGACGTACGTACGTACGTGGGGGG", // strong match again
+	)
+	ix := NewIndex(db, 8)
+	hits := ix.Search([]byte("ACGTACGTACGTACGT"), DefaultSearchOptions())
+	if len(hits) < 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by descending score")
+		}
+	}
+	again := ix.Search([]byte("ACGTACGTACGTACGT"), DefaultSearchOptions())
+	if len(again) != len(hits) {
+		t.Fatal("nondeterministic hit count")
+	}
+	for i := range hits {
+		if hits[i] != again[i] {
+			t.Fatal("nondeterministic hit order")
+		}
+	}
+}
+
+func TestMaxHitsLimit(t *testing.T) {
+	var many []string
+	for i := 0; i < 10; i++ {
+		many = append(many, "TT"+strings.Repeat("ACGT", 6)+"GG")
+	}
+	ix := NewIndex(seqs(many...), 8)
+	opts := DefaultSearchOptions()
+	opts.MaxHits = 3
+	hits := ix.Search([]byte(strings.Repeat("ACGT", 6)), opts)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d, want 3", len(hits))
+	}
+}
+
+func TestSmithWatermanKnownValues(t *testing.T) {
+	sc := DefaultDNA()
+	cases := []struct {
+		q, s string
+		want int
+	}{
+		{"ACGT", "ACGT", 8},     // 4 matches
+		{"ACGT", "TTTT", 2},     // best single match (T)
+		{"AAAA", "CCCC", 0},     // nothing
+		{"ACGTACGT", "ACGT", 8}, // local: the ACGT block
+		{"ACGAT", "ACGT", 6},    // ACG(3 match) vs gap choices
+		{"", "ACGT", 0},         // empty query
+	}
+	for _, c := range cases {
+		if got := SmithWaterman([]byte(c.q), []byte(c.s), sc); got != c.want {
+			t.Errorf("SW(%q,%q) = %d, want %d", c.q, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSmithWatermanSymmetric(t *testing.T) {
+	f := func(qRaw, sRaw []byte) bool {
+		q := dnaify(qRaw, 40)
+		s := dnaify(sRaw, 40)
+		sc := DefaultDNA()
+		return SmithWaterman(q, s, sc) == SmithWaterman(s, q, sc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmithWatermanBounds(t *testing.T) {
+	// Property: 0 ≤ score ≤ match · min(len(q), len(s)).
+	f := func(qRaw, sRaw []byte) bool {
+		q := dnaify(qRaw, 30)
+		s := dnaify(sRaw, 30)
+		sc := DefaultDNA()
+		got := SmithWaterman(q, s, sc)
+		limit := sc.Match * minInt(len(q), len(s))
+		return got >= 0 && got <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedScoreMatchesFullSWOnDiagonalPairs(t *testing.T) {
+	// For similar same-length sequences (diagonal alignments), a generous
+	// band must reach the full SW score.
+	rng := rand.New(rand.NewSource(5))
+	alpha := "ACGT"
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(30)
+		q := make([]byte, n)
+		for i := range q {
+			q[i] = alpha[rng.Intn(4)]
+		}
+		s := append([]byte(nil), q...)
+		for i := 0; i < n/10; i++ { // a few point mutations
+			s[rng.Intn(n)] = alpha[rng.Intn(4)]
+		}
+		sc := DefaultDNA()
+		full := SmithWaterman(q, s, sc)
+		banded, _ := bandedScore(q, s, sc, n)
+		if banded != full {
+			t.Fatalf("trial %d: banded(full width) %d != SW %d\nq=%s\ns=%s",
+				trial, banded, full, q, s)
+		}
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	ix := NewIndex(seqs("ACGTACGT", "TTTTTTTT"), 4)
+	if ix.K() != 4 || ix.NumSeqs() != 2 {
+		t.Fatalf("K=%d NumSeqs=%d", ix.K(), ix.NumSeqs())
+	}
+}
+
+func TestPropertyHitCoordinatesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := "ACGT"
+		mk := func(n int) string {
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alpha[rng.Intn(4)]
+			}
+			return string(b)
+		}
+		db := seqs(mk(100), mk(80), mk(120))
+		ix := NewIndex(db, 6)
+		query := []byte(mk(40))
+		for _, h := range ix.Search(query, DefaultSearchOptions()) {
+			sub := db[h.SubjectIndex].Data
+			if h.QStart < 0 || h.QEnd > len(query) || h.QStart >= h.QEnd {
+				return false
+			}
+			if h.SStart < 0 || h.SEnd > len(sub) || h.SStart >= h.SEnd {
+				return false
+			}
+			if h.QEnd-h.QStart != h.SEnd-h.SStart {
+				return false // ungapped extent must be diagonal
+			}
+			if h.Identity < 0 || h.Identity > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dnaify maps arbitrary bytes to the DNA alphabet, capped at n.
+func dnaify(raw []byte, n int) []byte {
+	if len(raw) > n {
+		raw = raw[:n]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = "ACGT"[int(b)%4]
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

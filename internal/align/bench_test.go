@@ -1,0 +1,56 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"s3asim/internal/bio"
+	"s3asim/internal/stats"
+)
+
+func benchDB(n int, seed int64) []bio.Sequence {
+	return bio.Generate(bio.GenSpec{
+		NumSeqs:  n,
+		SizeHist: stats.Uniform(500, 2000),
+		Seed:     seed,
+	}).Seqs
+}
+
+// BenchmarkIndexBuild measures k-mer index construction.
+func BenchmarkIndexBuild(b *testing.B) {
+	seqs := benchDB(100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIndex(seqs, 8)
+	}
+}
+
+// BenchmarkSearch measures a full seed-extend-rescore search.
+func BenchmarkSearch(b *testing.B) {
+	seqs := benchDB(100, 1)
+	ix := NewIndex(seqs, 8)
+	query := append([]byte(nil), seqs[13].Data[100:260]...)
+	opts := DefaultSearchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(query, opts)
+	}
+}
+
+// BenchmarkSmithWaterman measures the reference DP on 200x200 inputs.
+func BenchmarkSmithWaterman(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = "ACGT"[rng.Intn(4)]
+		}
+		return out
+	}
+	q, s := mk(200), mk(200)
+	sc := DefaultDNA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SmithWaterman(q, s, sc)
+	}
+}

@@ -1,0 +1,129 @@
+package align
+
+// SmithWaterman computes the optimal local-alignment score between q and s
+// with affine-ish gap costs (open charged on every gap residue's first step,
+// extend thereafter), in O(len(q)·len(s)) time and O(len(s)) space. It is
+// the reference implementation the banded variant is tested against.
+func SmithWaterman(q, s []byte, sc Scoring) int {
+	if len(q) == 0 || len(s) == 0 {
+		return 0
+	}
+	// Three-state DP: M (match/mismatch), X (gap in s), Y (gap in q).
+	negInf := -1 << 30
+	m := make([]int, len(s)+1)
+	x := make([]int, len(s)+1)
+	y := make([]int, len(s)+1)
+	for j := range m {
+		x[j], y[j] = negInf, negInf
+	}
+	best := 0
+	prevM := make([]int, len(s)+1)
+	prevX := make([]int, len(s)+1)
+	prevY := make([]int, len(s)+1)
+	for i := 1; i <= len(q); i++ {
+		copy(prevM, m)
+		copy(prevX, x)
+		copy(prevY, y)
+		m[0], x[0], y[0] = 0, negInf, negInf
+		for j := 1; j <= len(s); j++ {
+			sub := sc.Mismatch
+			if q[i-1] == s[j-1] {
+				sub = sc.Match
+			}
+			diag := max3(prevM[j-1], prevX[j-1], prevY[j-1])
+			if diag < 0 {
+				diag = 0 // local alignment restart
+			}
+			m[j] = diag + sub
+			x[j] = maxInt(prevM[j]+sc.GapOpen, prevX[j]+sc.GapExtend)
+			y[j] = maxInt(m[j-1]+sc.GapOpen, y[j-1]+sc.GapExtend)
+			if v := max3(m[j], x[j], y[j]); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// bandedScore runs Smith-Waterman restricted to a band of half-width band
+// around the main diagonal of the q×s matrix, returning the best score and
+// an identity estimate along the scored extent. Sequences are expected to
+// be roughly diagonal (the ungapped extension already aligned them).
+func bandedScore(q, s []byte, sc Scoring, band int) (int, float64) {
+	if len(q) == 0 || len(s) == 0 {
+		return 0, 0
+	}
+	if band < 1 {
+		band = 1
+	}
+	negInf := -1 << 30
+	width := 2*band + 1
+	// cur[b] is the score at column j = i + (b - band), if in range.
+	cur := make([]int, width)
+	prev := make([]int, width)
+	for b := range prev {
+		prev[b] = negInf
+	}
+	best := 0
+	matches, length := 0, 0
+	for i := 1; i <= len(q); i++ {
+		for b := 0; b < width; b++ {
+			cur[b] = negInf
+			j := i + b - band
+			if j < 1 || j > len(s) {
+				continue
+			}
+			sub := sc.Mismatch
+			if q[i-1] == s[j-1] {
+				sub = sc.Match
+			}
+			// Diagonal predecessor is the same band offset in the previous
+			// row; horizontal/vertical neighbours shift by one.
+			diag := 0
+			if i > 1 {
+				if prev[b] > 0 {
+					diag = prev[b]
+				}
+			}
+			v := diag + sub
+			if b > 0 && cur[b-1] != negInf { // gap in q (move in s)
+				if g := cur[b-1] + sc.GapOpen; g > v {
+					v = g
+				}
+			}
+			if b < width-1 && prev[b+1] != negInf { // gap in s (move in q)
+				if g := prev[b+1] + sc.GapOpen; g > v {
+					v = g
+				}
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[b] = v
+			if v > best {
+				best = v
+			}
+			if b == band { // main diagonal: identity bookkeeping
+				length++
+				if sub == sc.Match {
+					matches++
+				}
+			}
+		}
+		cur, prev = prev, cur
+	}
+	ident := 0.0
+	if length > 0 {
+		ident = float64(matches) / float64(length)
+	}
+	return best, ident
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b, c int) int { return maxInt(maxInt(a, b), c) }

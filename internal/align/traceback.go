@@ -1,0 +1,221 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Alignment is a local alignment with its traceback: the aligned substrings
+// (gap characters inserted), a match line, and a CIGAR string.
+type Alignment struct {
+	Score        int
+	QStart, QEnd int // query range [QStart, QEnd)
+	SStart, SEnd int // subject range [SStart, SEnd)
+	QAligned     string
+	MatchLine    string // '|' match, '.' mismatch, ' ' gap
+	SAligned     string
+	CIGAR        string // M/I/D run-length ops (I: gap in subject, D: gap in query)
+	Identity     float64
+}
+
+// swState identifies the DP matrix a cell's best score came from.
+type swState uint8
+
+const (
+	stM swState = iota // match/mismatch
+	stX                // gap in subject (consume query)
+	stY                // gap in query (consume subject)
+)
+
+// LocalAlign computes the optimal local alignment between q and s under sc
+// with affine gaps, including full traceback. It uses O(len(q)·len(s))
+// memory; intended for the (short) sequences real hits align.
+func LocalAlign(q, s []byte, sc Scoring) Alignment {
+	n, m := len(q), len(s)
+	if n == 0 || m == 0 {
+		return Alignment{}
+	}
+	negInf := -1 << 30
+	idx := func(i, j int) int { return i*(m+1) + j }
+
+	M := make([]int, (n+1)*(m+1))
+	X := make([]int, (n+1)*(m+1))
+	Y := make([]int, (n+1)*(m+1))
+	fromM := make([]swState, (n+1)*(m+1)) // predecessor state of M cell
+	fromX := make([]swState, (n+1)*(m+1))
+	fromY := make([]swState, (n+1)*(m+1))
+	for j := 0; j <= m; j++ {
+		X[idx(0, j)], Y[idx(0, j)] = negInf, negInf
+	}
+	for i := 0; i <= n; i++ {
+		X[idx(i, 0)], Y[idx(i, 0)] = negInf, negInf
+	}
+
+	best, bi, bj, bstate := 0, 0, 0, stM
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if q[i-1] == s[j-1] {
+				sub = sc.Match
+			}
+			// M: diagonal from the best previous state (or a fresh start).
+			d := idx(i-1, j-1)
+			prev, prevState := M[d], stM
+			if X[d] > prev {
+				prev, prevState = X[d], stX
+			}
+			if Y[d] > prev {
+				prev, prevState = Y[d], stY
+			}
+			if prev < 0 {
+				prev, prevState = 0, stM // local restart
+			}
+			c := idx(i, j)
+			M[c] = prev + sub
+			fromM[c] = prevState
+			// X: gap in subject (move down the query).
+			u := idx(i-1, j)
+			if M[u]+sc.GapOpen >= X[u]+sc.GapExtend {
+				X[c], fromX[c] = M[u]+sc.GapOpen, stM
+			} else {
+				X[c], fromX[c] = X[u]+sc.GapExtend, stX
+			}
+			// Y: gap in query (move along the subject).
+			l := idx(i, j-1)
+			if M[l]+sc.GapOpen >= Y[l]+sc.GapExtend {
+				Y[c], fromY[c] = M[l]+sc.GapOpen, stM
+			} else {
+				Y[c], fromY[c] = Y[l]+sc.GapExtend, stY
+			}
+			if M[c] > best {
+				best, bi, bj, bstate = M[c], i, j, stM
+			}
+			if X[c] > best {
+				best, bi, bj, bstate = X[c], i, j, stX
+			}
+			if Y[c] > best {
+				best, bi, bj, bstate = Y[c], i, j, stY
+			}
+		}
+	}
+	if best <= 0 {
+		return Alignment{}
+	}
+
+	// Traceback from (bi, bj, bstate) until the local-alignment start.
+	var qa, ma, sa []byte
+	i, j, state := bi, bj, bstate
+	matches := 0
+	for i > 0 && j > 0 {
+		c := idx(i, j)
+		switch state {
+		case stM:
+			qa = append(qa, q[i-1])
+			sa = append(sa, s[j-1])
+			if q[i-1] == s[j-1] {
+				ma = append(ma, '|')
+				matches++
+			} else {
+				ma = append(ma, '.')
+			}
+			// A cell whose value equals its own substitution score started
+			// the local alignment fresh (the clamped predecessor was 0).
+			sub := sc.Mismatch
+			if q[i-1] == s[j-1] {
+				sub = sc.Match
+			}
+			if M[c]-sub == 0 {
+				i, j = i-1, j-1
+				goto done
+			}
+			i, j, state = i-1, j-1, fromM[c]
+		case stX:
+			qa = append(qa, q[i-1])
+			sa = append(sa, '-')
+			ma = append(ma, ' ')
+			state = fromX[c]
+			i--
+		case stY:
+			qa = append(qa, '-')
+			sa = append(sa, s[j-1])
+			ma = append(ma, ' ')
+			state = fromY[c]
+			j--
+		}
+	}
+done:
+	reverse(qa)
+	reverse(ma)
+	reverse(sa)
+
+	al := Alignment{
+		Score:     best,
+		QStart:    i,
+		QEnd:      bi,
+		SStart:    j,
+		SEnd:      bj,
+		QAligned:  string(qa),
+		MatchLine: string(ma),
+		SAligned:  string(sa),
+		CIGAR:     cigarOf(qa, sa),
+	}
+	if len(qa) > 0 {
+		al.Identity = float64(matches) / float64(len(qa))
+	}
+	return al
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// cigarOf derives a CIGAR string from the aligned (gapped) sequences:
+// M for aligned pairs, I for gaps in the subject, D for gaps in the query.
+func cigarOf(qa, sa []byte) string {
+	var b strings.Builder
+	runOp := byte(0)
+	runLen := 0
+	flush := func() {
+		if runLen > 0 {
+			fmt.Fprintf(&b, "%d%c", runLen, runOp)
+		}
+	}
+	for k := range qa {
+		var op byte
+		switch {
+		case qa[k] == '-':
+			op = 'D'
+		case sa[k] == '-':
+			op = 'I'
+		default:
+			op = 'M'
+		}
+		if op != runOp {
+			flush()
+			runOp, runLen = op, 0
+		}
+		runLen++
+	}
+	flush()
+	return b.String()
+}
+
+// Pretty renders the alignment as the familiar three-line block, wrapped at
+// width columns.
+func (a Alignment) Pretty(width int) string {
+	if width < 10 {
+		width = 60
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "score=%d identity=%.1f%% cigar=%s\n", a.Score, a.Identity*100, a.CIGAR)
+	for off := 0; off < len(a.QAligned); off += width {
+		end := off + width
+		if end > len(a.QAligned) {
+			end = len(a.QAligned)
+		}
+		fmt.Fprintf(&b, "Q %s\n  %s\nS %s\n", a.QAligned[off:end], a.MatchLine[off:end], a.SAligned[off:end])
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package align
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalAlignExactMatch(t *testing.T) {
+	a := LocalAlign([]byte("ACGTACGT"), []byte("TTACGTACGTTT"), DefaultDNA())
+	if a.Score != 16 {
+		t.Fatalf("score = %d, want 16", a.Score)
+	}
+	if a.Identity != 1.0 || a.QAligned != "ACGTACGT" || a.SAligned != "ACGTACGT" {
+		t.Fatalf("alignment = %+v", a)
+	}
+	if a.CIGAR != "8M" {
+		t.Fatalf("cigar = %q", a.CIGAR)
+	}
+	if a.MatchLine != strings.Repeat("|", 8) {
+		t.Fatalf("match line = %q", a.MatchLine)
+	}
+	if a.SStart != 2 || a.SEnd != 10 || a.QStart != 0 || a.QEnd != 8 {
+		t.Fatalf("coords = %+v", a)
+	}
+}
+
+func TestLocalAlignMismatchAndGap(t *testing.T) {
+	// Query has one extra base relative to the subject block.
+	q := []byte("AAAACGTTCCCCGGGG")
+	s := []byte("AAAACGTCCCCGGGG")
+	a := LocalAlign(q, s, DefaultDNA())
+	if a.Score <= 0 {
+		t.Fatal("no alignment found")
+	}
+	if !strings.Contains(a.CIGAR, "I") {
+		t.Fatalf("expected an insertion in CIGAR, got %q", a.CIGAR)
+	}
+	// Aligned strings must be equal length and reconstruct the substrings.
+	if len(a.QAligned) != len(a.SAligned) || len(a.QAligned) != len(a.MatchLine) {
+		t.Fatalf("ragged alignment: %+v", a)
+	}
+	if strings.ReplaceAll(a.QAligned, "-", "") != string(q[a.QStart:a.QEnd]) {
+		t.Fatalf("query reconstruction failed: %+v", a)
+	}
+	if strings.ReplaceAll(a.SAligned, "-", "") != string(s[a.SStart:a.SEnd]) {
+		t.Fatalf("subject reconstruction failed: %+v", a)
+	}
+}
+
+func TestLocalAlignEmpty(t *testing.T) {
+	if a := LocalAlign(nil, []byte("ACGT"), DefaultDNA()); a.Score != 0 {
+		t.Fatalf("empty query scored %d", a.Score)
+	}
+	if a := LocalAlign([]byte("AAAA"), []byte("CCCC"), DefaultDNA()); a.Score != 0 {
+		t.Fatalf("disjoint alphabets scored %d", a.Score)
+	}
+}
+
+// Property: the traceback's score always equals the score-only
+// Smith-Waterman, and the gapped strings are consistent.
+func TestPropertyTracebackMatchesScorer(t *testing.T) {
+	f := func(qRaw, sRaw []byte) bool {
+		q := dnaify(qRaw, 30)
+		s := dnaify(sRaw, 30)
+		sc := DefaultDNA()
+		want := SmithWaterman(q, s, sc)
+		a := LocalAlign(q, s, sc)
+		if a.Score != want {
+			return false
+		}
+		if want == 0 {
+			return true
+		}
+		// Re-score the traceback to confirm internal consistency.
+		score := 0
+		inGap := false
+		for k := range a.QAligned {
+			qc, sc2 := a.QAligned[k], a.SAligned[k]
+			switch {
+			case qc == '-' || sc2 == '-':
+				if inGap {
+					score += sc.GapExtend
+				} else {
+					score += sc.GapOpen
+					inGap = true
+				}
+			case qc == sc2:
+				score += sc.Match
+				inGap = false
+			default:
+				score += sc.Mismatch
+				inGap = false
+			}
+		}
+		return score == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCigarConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		q := dnaify(randomBytes(rng, 40), 40)
+		s := dnaify(randomBytes(rng, 40), 40)
+		a := LocalAlign(q, s, DefaultDNA())
+		if a.Score == 0 {
+			continue
+		}
+		// CIGAR M+I ops consume query; M+D consume subject.
+		var qLen, sLen int
+		num := 0
+		for i := 0; i < len(a.CIGAR); i++ {
+			c := a.CIGAR[i]
+			if c >= '0' && c <= '9' {
+				num = num*10 + int(c-'0')
+				continue
+			}
+			switch c {
+			case 'M':
+				qLen += num
+				sLen += num
+			case 'I':
+				qLen += num
+			case 'D':
+				sLen += num
+			default:
+				t.Fatalf("bad op %c in %q", c, a.CIGAR)
+			}
+			num = 0
+		}
+		if qLen != a.QEnd-a.QStart || sLen != a.SEnd-a.SStart {
+			t.Fatalf("CIGAR %q consumes (%d,%d), coords say (%d,%d)",
+				a.CIGAR, qLen, sLen, a.QEnd-a.QStart, a.SEnd-a.SStart)
+		}
+	}
+}
+
+func TestPrettyRendering(t *testing.T) {
+	a := LocalAlign([]byte("ACGTACGTACGT"), []byte("ACGTACCTACGT"), DefaultDNA())
+	out := a.Pretty(8)
+	if !strings.Contains(out, "score=") || !strings.Contains(out, "cigar=") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Q ACGTACGT") { // wrapped at 8
+		t.Fatalf("wrapping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatalf("mismatch marker missing:\n%s", out)
+	}
+}
+
+func randomBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

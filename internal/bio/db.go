@@ -1,0 +1,127 @@
+package bio
+
+import (
+	"fmt"
+
+	"s3asim/internal/stats"
+)
+
+// Alphabets for synthetic sequence generation.
+const (
+	DNAAlphabet     = "ACGT"
+	ProteinAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+)
+
+// Database is an ordered collection of sequences plus cached totals.
+type Database struct {
+	Seqs       []Sequence
+	TotalBytes int64
+}
+
+// NewDatabase wraps sequences in a Database.
+func NewDatabase(seqs []Sequence) *Database {
+	db := &Database{Seqs: seqs}
+	for i := range seqs {
+		db.TotalBytes += int64(seqs[i].Len())
+	}
+	return db
+}
+
+// GenSpec describes a synthetic database: sequence count, a size histogram
+// (for example stats.NTLike), an alphabet, and a seed. Everything is
+// deterministic in the spec.
+type GenSpec struct {
+	NumSeqs  int
+	SizeHist *stats.BoxHistogram
+	Alphabet string
+	Prefix   string // sequence ID prefix, default "SYN"
+	Seed     int64
+}
+
+// Generate synthesizes a database. Each sequence's length and content are
+// drawn from an independent substream of the seed, so the database is
+// stable under any partitioning.
+func Generate(spec GenSpec) *Database {
+	if spec.NumSeqs < 1 {
+		panic("bio: NumSeqs must be >= 1")
+	}
+	if spec.Alphabet == "" {
+		spec.Alphabet = DNAAlphabet
+	}
+	if spec.Prefix == "" {
+		spec.Prefix = "SYN"
+	}
+	seqs := make([]Sequence, spec.NumSeqs)
+	for i := range seqs {
+		rng := stats.SubRand(spec.Seed, int64(i))
+		n := spec.SizeHist.Sample(rng)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = spec.Alphabet[rng.Intn(len(spec.Alphabet))]
+		}
+		seqs[i] = Sequence{
+			ID:          fmt.Sprintf("%s%07d", spec.Prefix, i),
+			Description: fmt.Sprintf("synthetic length=%d", n),
+			Data:        data,
+		}
+	}
+	return NewDatabase(seqs)
+}
+
+// Fragment is one database segment: a contiguous run of sequences.
+type Fragment struct {
+	Index      int
+	Start, End int // sequence index range [Start, End)
+	Bytes      int64
+}
+
+// Partition segments the database into k fragments of contiguous sequences
+// with approximately equal total bytes — database segmentation as in
+// mpiBLAST (paper Fig. 1). Fragments may be empty when k exceeds the
+// sequence count.
+func (db *Database) Partition(k int) []Fragment {
+	if k < 1 {
+		panic("bio: need at least one fragment")
+	}
+	frags := make([]Fragment, k)
+	seq := 0
+	remaining := db.TotalBytes
+	for i := 0; i < k; i++ {
+		frags[i].Index = i
+		frags[i].Start = seq
+		target := remaining / int64(k-i)
+		var got int64
+		for seq < len(db.Seqs) && (i == k-1 || got < target) {
+			got += int64(db.Seqs[seq].Len())
+			seq++
+		}
+		frags[i].End = seq
+		frags[i].Bytes = got
+		remaining -= got
+	}
+	return frags
+}
+
+// FragmentSeqs returns the sequences of fragment f.
+func (db *Database) FragmentSeqs(f Fragment) []Sequence {
+	return db.Seqs[f.Start:f.End]
+}
+
+// Stats computes min/mean/max sequence lengths.
+func (db *Database) Stats() (min, max int64, mean float64) {
+	if len(db.Seqs) == 0 {
+		return 0, 0, 0
+	}
+	min = int64(db.Seqs[0].Len())
+	for i := range db.Seqs {
+		n := int64(db.Seqs[i].Len())
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	mean = float64(db.TotalBytes) / float64(len(db.Seqs))
+	return
+}

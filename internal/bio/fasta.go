@@ -1,0 +1,114 @@
+// Package bio provides the sequence substrate that real database-segmented
+// search tools (mpiBLAST, pioBLAST) operate on: FASTA reading and writing,
+// synthetic database generation driven by size histograms (the paper uses
+// the NCBI NT database's size histogram rather than its contents), and
+// database segmentation into fragments.
+package bio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sequence is one FASTA record.
+type Sequence struct {
+	ID          string // text up to the first whitespace after '>'
+	Description string // remainder of the header line
+	Data        []byte // residues, newlines stripped
+}
+
+// Len returns the number of residues.
+func (s *Sequence) Len() int { return len(s.Data) }
+
+// ReadFASTA parses FASTA records from r. Lines before the first '>' header
+// are an error; empty sequences are allowed (some tools emit them).
+func ReadFASTA(r io.Reader) ([]Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var out []Sequence
+	var cur *Sequence
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if len(text) == 0 {
+			continue
+		}
+		if text[0] == '>' {
+			out = append(out, Sequence{})
+			cur = &out[len(out)-1]
+			header := strings.TrimSpace(text[1:])
+			if sp := strings.IndexAny(header, " \t"); sp >= 0 {
+				cur.ID = header[:sp]
+				cur.Description = strings.TrimSpace(header[sp+1:])
+			} else {
+				cur.ID = header
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("bio: line %d: sequence data before first FASTA header", line)
+		}
+		if strings.Contains(text, ">") {
+			return nil, fmt.Errorf("bio: line %d: '>' within sequence data", line)
+		}
+		// Residue lines may contain stray whitespace (some emitters align
+		// columns); drop all of it so sequence data is whitespace-free.
+		cur.Data = append(cur.Data, dropSpace(text)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("bio: no FASTA records found")
+	}
+	return out, nil
+}
+
+// WriteFASTA writes records to w, wrapping sequence lines at width
+// characters (≤0 selects the conventional 70).
+func WriteFASTA(w io.Writer, seqs []Sequence, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for i := range seqs {
+		s := &seqs[i]
+		if s.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		for off := 0; off < len(s.Data); off += width {
+			end := off + width
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			bw.Write(s.Data[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// dropSpace removes every ASCII whitespace byte from a residue line.
+func dropSpace(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n', '\v', '\f':
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+// ParseFASTAString is a convenience wrapper for tests and examples.
+func ParseFASTAString(s string) ([]Sequence, error) {
+	return ReadFASTA(bytes.NewReader([]byte(s)))
+}

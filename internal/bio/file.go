@@ -1,0 +1,54 @@
+package bio
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTAFile reads FASTA records from a file, decompressing
+// transparently when the name ends in ".gz" — the paper's database is
+// distributed exactly that way (nt.gz).
+func ReadFASTAFile(path string) ([]Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return ReadFASTA(r)
+}
+
+// WriteFASTAFile writes records to a file, compressing when the name ends
+// in ".gz".
+func WriteFASTAFile(path string, seqs []Sequence, width int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := WriteFASTA(zw, seqs, width); err != nil {
+			zw.Close()
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := WriteFASTA(f, seqs, width); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,53 @@
+package bio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s3asim/internal/stats"
+)
+
+func TestFASTAFileRoundTrip(t *testing.T) {
+	db := Generate(GenSpec{NumSeqs: 20, SizeHist: stats.Uniform(50, 300), Seed: 3})
+	for _, name := range []string{"db.fasta", "db.fasta.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := WriteFASTAFile(path, db.Seqs, 70); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadFASTAFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(back) != len(db.Seqs) {
+			t.Fatalf("%s: %d records, want %d", name, len(back), len(db.Seqs))
+		}
+		for i := range back {
+			if back[i].ID != db.Seqs[i].ID || !bytes.Equal(back[i].Data, db.Seqs[i].Data) {
+				t.Fatalf("%s: record %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestReadFASTAFileErrors(t *testing.T) {
+	if _, err := ReadFASTAFile(filepath.Join(t.TempDir(), "missing.fasta")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A .gz name with non-gzip content must fail cleanly.
+	path := filepath.Join(t.TempDir(), "bad.fasta.gz")
+	if err := WriteFASTAFile(filepath.Join(t.TempDir(), "tmp.fasta"), []Sequence{{ID: "a", Data: []byte("ACGT")}}, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRaw(path, ">a\nACGT\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFASTAFile(path); err == nil {
+		t.Fatal("non-gzip .gz accepted")
+	}
+}
+
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

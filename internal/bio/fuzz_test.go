@@ -1,0 +1,38 @@
+package bio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFASTA asserts the parser never panics and that successful parses
+// survive a write/read round trip.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add([]byte(">a desc\nACGT\nTTTT\n>b\nGGGG\n"))
+	f.Add([]byte(">x\n"))
+	f.Add([]byte("garbage before header\n>a\nAC"))
+	f.Add([]byte(">"))
+	f.Add([]byte(">a\r\nAC GT\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, err := ReadFASTA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, seqs, 60); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		back, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(back) != len(seqs) {
+			t.Fatalf("round trip lost records: %d vs %d", len(back), len(seqs))
+		}
+		for i := range seqs {
+			if !bytes.Equal(back[i].Data, seqs[i].Data) {
+				t.Fatalf("record %d data changed", i)
+			}
+		}
+	})
+}

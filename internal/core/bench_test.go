@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// BenchmarkEngineSmallRun measures one complete small simulation per
+// strategy — the end-to-end cost of the engine itself (scheduling,
+// messaging, storage, reporting) rather than the simulated time.
+func BenchmarkEngineSmallRun(b *testing.B) {
+	for _, s := range Strategies {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := tinyConfig()
+			cfg.CaptureData = false
+			cfg.Strategy = s
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineEventsPerSecond reports simulator throughput on the paper
+// workload at 32 processes.
+func BenchmarkEngineEventsPerSecond(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Procs = 32
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = rep.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+	"s3asim/internal/romio"
+	"s3asim/internal/search"
+	"s3asim/internal/trace"
+)
+
+// Segmentation selects the parallelization scheme (paper §1).
+type Segmentation int
+
+const (
+	// DatabaseSeg is the paper's subject: the database is partitioned into
+	// fragments, every worker searches whole queries against fragments.
+	DatabaseSeg Segmentation = iota
+	// QuerySeg is the §1 baseline: the database is replicated to every
+	// worker and the query set is partitioned. Each worker searches whole
+	// queries against the whole database; when the database exceeds worker
+	// memory, the overflow is re-read from the file system for every query
+	// — the "repeated I/O" §1 identifies.
+	QuerySeg
+)
+
+// String names the segmentation scheme.
+func (s Segmentation) String() string {
+	if s == QuerySeg {
+		return "query-seg"
+	}
+	return "database-seg"
+}
+
+// Config is a complete S3aSim run description: the workload, the machine
+// models, the I/O strategy, and the paper's run options.
+type Config struct {
+	// Procs is the total MPI process count (1 master + Procs-1 workers).
+	Procs int
+	// Strategy selects the result I/O algorithm.
+	Strategy Strategy
+	// QuerySync forces all workers to synchronize after each batch's I/O
+	// (the paper's "query sync" option used to expose collective I/O's
+	// inherent synchronization).
+	QuerySync bool
+	// ComputeSpeed scales the linear part of the search-time model;
+	// 1 is the base speed, larger is faster hardware/algorithms (§4).
+	ComputeSpeed float64
+	// QueryGroups enables the paper's §5 "hybrid query segmentation /
+	// database segmentation" extension: the process set is split into this
+	// many master/worker groups, each handling a contiguous share of the
+	// query set with database segmentation, all sharing the file system and
+	// the output file. 0 or 1 is the paper's pure database segmentation.
+	QueryGroups int
+	// QueriesPerWrite flushes results after every n completed queries
+	// (paper §2: "after every n queries"); 1 writes per query (the paper's
+	// test setup), NumQueries writes everything at the end (mpiBLAST 1.2 /
+	// pioBLAST behaviour).
+	QueriesPerWrite int
+	// SyncEveryWrite issues MPI_File_sync after every write, as the paper's
+	// tests always did.
+	SyncEveryWrite bool
+	// ResumeFromQuery restarts a failed run at the given input query — the
+	// recovery mechanism frequent writes buy ("more frequently writing out
+	// the results also allows users to resume a failed application run at
+	// the appropriate input query", §2). Queries before it are assumed
+	// already durable in the output file from the failed run.
+	ResumeFromQuery int
+
+	// Workload and Compute define the simulated search.
+	Workload search.Spec
+	Compute  search.ComputeModel
+
+	// Segmentation selects database segmentation (the paper's subject,
+	// default) or the query-segmentation baseline of §1. Under QuerySeg
+	// the fragment count is forced to 1 (a task is a whole query).
+	Segmentation Segmentation
+	// DatabaseBytes, when positive, models input I/O: the sequence
+	// database lives on the parallel file system and must be loaded before
+	// searching. Under DatabaseSeg each worker loads its share once; under
+	// QuerySeg each worker loads the full database and re-reads the part
+	// exceeding WorkerMemoryBytes for every query (§1's repeated I/O).
+	DatabaseBytes int64
+	// WorkerMemoryBytes caps how much database a worker can cache
+	// (default 512 MB — half of a Feynman node's 1 GB shared by 2 procs).
+	WorkerMemoryBytes int64
+
+	// Net and FS are the interconnect and file-system models.
+	Net mpi.NetConfig
+	FS  pvfs.Config
+
+	// MergeBandwidth models merge throughput (bytes/second): the master
+	// merging arriving result lists into its sorted list (full result bytes
+	// under MW, score entries otherwise), and workers merging their local
+	// per-query results when they write themselves.
+	MergeBandwidth float64
+	// FormatBandwidth models result serialization before writing (BLAST
+	// output formatting — the documented master-side bottleneck in
+	// mpiBLAST/pioBLAST). The writing process pays bytes/FormatBandwidth
+	// before each write: the master under MW, each worker under WW.
+	FormatBandwidth float64
+	// ScoreEntryBytes is the wire/merge size of one score entry.
+	ScoreEntryBytes int64
+
+	// OverrideIndMethod forces the individual-write ADIO method instead of
+	// the strategy default (WW-POSIX→posix, WW-List→list); used by the
+	// data-sieving ablation.
+	OverrideIndMethod bool
+	IndMethod         romio.Method
+	// CBNodes caps two-phase aggregators (0 = all workers).
+	CBNodes int
+	// CollMethod selects the collective-write implementation for WW-Coll:
+	// romio.TwoPhase (ROMIO default, as in the paper's experiments) or
+	// romio.ListSync (the improved collective the paper's conclusion
+	// proposes).
+	CollMethod romio.CollMethod
+
+	// CaptureData stores real bytes in the simulated file system so the
+	// output image can be verified; use only with small workloads.
+	CaptureData bool
+
+	// DisableMasterNICSerialization gives the master's node infinitely
+	// parallel NICs — an ablation isolating how much of MW's cost is
+	// receive-side serialization at the master.
+	DisableMasterNICSerialization bool
+
+	// Tracer, if non-nil, records every process's phase timeline (the
+	// MPE/Jumpshot-style instrumentation of paper §3); render it with
+	// trace.Gantt or cmd/s3atrace.
+	Tracer *trace.Tracer
+	// TraceIO records every file-system server request; the trace appears
+	// in Report.IOTrace for analysis (cmd/s3aiostat, pvfs.AnalyzeTrace).
+	TraceIO bool
+}
+
+// DefaultConfig reproduces the paper's §3.3 test setup at 64 processes with
+// the WW-List strategy.
+func DefaultConfig() Config {
+	return Config{
+		Procs:           64,
+		Strategy:        WWList,
+		ComputeSpeed:    1,
+		QueriesPerWrite: 1,
+		SyncEveryWrite:  true,
+		Workload:        search.DefaultSpec(),
+		Compute:         search.DefaultComputeModel(),
+		Net:             mpi.Myrinet2000(),
+		FS:              pvfs.FeynmanLike(),
+		MergeBandwidth:  150e6,
+		FormatBandwidth: 3e6,
+		ScoreEntryBytes: 16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Procs < 2 {
+		return errors.New("core: need at least 2 processes (1 master + 1 worker)")
+	}
+	if c.Workload.NumQueries < 1 || c.Workload.NumFragments < 1 {
+		return errors.New("core: workload needs queries and fragments")
+	}
+	if c.QueriesPerWrite < 1 {
+		return errors.New("core: QueriesPerWrite must be >= 1")
+	}
+	if c.ResumeFromQuery < 0 || c.ResumeFromQuery >= c.Workload.NumQueries {
+		return errors.New("core: ResumeFromQuery out of range")
+	}
+	if g := c.QueryGroups; g > 1 {
+		if c.Procs < 2*g {
+			return errors.New("core: each query group needs a master and at least one worker")
+		}
+		if c.Workload.NumQueries-c.ResumeFromQuery < g {
+			return errors.New("core: fewer remaining queries than query groups")
+		}
+	}
+	if c.MergeBandwidth <= 0 {
+		return errors.New("core: MergeBandwidth must be positive")
+	}
+	if c.FormatBandwidth <= 0 {
+		return errors.New("core: FormatBandwidth must be positive")
+	}
+	if c.ScoreEntryBytes < 1 {
+		return errors.New("core: ScoreEntryBytes must be >= 1")
+	}
+	return nil
+}
+
+// indMethod resolves the ADIO method for individual worker writes.
+func (c *Config) indMethod() romio.Method {
+	if c.OverrideIndMethod {
+		return c.IndMethod
+	}
+	if c.Strategy == WWPosix {
+		return romio.Posix
+	}
+	return romio.ListIO
+}
+
+// mergeTime returns the modeled cost of merging newBytes into an
+// accumulated sorted list of accBytes.
+func (c *Config) mergeTime(accBytes, newBytes int64) des.Time {
+	return des.BytesOver(accBytes+newBytes, c.MergeBandwidth)
+}

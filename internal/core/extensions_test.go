@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/romio"
+)
+
+func TestHybridGroupsVerifyImage(t *testing.T) {
+	for _, s := range Strategies {
+		for _, groups := range []int{1, 2, 3} {
+			cfg := tinyConfig()
+			cfg.Procs = 9 // room for 3 groups of (1 master + 2 workers)
+			cfg.Strategy = s
+			cfg.QueryGroups = groups
+			rep := mustRun(t, cfg)
+			if !rep.Verified {
+				t.Fatalf("%v groups=%d: unverified", s, groups)
+			}
+			if rep.QueryGroups != groups || len(rep.Masters) != groups {
+				t.Fatalf("%v groups=%d: masters=%d", s, groups, len(rep.Masters))
+			}
+			if len(rep.Workers) != cfg.Procs-groups {
+				t.Fatalf("%v groups=%d: workers=%d", s, groups, len(rep.Workers))
+			}
+		}
+	}
+}
+
+func TestHybridGroupsWithQuerySync(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Procs = 8
+	cfg.Strategy = WWList
+	cfg.QueryGroups = 2
+	cfg.QuerySync = true
+	rep := mustRun(t, cfg)
+	if !rep.Verified {
+		t.Fatal("hybrid + query sync: unverified")
+	}
+}
+
+func TestHybridReducesMWMasterBottleneck(t *testing.T) {
+	// With MW, splitting the query set across two masters should cut the
+	// per-master merge/format pipeline roughly in half.
+	cfg := tinyConfig()
+	cfg.Procs = 10
+	cfg.Strategy = MW
+	cfg.Workload.NumQueries = 6
+	cfg.Workload.MinResults = 200
+	cfg.Workload.MaxResults = 300
+	one := mustRun(t, cfg)
+	cfg.QueryGroups = 2
+	two := mustRun(t, cfg)
+	if two.Overall >= one.Overall {
+		t.Fatalf("hybrid MW (%v) not faster than single-master MW (%v)",
+			two.Overall, one.Overall)
+	}
+}
+
+func TestListSyncCollectiveVerifies(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Strategy = WWColl
+	cfg.Workload.MinResults = 60
+	cfg.Workload.MaxResults = 80
+	for _, m := range []romio.CollMethod{romio.TwoPhase, romio.ListSync} {
+		cfg.CollMethod = m
+		rep := mustRun(t, cfg)
+		if !rep.Verified {
+			t.Fatalf("%v collective: unverified", m)
+		}
+	}
+}
+
+func TestListSyncCollectiveCompetitiveAtScale(t *testing.T) {
+	// The paper's conclusion proposes a collective built from list I/O plus
+	// a forced synchronization at the end as potentially more efficient
+	// than ROMIO's default two-phase. Under our calibrated cost model the
+	// two come out within a few percent (aggregation savings offset the
+	// pattern-processing cost two-phase pays) — see EXPERIMENTS.md for the
+	// discussion. This test pins the competitive relationship.
+	if testing.Short() {
+		t.Skip("full-scale comparison")
+	}
+	cfg := DefaultConfig()
+	cfg.Procs = 48
+	cfg.Strategy = WWColl
+	cfg.CollMethod = romio.TwoPhase
+	twoPhase := mustRun(t, cfg)
+	cfg.CollMethod = romio.ListSync
+	listSync := mustRun(t, cfg)
+	if float64(listSync.Overall) > 1.05*float64(twoPhase.Overall) {
+		t.Fatalf("list-sync collective (%v) more than 5%% slower than two-phase (%v)",
+			listSync.Overall, twoPhase.Overall)
+	}
+	// The strategy-level version of the paper's evidence must hold
+	// strictly: WW-List with query sync beats WW-Coll.
+	cfg.Strategy = WWList
+	cfg.CollMethod = romio.TwoPhase
+	cfg.QuerySync = true
+	listQS := mustRun(t, cfg)
+	if listQS.Overall >= twoPhase.Overall {
+		t.Fatalf("WW-List+sync (%v) not faster than WW-Coll (%v)",
+			listQS.Overall, twoPhase.Overall)
+	}
+}
+
+func TestResumeFromQuery(t *testing.T) {
+	for _, s := range Strategies {
+		cfg := tinyConfig()
+		cfg.Strategy = s
+		cfg.ResumeFromQuery = 1 // skip the first of 3 queries
+		rep := mustRun(t, cfg)
+		if !rep.Verified {
+			t.Fatalf("%v: resumed run unverified", s)
+		}
+		full := mustRun(t, func() Config { c := tinyConfig(); c.Strategy = s; return c }())
+		if rep.Overall >= full.Overall {
+			t.Fatalf("%v: resumed run (%v) not faster than full run (%v)",
+				s, rep.Overall, full.Overall)
+		}
+		if rep.FileCoverage >= full.FileCoverage {
+			t.Fatalf("%v: resumed run wrote %d bytes, full run %d",
+				s, rep.FileCoverage, full.FileCoverage)
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ResumeFromQuery = cfg.Workload.NumQueries // out of range
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range resume accepted")
+	}
+	cfg.ResumeFromQuery = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative resume accepted")
+	}
+}
+
+func TestBatchFlushTimesMonotonePerGroup(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Strategy = MW
+	rep := mustRun(t, cfg)
+	if len(rep.BatchFlushTimes) != cfg.Workload.NumQueries {
+		t.Fatalf("flush times = %d, want one per query", len(rep.BatchFlushTimes))
+	}
+	var prev des.Time
+	for i, ft := range rep.BatchFlushTimes {
+		if ft <= 0 {
+			t.Fatalf("batch %d never flushed", i)
+		}
+		if ft < prev {
+			t.Fatalf("flush times not monotone: %v", rep.BatchFlushTimes)
+		}
+		prev = ft
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.QueryGroups = 3
+	cfg.Procs = 4 // needs ≥ 6
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("too few procs per group accepted")
+	}
+	cfg = tinyConfig()
+	cfg.QueryGroups = 5 // only 3 queries
+	cfg.Procs = 12
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("more groups than queries accepted")
+	}
+}
+
+func TestLockingFileSystemSlowsWorkerWriting(t *testing.T) {
+	// §3.1: lock-based file systems serialize S3aSim's interleaved,
+	// non-overlapping worker writes via false sharing.
+	cfg := tinyConfig()
+	cfg.Strategy = WWList
+	cfg.Workload.MinResults = 60
+	cfg.Workload.MaxResults = 80
+	free := mustRun(t, cfg)
+	// Coarse (1 MB) lock units put every writer's extents in the same few
+	// units — the worst-case false sharing for this pattern.
+	cfg.FS.LockGranularity = 1 << 20
+	cfg.FS.LockAcquireCost = 2 * des.Millisecond
+	locked := mustRun(t, cfg)
+	if !locked.Verified {
+		t.Fatal("locked run unverified")
+	}
+	if locked.Overall <= free.Overall {
+		t.Fatalf("lock-based FS (%v) not slower than PVFS2 (%v)",
+			locked.Overall, free.Overall)
+	}
+}

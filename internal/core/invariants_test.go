@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/search"
+)
+
+// expectedMessages computes the exact protocol message count for a
+// single-group run with no query sync:
+//
+//	setup broadcast     : binomial tree over procs-1 edges... plus
+//	work requests/replies, score sends, offset lists, final barrier
+//
+// Barriers and collectives exchange no point-to-point messages in this
+// engine (they are modeled synchronization objects), so the count is
+// exact and strategy-dependent only through offset lists.
+func expectedMessages(cfg Config, tasksAssigned int) uint64 {
+	workers := uint64(cfg.Procs - 1)
+	bcast := uint64(cfg.Procs - 1) // tree edges = n-1
+	// Every worker requests until told "no more": one request per task
+	// plus one final request per worker; each request gets a reply.
+	requests := uint64(tasksAssigned) + workers
+	replies := requests
+	scores := uint64(tasksAssigned)
+	batches := uint64((cfg.Workload.NumQueries + cfg.QueriesPerWrite - 1) / cfg.QueriesPerWrite)
+	var notifications uint64
+	if cfg.Strategy.WorkerWriting() {
+		notifications = batches * workers // offset lists to every worker
+	} else if cfg.QuerySync {
+		notifications = batches * workers // sync tokens
+	}
+	return bcast + requests + replies + scores + notifications
+}
+
+func TestMessageConservation(t *testing.T) {
+	for _, s := range []Strategy{MW, WWPosix, WWList} {
+		cfg := tinyConfig()
+		cfg.Strategy = s
+		rep := mustRun(t, cfg)
+		tasks := cfg.Workload.NumQueries * cfg.Workload.NumFragments
+		want := expectedMessages(cfg, tasks)
+		if rep.Messages != want {
+			t.Fatalf("%v: %d messages, want exactly %d", s, rep.Messages, want)
+		}
+	}
+}
+
+func TestMessageConservationWithSyncTokens(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Strategy = MW
+	cfg.QuerySync = true
+	rep := mustRun(t, cfg)
+	tasks := cfg.Workload.NumQueries * cfg.Workload.NumFragments
+	if want := expectedMessages(cfg, tasks); rep.Messages != want {
+		t.Fatalf("MW+sync: %d messages, want exactly %d", rep.Messages, want)
+	}
+}
+
+func TestNetworkBytesScaleWithStrategy(t *testing.T) {
+	// MW ships full result payloads to the master; worker-writing ships
+	// scores only, so MW must move far more data.
+	mwCfg := tinyConfig()
+	mwCfg.Strategy = MW
+	mw := mustRun(t, mwCfg)
+	listCfg := tinyConfig()
+	listCfg.Strategy = WWList
+	list := mustRun(t, listCfg)
+	if mw.NetBytes < 2*list.NetBytes {
+		t.Fatalf("MW moved %d net bytes, WW-List %d; expected MW >> WW",
+			mw.NetBytes, list.NetBytes)
+	}
+	if mw.NetBytes < uint64(mw.OutputBytes) {
+		t.Fatalf("MW network bytes %d below result volume %d", mw.NetBytes, mw.OutputBytes)
+	}
+}
+
+func TestWorkerTotalsEqualOverall(t *testing.T) {
+	// Every process's phase-sum equals the overall wall clock: nobody
+	// starts late or exits early (final barrier).
+	for _, s := range Strategies {
+		cfg := tinyConfig()
+		cfg.Strategy = s
+		rep := mustRun(t, cfg)
+		check := func(pb ProcBreakdown) {
+			if pb.Total != rep.Overall {
+				t.Fatalf("%v rank %d: total %v != overall %v",
+					s, pb.Rank, pb.Total, rep.Overall)
+			}
+		}
+		check(rep.Master)
+		for _, w := range rep.Workers {
+			check(w)
+		}
+	}
+}
+
+func TestComputePhaseMatchesModelExactly(t *testing.T) {
+	// The summed worker compute phase must equal the analytic model total:
+	// compute is never overlapped or double-billed.
+	cfg := tinyConfig()
+	cfg.Strategy = WWList
+	cfg.ComputeSpeed = 2
+	rep := mustRun(t, cfg)
+
+	wl := cfg.Workload
+	var want des.Time
+	for q := 0; q < wl.NumQueries; q++ {
+		for f := 0; f < wl.NumFragments; f++ {
+			want += cfg.Compute.TaskTime(workloadTaskBytes(t, cfg, q, f), cfg.ComputeSpeed)
+		}
+	}
+	var got des.Time
+	for _, w := range rep.Workers {
+		got += w.Phases[PhaseCompute]
+	}
+	if got != want {
+		t.Fatalf("summed compute %v != model total %v", got, want)
+	}
+}
+
+// workloadTaskBytes regenerates the workload to read task sizes (the test
+// side of the determinism contract).
+func workloadTaskBytes(t *testing.T, cfg Config, q, f int) int64 {
+	t.Helper()
+	return search.Generate(cfg.Workload).TaskBytes(q, f)
+}

@@ -1,0 +1,43 @@
+package core
+
+import "s3asim/internal/search"
+
+// MPI tags of the S3aSim protocol. The collective-I/O layer uses tags above
+// 1<<20; these stay well below.
+const (
+	tagWorkRequest = 2 // worker -> master: request for work
+	tagWorkReply   = 3 // master -> worker: (query, fragment) or no-more-work
+	tagScores      = 4 // worker -> master: scores (and results under MW)
+	tagOffsets     = 5 // master -> worker: offset list for a completed batch
+	tagSyncToken   = 6 // master -> worker: batch written (MW + query sync)
+)
+
+// Small-message wire sizes (bytes).
+const (
+	configMsgBytes  = 64
+	requestMsgBytes = 16
+	replyMsgBytes   = 16
+	offsetHdrBytes  = 16
+	tokenMsgBytes   = 8
+	offsetPerResult = 8 // one 64-bit offset per result (paper §2.2)
+)
+
+// task identifies a (query, fragment) search unit.
+type task struct {
+	Q, F int
+}
+
+// scoreMsg is a worker's report for one completed task.
+type scoreMsg struct {
+	Task        task
+	Count       int   // results produced
+	ResultBytes int64 // total result payload bytes
+}
+
+// offsetMsg carries a worker's write placements for one flushed batch.
+// Empty placements still require an (empty) message so every worker can
+// track batch progress — and, under WW-Coll, join the collective round.
+type offsetMsg struct {
+	Batch      int
+	Placements []search.Result
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+	"s3asim/internal/romio"
+	"s3asim/internal/search"
+	"s3asim/internal/stats"
+)
+
+// outputFile is the simulated results file name.
+const outputFile = "s3asim.results"
+
+// batch is a flush unit: QueriesPerWrite consecutive queries of one group.
+type batch struct {
+	LoQ, HiQ int // query index range [LoQ, HiQ)
+	Region   int64
+	Bytes    int64
+}
+
+// group is one master/worker tree. With QueryGroups == 1 (the paper's
+// configuration) there is a single group holding every process and every
+// query; with more groups the engine runs the paper's §5 "hybrid query
+// segmentation/database segmentation" extension: the query set is split
+// across groups, each group database-segments its share, and all groups
+// share the file system and the output file.
+type group struct {
+	index      int
+	masterRank int
+	workers    []int // worker ranks, ascending
+	loQ, hiQ   int   // query range [loQ, hiQ)
+	batches    []batch
+
+	batchBase int // global index of this group's first batch
+
+	team      *mpi.Team    // master + workers: setup broadcast
+	querySyn  *mpi.Barrier // this group's workers, per flushed batch
+	collEntry *mpi.Barrier // gathering before each collective round
+	collGroup *romio.Group // WW-Coll collective over this group's workers
+}
+
+// runtime carries everything the masters and workers share.
+type runtime struct {
+	cfg    *Config
+	wl     *search.Workload
+	sim    *des.Simulation
+	world  *mpi.World
+	fs     *pvfs.FileSystem
+	file   *romio.File
+	dbFile *romio.File  // input database (when DatabaseBytes > 0)
+	fileUp *des.Signal  // broadcast once rt.file is open
+	final  *mpi.Barrier // all processes, end of run
+	groups []*group
+	timers []*PhaseTimer
+
+	flushTimes []des.Time // per global batch: when its flush completed
+}
+
+// ProcBreakdown is one process's per-phase time decomposition.
+type ProcBreakdown struct {
+	Rank   int
+	Phases [NumPhases]des.Time
+	Total  des.Time
+}
+
+// Report is the outcome of one simulated S3aSim run.
+type Report struct {
+	Strategy     Strategy
+	QuerySync    bool
+	Procs        int
+	ComputeSpeed float64
+	QueryGroups  int
+
+	Overall   des.Time // wall-clock of the whole application
+	Master    ProcBreakdown
+	Masters   []ProcBreakdown // all group masters (len == QueryGroups)
+	Workers   []ProcBreakdown
+	WorkerAvg ProcBreakdown // phase-wise mean over workers
+
+	OutputBytes     int64 // workload result bytes
+	FileCoverage    int64 // distinct bytes written
+	OverlappedBytes int64
+	Verified        bool // content verified (capture runs only)
+
+	// BatchFlushTimes records, per flush batch (in global query order),
+	// the virtual time its results were durably written — the resume
+	// points the paper's frequent-write design buys.
+	BatchFlushTimes []des.Time
+
+	FS       pvfs.Stats
+	Messages uint64
+	NetBytes uint64
+	Events   uint64
+
+	// IOTrace holds per-request file-system records when Config.TraceIO
+	// was set (see pvfs.AnalyzeTrace).
+	IOTrace []pvfs.RequestRecord
+}
+
+// Run executes one S3aSim simulation and returns its report.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CaptureData {
+		cfg.FS.CaptureData = true
+	}
+	if cfg.QueryGroups < 1 {
+		cfg.QueryGroups = 1
+	}
+	if cfg.Segmentation == QuerySeg {
+		// A query-segmentation task is a whole query against the whole
+		// (replicated) database.
+		cfg.Workload.NumFragments = 1
+	}
+	if cfg.WorkerMemoryBytes <= 0 {
+		cfg.WorkerMemoryBytes = 512 << 20
+	}
+	wl := search.Generate(cfg.Workload)
+	sim := des.New()
+	world := mpi.NewWorld(sim, cfg.Procs, cfg.Net)
+	fs := pvfs.New(sim, cfg.FS)
+	if cfg.TraceIO {
+		fs.EnableRequestTrace()
+	}
+
+	rt := &runtime{
+		cfg:    &cfg,
+		wl:     wl,
+		sim:    sim,
+		world:  world,
+		fs:     fs,
+		fileUp: sim.NewSignal(),
+		final:  world.NewBarrier(cfg.Procs),
+		timers: make([]*PhaseTimer, cfg.Procs),
+	}
+	rt.buildGroups()
+	if cfg.DisableMasterNICSerialization {
+		for _, g := range rt.groups {
+			world.UncontendNode(g.masterRank, 1024)
+		}
+	}
+
+	for _, g := range rt.groups {
+		g := g
+		world.Spawn(g.masterRank, fmt.Sprintf("master%d", g.index),
+			func(r *mpi.Rank) { rt.master(r, g) })
+		for _, w := range g.workers {
+			w := w
+			world.Spawn(w, fmt.Sprintf("worker%d", w),
+				func(r *mpi.Rank) { rt.worker(r, g) })
+		}
+	}
+	if err := sim.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s sync=%v procs=%d groups=%d: %w",
+			cfg.Strategy, cfg.QuerySync, cfg.Procs, cfg.QueryGroups, err)
+	}
+	return rt.report()
+}
+
+// buildGroups splits processes and queries across QueryGroups groups:
+// contiguous rank blocks (first rank of each block is its master) and
+// contiguous query ranges, both balanced to within one unit.
+func (rt *runtime) buildGroups() {
+	cfg := rt.cfg
+	G := cfg.QueryGroups
+	rank := 0
+	qlo := cfg.ResumeFromQuery
+	numQueries := cfg.Workload.NumQueries - cfg.ResumeFromQuery
+	var globalBatch int
+	for gi := 0; gi < G; gi++ {
+		size := cfg.Procs / G
+		if gi < cfg.Procs%G {
+			size++
+		}
+		nq := numQueries / G
+		if gi < numQueries%G {
+			nq++
+		}
+		g := &group{
+			index:      gi,
+			masterRank: rank,
+			loQ:        qlo,
+			hiQ:        qlo + nq,
+			batchBase:  globalBatch,
+			querySyn:   rt.world.NewBarrier(size - 1),
+			collEntry:  rt.world.NewBarrier(size - 1),
+		}
+		for w := rank + 1; w < rank+size; w++ {
+			g.workers = append(g.workers, w)
+		}
+		members := append([]int{g.masterRank}, g.workers...)
+		g.team = rt.world.NewTeam(members)
+		for lo := g.loQ; lo < g.hiQ; lo += cfg.QueriesPerWrite {
+			hi := lo + cfg.QueriesPerWrite
+			if hi > g.hiQ {
+				hi = g.hiQ
+			}
+			b := batch{LoQ: lo, HiQ: hi, Region: rt.wl.Queries[lo].Region}
+			for q := lo; q < hi; q++ {
+				b.Bytes += rt.wl.Queries[q].Bytes
+			}
+			g.batches = append(g.batches, b)
+			globalBatch++
+		}
+		rt.groups = append(rt.groups, g)
+		rank += size
+		qlo += nq
+	}
+	rt.flushTimes = make([]des.Time, globalBatch)
+}
+
+// openFile is called by every group master; the first creates the shared
+// output file, the rest wait for it.
+func (rt *runtime) openFile(r *mpi.Rank, g *group) {
+	if g.index == 0 {
+		hints := romio.Hints{
+			CBNodes:         rt.cfg.CBNodes,
+			CollWriteMethod: rt.cfg.CollMethod,
+			IndWriteMethod:  rt.cfg.indMethod(),
+		}
+		rt.file = romio.Open(r.Proc(), rt.world, rt.fs, outputFile, hints)
+		if rt.cfg.DatabaseBytes > 0 {
+			rt.dbFile = romio.Open(r.Proc(), rt.world, rt.fs, "s3asim.database", hints)
+		}
+		rt.fileUp.Broadcast()
+		return
+	}
+	for rt.file == nil {
+		rt.fileUp.Wait(r.Proc())
+	}
+}
+
+// totalWorkers counts worker processes across all groups.
+func (rt *runtime) totalWorkers() int {
+	n := 0
+	for _, g := range rt.groups {
+		n += len(g.workers)
+	}
+	return n
+}
+
+// report assembles the run outcome and verifies the output file.
+func (rt *runtime) report() (*Report, error) {
+	cfg := rt.cfg
+	rep := &Report{
+		Strategy:        cfg.Strategy,
+		QuerySync:       cfg.QuerySync,
+		Procs:           cfg.Procs,
+		ComputeSpeed:    cfg.ComputeSpeed,
+		QueryGroups:     cfg.QueryGroups,
+		Overall:         rt.sim.Now(),
+		OutputBytes:     rt.wl.TotalBytes,
+		BatchFlushTimes: rt.flushTimes,
+		FS:              rt.fs.Stats(),
+		Messages:        rt.world.MessagesSent(),
+		NetBytes:        rt.world.BytesSent(),
+		Events:          rt.sim.Events(),
+		IOTrace:         rt.fs.RequestTrace(),
+	}
+	masters := map[int]bool{}
+	for _, g := range rt.groups {
+		masters[g.masterRank] = true
+	}
+	for rank, t := range rt.timers {
+		if t == nil {
+			return nil, fmt.Errorf("core: rank %d never reported timings", rank)
+		}
+		pb := ProcBreakdown{Rank: rank, Phases: t.Buckets(), Total: t.Total()}
+		if masters[rank] {
+			rep.Masters = append(rep.Masters, pb)
+			if rank == 0 {
+				rep.Master = pb
+			}
+		} else {
+			rep.Workers = append(rep.Workers, pb)
+		}
+	}
+	n := des.Time(len(rep.Workers))
+	for _, w := range rep.Workers {
+		for p := 0; p < int(NumPhases); p++ {
+			rep.WorkerAvg.Phases[p] += w.Phases[p]
+		}
+		rep.WorkerAvg.Total += w.Total
+	}
+	if n > 0 {
+		for p := 0; p < int(NumPhases); p++ {
+			rep.WorkerAvg.Phases[p] /= n
+		}
+		rep.WorkerAvg.Total /= n
+	}
+
+	f := rt.fs.Lookup(outputFile)
+	if f == nil {
+		return nil, fmt.Errorf("core: output file was never created")
+	}
+	rep.FileCoverage = f.Coverage()
+	rep.OverlappedBytes = f.OverlappedBytes()
+	// A resumed run only rewrites queries from ResumeFromQuery on.
+	expected := rt.wl.TotalBytes - rt.wl.Queries[cfg.ResumeFromQuery].Region
+	if rep.FileCoverage < expected {
+		return rep, fmt.Errorf("core: file coverage %d != expected bytes %d",
+			rep.FileCoverage, expected)
+	}
+	// Data-sieving writes read-modify-write whole windows, so they overlap
+	// by construction — and without locking (PVFS2 has none, §3.1) they are
+	// unsafe under concurrent writers. The report carries the overlap count
+	// instead of failing; this is exactly why ROMIO disables sieved writes
+	// on PVFS2.
+	sieving := cfg.indMethod() == romio.DataSieve && cfg.Strategy.WorkerWriting()
+	if !sieving {
+		if rep.OverlappedBytes != 0 {
+			return rep, fmt.Errorf("core: %d bytes written more than once", rep.OverlappedBytes)
+		}
+		if cfg.CaptureData {
+			if err := rt.verifyImage(f); err != nil {
+				return rep, err
+			}
+			rep.Verified = true
+		}
+	}
+	return rep, nil
+}
+
+// verifyImage checks every result's bytes against the workload's
+// deterministic content — the cross-strategy file-image invariant.
+func (rt *runtime) verifyImage(f *pvfs.File) error {
+	for q := rt.cfg.ResumeFromQuery; q < len(rt.wl.Queries); q++ {
+		for _, r := range rt.wl.Queries[q].Results {
+			want := rt.wl.ResultData(q, r.Index, r.Size)
+			got := f.ReadBack(r.Offset, r.Size)
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("core: query %d result %d content mismatch at offset %d",
+					q, r.Index, r.Offset)
+			}
+		}
+	}
+	return nil
+}
+
+// PhaseTable renders the worker-average phase decomposition (the quantity
+// the paper's per-phase figures plot) plus the master's, as a table.
+func (rep *Report) PhaseTable() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("%s %s, %d procs, speed %g — phase breakdown (seconds)",
+			rep.Strategy, syncLabel(rep.QuerySync), rep.Procs, rep.ComputeSpeed),
+		"process", "setup", "datadist", "compute", "merge", "gather", "io", "sync", "other", "total")
+	row := func(name string, pb ProcBreakdown) {
+		t.AddRowf(name,
+			pb.Phases[PhaseSetup].Seconds(), pb.Phases[PhaseDataDist].Seconds(),
+			pb.Phases[PhaseCompute].Seconds(), pb.Phases[PhaseMerge].Seconds(),
+			pb.Phases[PhaseGather].Seconds(), pb.Phases[PhaseIO].Seconds(),
+			pb.Phases[PhaseSync].Seconds(), pb.Phases[PhaseOther].Seconds(),
+			pb.Total.Seconds())
+	}
+	row("master", rep.Master)
+	row("worker-avg", rep.WorkerAvg)
+	return t
+}
+
+func syncLabel(sync bool) string {
+	if sync {
+		return "sync"
+	}
+	return "no-sync"
+}

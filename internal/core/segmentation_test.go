@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"s3asim/internal/des"
+)
+
+func TestQuerySegVerifiesImage(t *testing.T) {
+	for _, s := range []Strategy{MW, WWList} {
+		cfg := tinyConfig()
+		cfg.Strategy = s
+		cfg.Segmentation = QuerySeg
+		rep := mustRun(t, cfg)
+		if !rep.Verified {
+			t.Fatalf("%v query-seg: unverified", s)
+		}
+	}
+}
+
+func TestQuerySegForcesSingleFragment(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Segmentation = QuerySeg
+	cfg.Workload.NumFragments = 64 // must be collapsed internally
+	rep := mustRun(t, cfg)
+	if !rep.Verified {
+		t.Fatal("query-seg with fragment override: unverified")
+	}
+}
+
+func TestDatabaseLoadCostsTime(t *testing.T) {
+	base := tinyConfig()
+	base.Strategy = WWList
+	noDB := mustRun(t, base)
+	base.DatabaseBytes = 256 << 20
+	withDB := mustRun(t, base)
+	if withDB.Overall <= noDB.Overall {
+		t.Fatalf("database load free: %v vs %v", withDB.Overall, noDB.Overall)
+	}
+}
+
+func TestQuerySegRepeatedIOWhenDatabaseExceedsMemory(t *testing.T) {
+	// §1: "query segmentation suffers repeated I/O introduced by loading
+	// sequence data back and forth" once the database exceeds memory.
+	base := tinyConfig()
+	base.Strategy = WWList
+	base.Segmentation = QuerySeg
+	base.WorkerMemoryBytes = 64 << 20
+
+	base.DatabaseBytes = 32 << 20 // fits: loaded once
+	fits := mustRun(t, base)
+	base.DatabaseBytes = 256 << 20 // 4x memory: re-read per query
+	overflow := mustRun(t, base)
+	if overflow.Overall < 2*fits.Overall {
+		t.Fatalf("no repeated-I/O collapse: fits=%v overflow=%v",
+			fits.Overall, overflow.Overall)
+	}
+	// The repeated reads must land in the I/O phase.
+	if overflow.WorkerAvg.Phases[PhaseIO] <= fits.WorkerAvg.Phases[PhaseIO] {
+		t.Fatal("overflow reads not billed to I/O")
+	}
+}
+
+func TestDatabaseSegLoadsShareOnceRegardlessOfQueries(t *testing.T) {
+	// Database segmentation reads each worker's share once; doubling the
+	// query count must not double input I/O.
+	base := tinyConfig()
+	base.Strategy = WWList
+	base.DatabaseBytes = 512 << 20
+	base.Workload.MinResults = 5
+	base.Workload.MaxResults = 8
+
+	threeQ := mustRun(t, base)
+	base.Workload.NumQueries = 6
+	sixQ := mustRun(t, base)
+	// Input reads dominate these tiny runs; if reads repeated per query,
+	// sixQ would be ~2x threeQ.
+	if float64(sixQ.Overall) > 1.5*float64(threeQ.Overall) {
+		t.Fatalf("database-seg input I/O appears to repeat per query: %v vs %v",
+			sixQ.Overall, threeQ.Overall)
+	}
+}
+
+func TestSegmentationNames(t *testing.T) {
+	if DatabaseSeg.String() != "database-seg" || QuerySeg.String() != "query-seg" {
+		t.Fatal("segmentation names")
+	}
+}
+
+func TestQuerySegWithGroups(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Procs = 8
+	cfg.Segmentation = QuerySeg
+	cfg.QueryGroups = 2
+	cfg.DatabaseBytes = 64 << 20
+	rep := mustRun(t, cfg)
+	if !rep.Verified {
+		t.Fatal("query-seg with groups: unverified")
+	}
+	var io des.Time
+	for _, w := range rep.Workers {
+		io += w.Phases[PhaseIO]
+	}
+	if io == 0 {
+		t.Fatal("no input/output I/O recorded")
+	}
+}

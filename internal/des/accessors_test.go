@@ -1,0 +1,89 @@
+package des
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != Second+Second/2 {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatalf("Seconds = %v", (2 * Second).Seconds())
+	}
+	if (3 * Microsecond).Micros() != 3 {
+		t.Fatalf("Micros = %v", (3 * Microsecond).Micros())
+	}
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("String = %q", got)
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatal("calendar constants off")
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	s := New()
+	var p *Proc
+	p = s.Spawn("worker", func(self *Proc) {
+		if self.Name() != "worker" || self.ID() != 0 || self.Sim() != s {
+			t.Error("proc accessors wrong inside body")
+		}
+		if self.Done() {
+			t.Error("Done true while running")
+		}
+		self.Sleep(1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Fatal("Done false after completion")
+	}
+}
+
+func TestResourceAccessorsAndValidation(t *testing.T) {
+	s := New()
+	r := s.NewResource("disk", 2)
+	if r.Name() != "disk" || r.Capacity() != 2 {
+		t.Fatalf("accessors: %s %d", r.Name(), r.Capacity())
+	}
+	if r.FreeAt() != 0 {
+		t.Fatalf("FreeAt on idle resource = %v", r.FreeAt())
+	}
+	r.Submit(10, nil)
+	r.Submit(10, nil)
+	if r.FreeAt() != 10 {
+		t.Fatalf("FreeAt with both slots busy = %v", r.FreeAt())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity resource accepted")
+		}
+	}()
+	s.NewResource("bad", 0)
+}
+
+func TestGatePending(t *testing.T) {
+	s := New()
+	g := s.NewGate(2)
+	if g.Pending() != 2 {
+		t.Fatalf("Pending = %d", g.Pending())
+	}
+	g.Done()
+	if g.Pending() != 1 {
+		t.Fatalf("Pending after Done = %d", g.Pending())
+	}
+}
+
+func TestDeadlockErrorMessage(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	s.Spawn("stuck-proc", func(p *Proc) { sig.Wait(p) })
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "stuck-proc") ||
+		!strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("error = %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package des
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw calendar throughput: schedule-and-
+// fire of chained events.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < b.N {
+			s.After(1, chain)
+		}
+	}
+	s.After(1, chain)
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcContextSwitch measures the goroutine handoff cost of a
+// process sleeping repeatedly.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceSubmit measures the callback fast path under queueing.
+func BenchmarkResourceSubmit(b *testing.B) {
+	s := New()
+	r := s.NewResource("r", 1)
+	for i := 0; i < b.N; i++ {
+		r.Submit(1, nil)
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGateFanIn measures many processes joining one gate.
+func BenchmarkGateFanIn(b *testing.B) {
+	s := New()
+	const procs = 64
+	g := s.NewGate(procs)
+	iters := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		s.Spawn("w", func(p *Proc) {
+			for j := 0; j < iters; j++ {
+				p.Sleep(1)
+			}
+			g.Done()
+		})
+	}
+	s.Spawn("j", func(p *Proc) { g.Wait(p) })
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package des
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// kernel. Exactly one Proc (or the kernel) runs at a time; a Proc gives up
+// control only by blocking in Sleep, Signal.Wait, Gate.Wait, or
+// Resource.Use, so code inside a Proc body needs no locking.
+type Proc struct {
+	sim         *Simulation
+	name        string
+	id          int
+	resume      chan struct{}
+	done        bool
+	blockReason string
+}
+
+// Spawn creates a process that starts executing body at the current virtual
+// time (after already-queued events at this time). The body runs to
+// completion unless the simulation deadlocks or is abandoned.
+func (s *Simulation) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		id:     len(s.procs),
+		resume: make(chan struct{}),
+	}
+	s.procs = append(s.procs, p)
+	s.At(s.now, func() {
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			s.yielded <- struct{}{}
+		}()
+		s.transferTo(p)
+	})
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn-order index, unique within the simulation.
+func (p *Proc) ID() int { return p.id }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Simulation { return p.sim }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// park yields control to the kernel until some event resumes this process.
+// reason is kept for deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.blockReason = reason
+	p.sim.yielded <- struct{}{}
+	<-p.resume
+	p.blockReason = ""
+}
+
+// Sleep advances this process's virtual time by d. Other events and
+// processes run in the interim. Negative d is clamped to zero.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	s.At(s.now+d, func() { s.transferTo(p) })
+	p.park("sleeping")
+}
+
+// Signal is a broadcast/FIFO-wakeup condition variable for processes.
+// The usual pattern is a predicate loop:
+//
+//	for !ready() {
+//		cond.Wait(p)
+//	}
+//
+// Wakeups are edge-triggered; a Broadcast with no waiters is a no-op.
+type Signal struct {
+	sim     *Simulation
+	waiters []*Proc
+}
+
+// NewSignal returns a condition signal bound to this simulation.
+func (s *Simulation) NewSignal() *Signal { return &Signal{sim: s} }
+
+// Wait parks p until the next Signal or Broadcast. Spurious wakeups do not
+// occur, but the guarded predicate may have changed again by the time p
+// runs, so callers should re-check in a loop.
+func (sig *Signal) Wait(p *Proc) {
+	sig.waiters = append(sig.waiters, p)
+	p.park("waiting on signal")
+}
+
+// Broadcast wakes every current waiter at the present virtual time, in FIFO
+// order. Processes that start waiting after the call are not woken.
+func (sig *Signal) Broadcast() {
+	waiters := sig.waiters
+	sig.waiters = nil
+	s := sig.sim
+	for _, p := range waiters {
+		w := p
+		s.At(s.now, func() { s.transferTo(w) })
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (sig *Signal) Signal() {
+	if len(sig.waiters) == 0 {
+		return
+	}
+	w := sig.waiters[0]
+	sig.waiters = sig.waiters[1:]
+	s := sig.sim
+	s.At(s.now, func() { s.transferTo(w) })
+}
+
+// Waiters reports how many processes are currently parked on the signal.
+func (sig *Signal) Waiters() int { return len(sig.waiters) }
+
+// Gate is a join counter (a WaitGroup for simulated processes): Add
+// registers pending work, Done retires it, and Wait blocks until the count
+// reaches zero. Unlike sync.WaitGroup it may be reused freely and Add may
+// interleave with Wait, because everything runs under the DES kernel.
+type Gate struct {
+	n    int
+	cond *Signal
+}
+
+// NewGate returns a gate with an initial count of n.
+func (s *Simulation) NewGate(n int) *Gate {
+	return &Gate{n: n, cond: s.NewSignal()}
+}
+
+// Add increases the pending count by delta (which may be negative; a
+// transition to zero wakes waiters).
+func (g *Gate) Add(delta int) {
+	g.n += delta
+	if g.n < 0 {
+		panic("des: negative Gate count")
+	}
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+}
+
+// Done retires one unit of pending work.
+func (g *Gate) Done() { g.Add(-1) }
+
+// Pending reports the current count.
+func (g *Gate) Pending() int { return g.n }
+
+// Wait parks p until the count is zero. Returns immediately if it already is.
+func (g *Gate) Wait(p *Proc) {
+	for g.n > 0 {
+		g.cond.Wait(p)
+	}
+}

@@ -1,0 +1,164 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a single entry in the calendar. Events with equal times fire in
+// insertion order (seq), which keeps the simulation deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Simulation owns the virtual clock, the event calendar, and all processes.
+// It is not safe for concurrent use: the kernel and at most one process run
+// at any instant, handing control back and forth explicitly.
+type Simulation struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	yielded chan struct{}
+	procs   []*Proc
+	curr    *Proc
+	events  uint64 // total events executed
+}
+
+// New returns an empty simulation at time zero.
+func New() *Simulation {
+	return &Simulation{yielded: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Events reports how many calendar events have executed so far.
+func (s *Simulation) Events() uint64 { return s.events }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the present.
+func (s *Simulation) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.heap.push(event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (s *Simulation) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// DeadlockError reports that the calendar drained while processes were still
+// blocked — every remaining process is waiting for a wakeup that can never
+// arrive.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // "name: reason" for each stuck process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock at %v: %d blocked process(es): %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes events until the calendar is empty. It returns a
+// *DeadlockError if any spawned process has neither finished nor been
+// rescheduled when the calendar drains, and nil otherwise.
+func (s *Simulation) Run() error {
+	for len(s.heap) > 0 {
+		e := s.heap.pop()
+		s.now = e.t
+		s.events++
+		e.fn()
+	}
+	var blocked []string
+	for _, p := range s.procs {
+		if !p.done {
+			blocked = append(blocked, p.name+": "+p.blockReason)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Time: s.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunUntil executes events with time ≤ limit, leaving later events queued.
+// It reports whether the calendar still holds events past the limit.
+func (s *Simulation) RunUntil(limit Time) bool {
+	for len(s.heap) > 0 && s.heap[0].t <= limit {
+		e := s.heap.pop()
+		s.now = e.t
+		s.events++
+		e.fn()
+	}
+	return len(s.heap) > 0
+}
+
+// transferTo hands control from the kernel to p and waits for p to yield.
+// Must only be called from kernel context (inside an event function).
+func (s *Simulation) transferTo(p *Proc) {
+	prev := s.curr
+	s.curr = p
+	p.resume <- struct{}{}
+	<-s.yielded
+	s.curr = prev
+}

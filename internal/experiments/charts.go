@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"s3asim/internal/core"
+	"s3asim/internal/plot"
+)
+
+// OverallChart builds the Figure-2/5-style line chart (one series per
+// strategy, log axes as the paper uses) for one sync mode.
+func (sr *SweepResult) OverallChart(sync bool) *plot.LineChart {
+	label := "no-sync"
+	if sync {
+		label = "sync"
+	}
+	fig := "Figure 2"
+	if sr.Kind == "speed" {
+		fig = "Figure 5"
+	}
+	c := &plot.LineChart{
+		Title:  fmt.Sprintf("%s — overall execution time (%s)", fig, label),
+		XLabel: sr.xLabel(),
+		YLabel: "time (s)",
+		LogX:   true,
+	}
+	for _, s := range sr.Strat {
+		series := plot.Series{Name: s.String()}
+		for _, x := range sr.Xs {
+			series.Xs = append(series.Xs, x)
+			series.Ys = append(series.Ys, sr.Cell(s, sync, x).Overall.Seconds())
+		}
+		c.Series = append(c.Series, series)
+	}
+	return c
+}
+
+// PhaseChart builds the Figure-3/4/6/7-style stacked bar chart of the
+// worker phase decomposition for one strategy and sync mode.
+func (sr *SweepResult) PhaseChart(s core.Strategy, sync bool) *plot.StackedBars {
+	label := "no-sync"
+	if sync {
+		label = "sync"
+	}
+	sb := &plot.StackedBars{
+		Title:  fmt.Sprintf("%s, %s — worker phase times vs %s", s, label, sr.xLabel()),
+		XLabel: sr.xLabel(),
+		YLabel: "time (s)",
+	}
+	for p := 0; p < int(core.NumPhases); p++ {
+		sb.Segments = append(sb.Segments, core.Phase(p).String())
+	}
+	for _, x := range sr.Xs {
+		cell := sr.Cell(s, sync, x)
+		sb.Labels = append(sb.Labels, trimFloat(x))
+		vals := make([]float64, core.NumPhases)
+		for p := 0; p < int(core.NumPhases); p++ {
+			vals[p] = cell.WorkerPhases[p].Seconds()
+		}
+		sb.Values = append(sb.Values, vals)
+	}
+	return sb
+}

@@ -1,0 +1,205 @@
+// Package experiments reproduces the paper's evaluation (§4): the
+// process-scalability suite behind Figures 2–4 and the compute-speed suite
+// behind Figures 5–7, plus the headline speedup ratios quoted in the text.
+// Each suite runs the full strategy × {no-sync, sync} matrix and exposes the
+// same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"s3asim/internal/core"
+	"s3asim/internal/des"
+	"s3asim/internal/stats"
+)
+
+// Options scales a suite. PaperOptions matches §3.3/§4; QuickOptions is a
+// reduced configuration for tests.
+type Options struct {
+	// Base is the template configuration; Strategy, QuerySync, Procs and
+	// ComputeSpeed are overridden per cell.
+	Base core.Config
+	// Procs is the process-scalability sweep (Figures 2–4).
+	Procs []int
+	// Speeds is the compute-speed sweep (Figures 5–7).
+	Speeds []float64
+	// SpeedProcs is the process count used in the speed sweep (paper: 64).
+	SpeedProcs int
+	// Repetitions averages this many runs per cell. The simulator is
+	// deterministic, so repetitions vary the workload seed (seed+i) — the
+	// closest analogue of the paper's 3-run averaging.
+	Repetitions int
+	// Strategies defaults to all four.
+	Strategies []core.Strategy
+	// Progress, if non-nil, receives a line per completed cell.
+	Progress func(string)
+}
+
+// PaperOptions returns the paper's full experiment scale.
+func PaperOptions() Options {
+	return Options{
+		Base:        core.DefaultConfig(),
+		Procs:       []int{2, 4, 8, 16, 32, 48, 64, 96},
+		Speeds:      []float64{0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6},
+		SpeedProcs:  64,
+		Repetitions: 1,
+	}
+}
+
+// QuickOptions returns a scaled-down suite suitable for tests: a small
+// workload, few sweep points, one repetition.
+func QuickOptions() Options {
+	base := core.DefaultConfig()
+	base.Workload.NumQueries = 4
+	base.Workload.NumFragments = 16
+	base.Workload.MinResults = 40
+	base.Workload.MaxResults = 60
+	base.Workload.QueryHist = stats.Uniform(200, 2000)
+	base.Workload.DBSeqHist = stats.Uniform(200, 20000)
+	base.Workload.MinResultSize = 512
+	return Options{
+		Base:        base,
+		Procs:       []int{2, 4, 8},
+		Speeds:      []float64{0.5, 1, 4},
+		SpeedProcs:  8,
+		Repetitions: 1,
+	}
+}
+
+func (o *Options) strategies() []core.Strategy {
+	if len(o.Strategies) > 0 {
+		return o.Strategies
+	}
+	return core.Strategies
+}
+
+func (o *Options) reps() int {
+	if o.Repetitions < 1 {
+		return 1
+	}
+	return o.Repetitions
+}
+
+func (o *Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// CellKey identifies one (strategy, sync, x) cell of a sweep.
+type CellKey struct {
+	Strategy  core.Strategy
+	QuerySync bool
+	X         float64 // process count or compute speed
+}
+
+// Cell holds the averaged outcome of a sweep cell.
+type Cell struct {
+	Key     CellKey
+	Runs    int
+	Overall des.Time // mean overall execution time
+	// OverallStd is the standard deviation of the overall time across
+	// repetitions (0 with a single repetition). Repetitions vary the
+	// workload seed, so this is workload variance, not measurement noise.
+	OverallStd des.Time
+	// WorkerPhases is the mean over repetitions of the worker-average
+	// per-phase decomposition (what Figures 3/4/6/7 plot).
+	WorkerPhases [core.NumPhases]des.Time
+	MasterPhases [core.NumPhases]des.Time
+}
+
+// SweepResult is a completed suite.
+type SweepResult struct {
+	Kind  string // "procs" or "speed"
+	Xs    []float64
+	Syncs []bool
+	Strat []core.Strategy
+	Cells map[CellKey]*Cell
+}
+
+// Cell returns the cell for (strategy, sync, x), or nil.
+func (sr *SweepResult) Cell(s core.Strategy, sync bool, x float64) *Cell {
+	return sr.Cells[CellKey{Strategy: s, QuerySync: sync, X: x}]
+}
+
+// runCell executes and averages the repetitions of one cell.
+func runCell(opts *Options, cfg core.Config, key CellKey) (*Cell, error) {
+	cell := &Cell{Key: key}
+	var overall stats.Online
+	for rep := 0; rep < opts.reps(); rep++ {
+		c := cfg
+		c.Workload.Seed += int64(rep)
+		r, err := core.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v sync=%v x=%g rep=%d: %w",
+				key.Strategy, key.QuerySync, key.X, rep, err)
+		}
+		cell.Runs++
+		overall.Add(r.Overall.Seconds())
+		for p := 0; p < int(core.NumPhases); p++ {
+			cell.WorkerPhases[p] += r.WorkerAvg.Phases[p]
+			cell.MasterPhases[p] += r.Master.Phases[p]
+		}
+	}
+	n := des.Time(cell.Runs)
+	cell.Overall = des.FromSeconds(overall.Mean())
+	cell.OverallStd = des.FromSeconds(overall.Std())
+	for p := range cell.WorkerPhases {
+		cell.WorkerPhases[p] /= n
+		cell.MasterPhases[p] /= n
+	}
+	return cell, nil
+}
+
+// runMatrix sweeps xs applying setX to the base config per point.
+func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, float64)) (*SweepResult, error) {
+	sr := &SweepResult{
+		Kind:  kind,
+		Xs:    xs,
+		Syncs: []bool{false, true},
+		Strat: opts.strategies(),
+		Cells: make(map[CellKey]*Cell),
+	}
+	for _, s := range sr.Strat {
+		for _, sync := range sr.Syncs {
+			for _, x := range xs {
+				cfg := opts.Base
+				cfg.Strategy = s
+				cfg.QuerySync = sync
+				setX(&cfg, x)
+				key := CellKey{Strategy: s, QuerySync: sync, X: x}
+				cell, err := runCell(&opts, cfg, key)
+				if err != nil {
+					return nil, err
+				}
+				sr.Cells[key] = cell
+				opts.progress("%s %s sync=%v x=%g: %.2fs",
+					kind, s, sync, x, cell.Overall.Seconds())
+			}
+		}
+	}
+	return sr, nil
+}
+
+// RunProcessSweep executes the process-scalability suite (Figures 2–4).
+func RunProcessSweep(opts Options) (*SweepResult, error) {
+	xs := make([]float64, len(opts.Procs))
+	for i, p := range opts.Procs {
+		xs[i] = float64(p)
+	}
+	return runMatrix(opts, "procs", xs, func(c *core.Config, x float64) {
+		c.Procs = int(x)
+	})
+}
+
+// RunSpeedSweep executes the compute-speed suite at SpeedProcs processes
+// (Figures 5–7).
+func RunSpeedSweep(opts Options) (*SweepResult, error) {
+	xs := append([]float64(nil), opts.Speeds...)
+	sort.Float64s(xs)
+	return runMatrix(opts, "speed", xs, func(c *core.Config, x float64) {
+		c.Procs = opts.SpeedProcs
+		c.ComputeSpeed = x
+	})
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"s3asim/internal/core"
+)
+
+func TestQuickProcessSweepCompletes(t *testing.T) {
+	opts := QuickOptions()
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Kind != "procs" || len(sr.Xs) != len(opts.Procs) {
+		t.Fatalf("sweep shape: %s %v", sr.Kind, sr.Xs)
+	}
+	for _, s := range core.Strategies {
+		for _, sync := range []bool{false, true} {
+			for _, x := range sr.Xs {
+				c := sr.Cell(s, sync, x)
+				if c == nil || c.Overall <= 0 || c.Runs != 1 {
+					t.Fatalf("missing/empty cell %v sync=%v x=%g", s, sync, x)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickSweepSyncNeverFaster(t *testing.T) {
+	sr, err := RunProcessSweep(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range core.Strategies {
+		for _, x := range sr.Xs {
+			ns := sr.Cell(s, false, x).Overall
+			ws := sr.Cell(s, true, x).Overall
+			if float64(ws) < 0.999*float64(ns) {
+				t.Fatalf("%v x=%g: sync %v faster than no-sync %v", s, x, ws, ns)
+			}
+		}
+	}
+}
+
+func TestQuickSpeedSweepMonotoneCompute(t *testing.T) {
+	opts := QuickOptions()
+	sr, err := RunSpeedSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute phase must shrink as speed grows.
+	for _, s := range core.Strategies {
+		var prev float64 = 1e18
+		for _, x := range sr.Xs {
+			comp := sr.Cell(s, false, x).WorkerPhases[core.PhaseCompute].Seconds()
+			if comp > prev*1.0001 {
+				t.Fatalf("%v: compute phase grew with speed (%g -> %g)", s, prev, comp)
+			}
+			prev = comp
+		}
+	}
+}
+
+func TestRepetitionsAverage(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{4}
+	opts.Repetitions = 3
+	opts.Strategies = []core.Strategy{core.WWList}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sr.Cell(core.WWList, false, 4); c.Runs != 3 {
+		t.Fatalf("runs = %d, want 3", c.Runs)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{2}
+	opts.Strategies = []core.Strategy{core.MW}
+	var lines []string
+	opts.Progress = func(s string) { lines = append(lines, s) }
+	if _, err := RunProcessSweep(opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 { // no-sync + sync
+		t.Fatalf("progress lines = %d, want 2", len(lines))
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{2, 4}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := sr.Tables()
+	// 2 overall + 4 strategies × 2 sync modes + 1 headline.
+	if len(tables) != 2+8+1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	all := ""
+	for _, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Fatalf("empty table %q", tb.Title)
+		}
+		all += tb.String()
+	}
+	for _, want := range []string{"Figure 2", "Figure 3", "Figure 4", "§4 headline", "MW", "WW-List"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("rendered tables missing %q", want)
+		}
+	}
+	// Speed sweep labels the other figures.
+	srs, err := RunSpeedSweep(func() Options { o := QuickOptions(); o.Speeds = []float64{1}; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedAll := ""
+	for _, tb := range srs.Tables() {
+		speedAll += tb.Title
+	}
+	for _, want := range []string{"Figure 5", "Figure 6", "Figure 7"} {
+		if !strings.Contains(speedAll, want) {
+			t.Fatalf("speed tables missing %q", want)
+		}
+	}
+}
+
+func TestRatioDefinition(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{4}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := sr.Cell(core.WWList, false, 4).Overall
+	mw := sr.Cell(core.MW, false, 4).Overall
+	want := float64(mw)/float64(list) - 1
+	if got := sr.Ratio(core.WWList, core.MW, false, 4); got != want {
+		t.Fatalf("Ratio = %g, want %g", got, want)
+	}
+}
+
+// TestPaperShapeAt48Procs checks the paper's headline ordering at a single
+// full-scale point: WW-List < WW-POSIX < WW-Coll < MW in the no-sync case,
+// and MW essentially unaffected by query sync.
+func TestPaperShapeAt48Procs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	opts := PaperOptions()
+	opts.Procs = []int{48}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := sr.Cell(core.WWList, false, 48).Overall
+	posix := sr.Cell(core.WWPosix, false, 48).Overall
+	coll := sr.Cell(core.WWColl, false, 48).Overall
+	mw := sr.Cell(core.MW, false, 48).Overall
+	if !(list < posix && posix < coll && coll < mw) {
+		t.Fatalf("ordering violated: list=%v posix=%v coll=%v mw=%v", list, posix, coll, mw)
+	}
+	mwSync := sr.Cell(core.MW, true, 48).Overall
+	if delta := float64(mwSync)/float64(mw) - 1; delta > 0.10 {
+		t.Fatalf("MW sync delta %.1f%% exceeds 10%% (paper: ≤5%%)", delta*100)
+	}
+	collSync := sr.Cell(core.WWColl, true, 48).Overall
+	if delta := float64(collSync)/float64(coll) - 1; delta > 0.15 {
+		t.Fatalf("WW-Coll sync delta %.1f%% exceeds 15%% (paper: ≤6%%)", delta*100)
+	}
+}
+
+func TestRepetitionStdDev(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{4}
+	opts.Repetitions = 3
+	opts.Strategies = []core.Strategy{core.WWList}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := sr.Cell(core.WWList, false, 4)
+	if cell.OverallStd <= 0 {
+		t.Fatalf("std dev = %v; seed-varied repetitions should differ", cell.OverallStd)
+	}
+	if cell.OverallStd > cell.Overall {
+		t.Fatalf("std dev %v larger than mean %v", cell.OverallStd, cell.Overall)
+	}
+	single := QuickOptions()
+	single.Procs = []int{4}
+	single.Strategies = []core.Strategy{core.WWList}
+	sr1, err := RunProcessSweep(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr1.Cell(core.WWList, false, 4).OverallStd != 0 {
+		t.Fatal("single repetition must have zero std dev")
+	}
+}

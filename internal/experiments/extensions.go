@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"s3asim/internal/core"
+	"s3asim/internal/des"
+	"s3asim/internal/romio"
+	"s3asim/internal/stats"
+)
+
+// This file implements the paper's §5 future-work studies as first-class
+// experiments: the improved collective built from list I/O plus forced
+// synchronization, hybrid query/database segmentation, the
+// write-frequency/failure-recovery trade-off, and sensitivity sweeps over
+// the file-system configuration ("a larger file system configuration with
+// more I/O bandwidth may have provided more scalable I/O performance", §4).
+
+// CollectiveComparison runs WW-Coll with both collective implementations
+// (ROMIO two-phase vs list I/O + forced sync) and WW-List with query sync,
+// at the given process counts.
+func CollectiveComparison(base core.Config, procs []int) (*stats.Table, error) {
+	t := stats.NewTable(
+		"§5 — collective I/O implementations (overall seconds)",
+		"processes", "two-phase", "list-sync collective", "WW-List + query sync")
+	for _, p := range procs {
+		cfg := base
+		cfg.Procs = p
+		cfg.Strategy = core.WWColl
+		cfg.CollMethod = romio.TwoPhase
+		twoPhase, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.CollMethod = romio.ListSync
+		listColl, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Strategy = core.WWList
+		cfg.CollMethod = romio.TwoPhase
+		cfg.QuerySync = true
+		listSync, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(p, twoPhase.Overall.Seconds(), listColl.Overall.Seconds(),
+			listSync.Overall.Seconds())
+	}
+	return t, nil
+}
+
+// HybridComparison runs the hybrid query/database segmentation extension:
+// the same workload and process count split into 1, 2, 4, ... groups.
+func HybridComparison(base core.Config, groups []int) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("§5 — hybrid segmentation, %s at %d procs (overall seconds)",
+			base.Strategy, base.Procs),
+		"query-groups", "overall (s)", "master-busy max (s)")
+	for _, g := range groups {
+		cfg := base
+		cfg.QueryGroups = g
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var maxMaster des.Time
+		for _, m := range rep.Masters {
+			busy := m.Total - m.Phases[core.PhaseDataDist] - m.Phases[core.PhaseSync]
+			if busy > maxMaster {
+				maxMaster = busy
+			}
+		}
+		t.AddRowf(g, rep.Overall.Seconds(), maxMaster.Seconds())
+	}
+	return t, nil
+}
+
+// ResumeOutcome is one row of the write-frequency/failure trade-off.
+type ResumeOutcome struct {
+	QueriesPerWrite int
+	NoFailure       des.Time // clean run
+	FailAt          des.Time // injected failure time
+	ResumeFrom      int      // first query not durable at the failure
+	ResumeRun       des.Time // duration of the restarted run
+	TotalWithFail   des.Time // FailAt + ResumeRun
+}
+
+// ResumeTradeoff quantifies what frequent writes buy (§2: resumability):
+// for each write granularity, a failure is injected at failFrac of the
+// clean run's duration; work not yet durably flushed is lost and a resume
+// run re-processes it. Returns one outcome per granularity.
+func ResumeTradeoff(base core.Config, granularities []int, failFrac float64) ([]ResumeOutcome, error) {
+	var out []ResumeOutcome
+	for _, n := range granularities {
+		cfg := base
+		cfg.QueriesPerWrite = n
+		clean, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		failAt := des.Time(failFrac * float64(clean.Overall))
+		// A resume can only start after the longest prefix of batches whose
+		// writes were durably complete at the failure instant.
+		resumeFrom := 0
+		for i, ft := range clean.BatchFlushTimes {
+			if ft <= 0 || ft > failAt {
+				break
+			}
+			// Batch i covers queries [i*n, min((i+1)*n, Q)).
+			hi := (i + 1) * n
+			if hi > cfg.Workload.NumQueries {
+				hi = cfg.Workload.NumQueries
+			}
+			resumeFrom = hi
+		}
+		oc := ResumeOutcome{
+			QueriesPerWrite: n,
+			NoFailure:       clean.Overall,
+			FailAt:          failAt,
+			ResumeFrom:      resumeFrom,
+		}
+		if resumeFrom >= cfg.Workload.NumQueries {
+			oc.ResumeRun = 0 // everything was already durable
+		} else {
+			rcfg := cfg
+			rcfg.ResumeFromQuery = resumeFrom
+			resumed, err := core.Run(rcfg)
+			if err != nil {
+				return nil, err
+			}
+			oc.ResumeRun = resumed.Overall
+		}
+		oc.TotalWithFail = oc.FailAt + oc.ResumeRun
+		out = append(out, oc)
+	}
+	return out, nil
+}
+
+// ResumeTable renders resume outcomes.
+func ResumeTable(outcomes []ResumeOutcome) *stats.Table {
+	t := stats.NewTable(
+		"§2 — write frequency vs failure recovery (failure mid-run)",
+		"queries/write", "clean run (s)", "durable queries", "resume run (s)", "total with failure (s)")
+	for _, oc := range outcomes {
+		t.AddRowf(oc.QueriesPerWrite, oc.NoFailure.Seconds(), oc.ResumeFrom,
+			oc.ResumeRun.Seconds(), oc.TotalWithFail.Seconds())
+	}
+	return t
+}
+
+// ServerSweep varies the number of PVFS2 I/O servers at fixed process
+// count (§4: "a larger file system configuration with more I/O bandwidth
+// may have provided more scalable I/O performance").
+func ServerSweep(base core.Config, servers []int) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("§4 — I/O server scaling, %s at %d procs", base.Strategy, base.Procs),
+		"servers", "overall (s)", "worker I/O phase (s)")
+	for _, n := range servers {
+		cfg := base
+		cfg.FS.NumServers = n
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(n, rep.Overall.Seconds(),
+			rep.WorkerAvg.Phases[core.PhaseIO].Seconds())
+	}
+	return t, nil
+}
+
+// SegmentationComparison quantifies §1's motivation for database
+// segmentation: it runs the same workload under database segmentation and
+// under the query-segmentation baseline while growing the database, with
+// worker memory fixed. Once the replicated database no longer fits in
+// memory, query segmentation pays its per-query re-read.
+func SegmentationComparison(base core.Config, dbSizes []int64) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("§1 — database vs query segmentation at %d procs (worker memory %d MB)",
+			base.Procs, base.WorkerMemoryBytes>>20),
+		"database (MB)", "database-seg (s)", "query-seg (s)")
+	for _, db := range dbSizes {
+		cfg := base
+		cfg.DatabaseBytes = db
+		cfg.Segmentation = core.DatabaseSeg
+		dbRep, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Segmentation = core.QuerySeg
+		qRep, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(db>>20, dbRep.Overall.Seconds(), qRep.Overall.Seconds())
+	}
+	return t, nil
+}
+
+// OutputScaleSweep varies the result volume by scaling the per-query result
+// count (§5: "different I/O characteristics ... amount of results").
+func OutputScaleSweep(base core.Config, multipliers []float64) (*stats.Table, error) {
+	t := stats.NewTable(
+		fmt.Sprintf("§5 — output volume scaling, %s at %d procs", base.Strategy, base.Procs),
+		"result-count x", "output (MB)", "overall (s)", "worker I/O phase (s)")
+	for _, m := range multipliers {
+		cfg := base
+		cfg.Workload.MinResults = int(float64(base.Workload.MinResults) * m)
+		cfg.Workload.MaxResults = int(float64(base.Workload.MaxResults) * m)
+		if cfg.Workload.MinResults < 1 {
+			cfg.Workload.MinResults = 1
+		}
+		if cfg.Workload.MaxResults < cfg.Workload.MinResults {
+			cfg.Workload.MaxResults = cfg.Workload.MinResults
+		}
+		rep, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(m, float64(rep.OutputBytes)/1e6, rep.Overall.Seconds(),
+			rep.WorkerAvg.Phases[core.PhaseIO].Seconds())
+	}
+	return t, nil
+}

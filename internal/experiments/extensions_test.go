@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"s3asim/internal/core"
+	"s3asim/internal/romio"
+)
+
+func quickBase() core.Config {
+	return QuickOptions().Base
+}
+
+func TestCollectiveComparisonTable(t *testing.T) {
+	base := quickBase()
+	tbl, err := CollectiveComparison(base, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if !strings.Contains(tbl.String(), "two-phase") {
+		t.Fatalf("table: %s", tbl)
+	}
+}
+
+func TestHybridComparisonTable(t *testing.T) {
+	base := quickBase()
+	base.Procs = 8
+	base.Strategy = core.MW
+	tbl, err := HybridComparison(base, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestResumeTradeoff(t *testing.T) {
+	base := quickBase()
+	base.Procs = 6
+	base.Strategy = core.WWList
+	outcomes, err := ResumeTradeoff(base, []int{1, 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for _, oc := range outcomes {
+		if oc.TotalWithFail < oc.NoFailure {
+			t.Fatalf("failure made the run faster: %+v", oc)
+		}
+		if oc.TotalWithFail != oc.FailAt+oc.ResumeRun {
+			t.Fatalf("inconsistent totals: %+v", oc)
+		}
+	}
+	// Frequent writes (n=1) must lose less work than write-at-end (n=4):
+	// at the 50% failure point the per-query writer has durable queries,
+	// the batch writer typically none.
+	if outcomes[0].ResumeFrom < outcomes[1].ResumeFrom {
+		t.Fatalf("frequent writes preserved less: %+v", outcomes)
+	}
+	tbl := ResumeTable(outcomes)
+	if tbl.NumRows() != 2 || !strings.Contains(tbl.String(), "durable") {
+		t.Fatalf("resume table: %s", tbl)
+	}
+}
+
+func TestServerSweepMoreServersNotSlower(t *testing.T) {
+	base := quickBase()
+	base.Procs = 8
+	tbl, err := ServerSweep(base, []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestOutputScaleSweep(t *testing.T) {
+	base := quickBase()
+	base.Procs = 6
+	tbl, err := OutputScaleSweep(base, []float64{0.5, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestCollectiveComparisonUsesListSync(t *testing.T) {
+	// Sanity: the ListSync collective path is actually exercised (it must
+	// produce a valid verified run through the experiments helper too).
+	base := quickBase()
+	base.Procs = 6
+	base.Strategy = core.WWColl
+	base.CollMethod = romio.ListSync
+	rep, err := core.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FileCoverage != rep.OutputBytes {
+		t.Fatal("list-sync collective did not cover the file")
+	}
+}
+
+func TestSegmentationComparison(t *testing.T) {
+	base := quickBase()
+	base.Procs = 6
+	base.WorkerMemoryBytes = 64 << 20
+	tbl, err := SegmentationComparison(base, []int64{16 << 20, 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestOverallChartShape(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{2, 4}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sr.OverallChart(false)
+	if len(c.Series) != len(core.Strategies) {
+		t.Fatalf("series = %d", len(c.Series))
+	}
+	for _, s := range c.Series {
+		if len(s.Xs) != 2 || len(s.Ys) != 2 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Xs))
+		}
+		for _, y := range s.Ys {
+			if y <= 0 {
+				t.Fatalf("series %s has non-positive time", s.Name)
+			}
+		}
+	}
+	if !strings.Contains(c.Title, "Figure 2") || !c.LogX {
+		t.Fatalf("chart meta: %+v", c.Title)
+	}
+	// Both renderers accept the real chart.
+	if c.SVG(640, 400) == "" || c.ASCII(60, 12) == "" {
+		t.Fatal("render failed")
+	}
+}
+
+func TestPhaseChartShape(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{2, 4}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := sr.PhaseChart(core.WWList, true)
+	if len(sb.Labels) != 2 || len(sb.Segments) != int(core.NumPhases) {
+		t.Fatalf("bars: labels=%d segments=%d", len(sb.Labels), len(sb.Segments))
+	}
+	// Each bar's segments must sum to the cell's worker total.
+	for bi, x := range sr.Xs {
+		var sum float64
+		for _, v := range sb.Values[bi] {
+			sum += v
+		}
+		cell := sr.Cell(core.WWList, true, x)
+		var want float64
+		for p := 0; p < int(core.NumPhases); p++ {
+			want += cell.WorkerPhases[p].Seconds()
+		}
+		if diff := sum - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bar %d sums to %v, cell says %v", bi, sum, want)
+		}
+	}
+	if sb.SVG(640, 400) == "" || sb.ASCII(70) == "" {
+		t.Fatal("render failed")
+	}
+}

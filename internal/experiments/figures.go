@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"s3asim/internal/core"
+	"s3asim/internal/stats"
+)
+
+// xLabel names a sweep's x axis.
+func (sr *SweepResult) xLabel() string {
+	if sr.Kind == "speed" {
+		return "compute-speed"
+	}
+	return "processes"
+}
+
+// OverallTable renders the overall-execution-time series for one sync mode:
+// one row per x, one column per strategy — the data of Figure 2 (process
+// sweep) or Figure 5 (speed sweep).
+func (sr *SweepResult) OverallTable(sync bool) *stats.Table {
+	label := "no-sync"
+	if sync {
+		label = "sync"
+	}
+	fig := "Figure 2"
+	if sr.Kind == "speed" {
+		fig = "Figure 5"
+	}
+	headers := []string{sr.xLabel()}
+	for _, s := range sr.Strat {
+		headers = append(headers, s.String()+" (s)")
+	}
+	t := stats.NewTable(fmt.Sprintf("%s — overall execution time, %s", fig, label), headers...)
+	for _, x := range sr.Xs {
+		row := []any{trimFloat(x)}
+		for _, s := range sr.Strat {
+			row = append(row, sr.Cell(s, sync, x).Overall.Seconds())
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+// PhaseTable renders the per-phase worker decomposition for one strategy and
+// sync mode across the sweep — one panel of Figures 3/4 (process sweep) or
+// Figures 6/7 (speed sweep).
+func (sr *SweepResult) PhaseTable(s core.Strategy, sync bool) *stats.Table {
+	label := "no-sync"
+	if sync {
+		label = "sync"
+	}
+	fig := map[string]map[core.Strategy]string{
+		"procs": {
+			core.MW: "Figure 3", core.WWPosix: "Figure 3",
+			core.WWList: "Figure 4", core.WWColl: "Figure 4",
+		},
+		"speed": {
+			core.MW: "Figure 6", core.WWPosix: "Figure 6",
+			core.WWList: "Figure 7", core.WWColl: "Figure 7",
+		},
+	}[sr.Kind][s]
+	headers := []string{sr.xLabel()}
+	for p := 0; p < int(core.NumPhases); p++ {
+		headers = append(headers, core.Phase(p).String())
+	}
+	headers = append(headers, "total")
+	t := stats.NewTable(
+		fmt.Sprintf("%s — %s, %s, worker process phase times (s)", fig, s, label),
+		headers...)
+	for _, x := range sr.Xs {
+		cell := sr.Cell(s, sync, x)
+		row := []any{trimFloat(x)}
+		var total float64
+		for p := 0; p < int(core.NumPhases); p++ {
+			sec := cell.WorkerPhases[p].Seconds()
+			total += sec
+			row = append(row, sec)
+		}
+		row = append(row, total)
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+// Ratio reports how much slower strategy s is than the reference strategy at
+// x, as the paper quotes it: 0.33 means "WW-List outperforms s by 33%".
+func (sr *SweepResult) Ratio(ref, s core.Strategy, sync bool, x float64) float64 {
+	base := sr.Cell(ref, sync, x)
+	other := sr.Cell(s, sync, x)
+	if base == nil || other == nil || base.Overall == 0 {
+		return 0
+	}
+	return float64(other.Overall)/float64(base.Overall) - 1
+}
+
+// HeadlineTable renders the §4 headline comparisons at the given x: the
+// percentage by which WW-List outperforms every other strategy, in both sync
+// modes. (Paper, 96 procs: 364%/33%/75% no-sync, 182%/37%/13% sync; compute
+// speed 25.6: 592%/32%/98% no-sync, 444%/65%/58% sync.)
+func (sr *SweepResult) HeadlineTable(x float64) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("§4 headline — WW-List advantage at %s=%s", sr.xLabel(), trimFloat(x)),
+		"strategy", "no-sync (%)", "sync (%)")
+	for _, s := range sr.Strat {
+		if s == core.WWList {
+			continue
+		}
+		t.AddRowf(s.String(),
+			100*sr.Ratio(core.WWList, s, false, x),
+			100*sr.Ratio(core.WWList, s, true, x))
+	}
+	return t
+}
+
+// Tables returns every table the sweep reproduces, in figure order.
+func (sr *SweepResult) Tables() []*stats.Table {
+	var out []*stats.Table
+	for _, sync := range []bool{false, true} {
+		out = append(out, sr.OverallTable(sync))
+	}
+	for _, s := range sr.Strat {
+		for _, sync := range []bool{false, true} {
+			out = append(out, sr.PhaseTable(s, sync))
+		}
+	}
+	if len(sr.Xs) > 0 {
+		out = append(out, sr.HeadlineTable(sr.Xs[len(sr.Xs)-1]))
+	}
+	return out
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,59 @@
+package mpi
+
+import "s3asim/internal/des"
+
+// Barrier is a reusable synchronization point for a fixed group size. The
+// release cost models a tree barrier: ceil(log2(n)) network latencies after
+// the last arrival. Generation counting makes it safe to reuse immediately.
+type Barrier struct {
+	w       *World
+	n       int
+	arrived int
+	gen     uint64
+	cond    *des.Signal
+
+	// Accounting: total arrivals and the summed wait time across members,
+	// useful when attributing synchronization cost.
+	epochs uint64
+}
+
+// NewBarrier creates a barrier for groups of n participants.
+func (w *World) NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("mpi: barrier size must be >= 1")
+	}
+	return &Barrier{w: w, n: n, cond: w.sim.NewSignal()}
+}
+
+// releaseDelay is the modeled fan-in/fan-out cost once everyone arrived.
+func (b *Barrier) releaseDelay() des.Time {
+	steps := 0
+	for v := b.n - 1; v > 0; v >>= 1 {
+		steps++
+	}
+	return des.Time(steps) * b.w.cfg.Latency
+}
+
+// Arrive blocks the calling rank until all n participants of the current
+// generation have arrived, plus the modeled release delay.
+func (b *Barrier) Arrive(r *Rank) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.epochs++
+		delay := b.releaseDelay()
+		w := b.w
+		w.sim.After(delay, func() { b.cond.Broadcast() })
+		// The completing rank also pays the release delay.
+		r.proc.Sleep(delay)
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait(r.proc)
+	}
+}
+
+// Epochs reports how many times the barrier has fully released.
+func (b *Barrier) Epochs() uint64 { return b.epochs }

@@ -1,0 +1,434 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"s3asim/internal/des"
+)
+
+// fastNet returns a config with easy arithmetic for assertions:
+// 1 ms latency, 1 MB/s bandwidth, no per-message CPU, eager ≤ 1000 bytes.
+func fastNet() NetConfig {
+	return NetConfig{
+		Latency:      des.Millisecond,
+		Bandwidth:    1e6,
+		EagerLimit:   1000,
+		ProcsPerNode: 1,
+	}
+}
+
+func TestSendRecvDeliversPayload(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	var got any
+	var at des.Time
+	w.Spawn(0, "sender", func(r *Rank) {
+		r.Send(1, 7, 500, "hello")
+	})
+	w.Spawn(1, "receiver", func(r *Rank) {
+		m := r.Recv(0, 7)
+		got, at = m.Payload, r.Now()
+		if m.Source != 0 || m.Dest != 1 || m.Tag != 7 || m.Bytes != 500 {
+			t.Errorf("message header = %+v", m)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+	// 500 B at 1 MB/s = 0.5 ms sender NIC + 1 ms wire + 0.5 ms recv NIC.
+	want := 2 * des.Millisecond
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestEagerSendCompletesBeforeDelivery(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	var sendDone, recvDone des.Time
+	w.Spawn(0, "sender", func(r *Rank) {
+		req := r.Isend(1, 0, 500, nil) // eager (≤1000)
+		r.Wait(req)
+		sendDone = r.Now()
+	})
+	w.Spawn(1, "receiver", func(r *Rank) {
+		r.Recv(0, 0)
+		recvDone = r.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != des.Millisecond/2 {
+		t.Fatalf("eager send done at %v, want 0.5ms", sendDone)
+	}
+	if recvDone != 2*des.Millisecond {
+		t.Fatalf("recv done at %v, want 2ms", recvDone)
+	}
+}
+
+func TestLargeSendCompletesOnDelivery(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	var sendDone des.Time
+	w.Spawn(0, "sender", func(r *Rank) {
+		r.Send(1, 0, 2000, nil) // > eager limit
+		sendDone = r.Now()
+	})
+	w.Spawn(1, "receiver", func(r *Rank) {
+		r.Recv(0, 0)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 ms send NIC + 1 ms wire + 2 ms recv NIC = 5 ms.
+	if sendDone != 5*des.Millisecond {
+		t.Fatalf("rendezvous send done at %v, want 5ms", sendDone)
+	}
+}
+
+func TestReceiverNICSerializesConcurrentSenders(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 3, fastNet())
+	var last des.Time
+	for src := 0; src < 2; src++ {
+		src := src
+		w.Spawn(src, "sender", func(r *Rank) {
+			r.Isend(2, 0, 1000, nil)
+		})
+	}
+	w.Spawn(2, "sink", func(r *Rank) {
+		r.Recv(AnySource, 0)
+		r.Recv(AnySource, 0)
+		last = r.Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both messages: sender NICs overlap (distinct nodes), arrive at the
+	// sink's recv NIC at 2 ms; NIC serializes: 3 ms then 4 ms.
+	if last != 4*des.Millisecond {
+		t.Fatalf("second delivery at %v, want 4ms (receiver-side serialization)", last)
+	}
+}
+
+func TestSharedNodeNICSerializesSenders(t *testing.T) {
+	cfg := fastNet()
+	cfg.ProcsPerNode = 2 // ranks 0,1 share a node
+	sim := des.New()
+	w := NewWorld(sim, 4, cfg)
+	var r0Done, r1Done des.Time
+	w.Spawn(0, "s0", func(r *Rank) {
+		r.Send(2, 0, 1000, nil)
+		r0Done = r.Now()
+	})
+	w.Spawn(1, "s1", func(r *Rank) {
+		r.Send(3, 0, 1000, nil)
+		r1Done = r.Now()
+	})
+	w.Spawn(2, "d2", func(r *Rank) { r.Recv(0, 0) })
+	w.Spawn(3, "d3", func(r *Rank) { r.Recv(1, 0) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r0Done != des.Millisecond || r1Done != 2*des.Millisecond {
+		t.Fatalf("send completions %v, %v; want 1ms and 2ms (shared send NIC)", r0Done, r1Done)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 3, fastNet())
+	var fromTag2, fromRank2 any
+	w.Spawn(0, "s0", func(r *Rank) {
+		r.Isend(2, 1, 10, "r0t1")
+		r.Isend(2, 2, 10, "r0t2")
+	})
+	w.Spawn(1, "s1", func(r *Rank) {
+		r.Isend(2, 1, 10, "r1t1")
+	})
+	w.Spawn(2, "recv", func(r *Rank) {
+		fromTag2 = r.Recv(AnySource, 2).Payload
+		fromRank2 = r.Recv(1, AnyTag).Payload
+		r.Recv(AnySource, AnyTag) // drain the remaining message
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fromTag2 != "r0t2" {
+		t.Fatalf("tag-2 recv got %v", fromTag2)
+	}
+	if fromRank2 != "r1t1" {
+		t.Fatalf("rank-1 recv got %v", fromRank2)
+	}
+}
+
+func TestPerSourceOrderingPreserved(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	const n = 20
+	var order []int
+	w.Spawn(0, "s", func(r *Rank) {
+		for i := 0; i < n; i++ {
+			r.Isend(1, 0, 100, i)
+		}
+	})
+	w.Spawn(1, "d", func(r *Rank) {
+		for i := 0; i < n; i++ {
+			order = append(order, r.Recv(0, 0).Payload.(int))
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("messages reordered: %v", order)
+		}
+	}
+}
+
+func TestIrecvBeforeSendMatches(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	var ok bool
+	w.Spawn(1, "d", func(r *Rank) {
+		req := r.Irecv(0, 5)
+		if r.Test(req) {
+			t.Error("request complete before any send")
+		}
+		m := r.Wait(req)
+		ok = m.Payload.(string) == "x"
+	})
+	w.Spawn(0, "s", func(r *Rank) {
+		r.Compute(10 * des.Millisecond)
+		r.Send(1, 5, 10, "x")
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("posted receive did not match later send")
+	}
+}
+
+func TestProbe(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	var before, after bool
+	w.Spawn(0, "s", func(r *Rank) {
+		r.Send(1, 3, 10, nil)
+	})
+	w.Spawn(1, "d", func(r *Rank) {
+		before = r.Probe(0, 3)
+		r.Compute(10 * des.Millisecond)
+		after = r.Probe(0, 3)
+		r.Recv(0, 3)
+		if r.Probe(0, 3) {
+			t.Error("probe true after message consumed")
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if before {
+		t.Fatal("probe true before delivery")
+	}
+	if !after {
+		t.Fatal("probe false after delivery")
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 4, fastNet())
+	b := w.NewBarrier(4)
+	var releases []des.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			r.Compute(des.Time(i) * des.Second)
+			b.Arrive(r)
+			releases = append(releases, r.Now())
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Last arrival at 3 s; release delay = ceil(log2(4))·1 ms = 2 ms.
+	want := 3*des.Second + 2*des.Millisecond
+	for _, at := range releases {
+		if at != want {
+			t.Fatalf("releases %v, want all at %v", releases, want)
+		}
+	}
+	if b.Epochs() != 1 {
+		t.Fatalf("epochs = %d", b.Epochs())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	b := w.NewBarrier(2)
+	counts := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			for round := 0; round < 5; round++ {
+				r.Compute(des.Time(i+1) * des.Millisecond)
+				b.Arrive(r)
+				counts[i]++
+				// Ranks must stay in lockstep.
+				if counts[0] != counts[1] && counts[0]-counts[1] != 0 {
+					diff := counts[i] - counts[1-i]
+					if diff < -1 || diff > 1 {
+						t.Errorf("ranks out of lockstep: %v", counts)
+					}
+				}
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("rounds = %v, want 5 each", counts)
+	}
+	if b.Epochs() != 5 {
+		t.Fatalf("epochs = %d, want 5", b.Epochs())
+	}
+}
+
+func TestWaitAllAndTestSome(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	w.Spawn(0, "s", func(r *Rank) {
+		reqs := []*Request{
+			r.Isend(1, 0, 10, 1),
+			r.Isend(1, 0, 10, 2),
+			r.Isend(1, 0, 10, 3),
+		}
+		r.WaitAll(reqs...)
+		idx := r.TestSome(reqs, nil)
+		if len(idx) != 3 {
+			t.Errorf("TestSome after WaitAll = %v", idx)
+		}
+	})
+	w.Spawn(1, "d", func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.Recv(0, 0)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldAccounting(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 2, fastNet())
+	w.Spawn(0, "s", func(r *Rank) {
+		r.Send(1, 0, 100, nil)
+		r.Send(1, 0, 200, nil)
+	})
+	w.Spawn(1, "d", func(r *Rank) {
+		r.Recv(0, 0)
+		r.Recv(0, 0)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.MessagesSent() != 2 || w.BytesSent() != 300 {
+		t.Fatalf("accounting: %d msgs, %d bytes", w.MessagesSent(), w.BytesSent())
+	}
+}
+
+// Property: no messages are lost or duplicated — for any pattern of sends
+// from rank 0, rank 1 receives exactly the multiset sent, in order.
+func TestPropertyNoLossNoDuplication(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		sim := des.New()
+		w := NewWorld(sim, 2, fastNet())
+		var got []int
+		w.Spawn(0, "s", func(r *Rank) {
+			for i, sz := range sizes {
+				r.Isend(1, 0, int64(sz)+1, i)
+			}
+		})
+		w.Spawn(1, "d", func(r *Rank) {
+			for range sizes {
+				got = append(got, r.Recv(0, 0).Payload.(int))
+			}
+		})
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: barrier with n participants always releases everyone at
+// max(arrival times) + release delay.
+func TestPropertyBarrierReleaseTime(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		n := len(delaysRaw)
+		if n < 1 {
+			return true
+		}
+		if n > 32 {
+			n = 32
+		}
+		delays := delaysRaw[:n]
+		sim := des.New()
+		cfg := fastNet()
+		w := NewWorld(sim, n, cfg)
+		b := w.NewBarrier(n)
+		var maxArrive des.Time
+		for _, d := range delays {
+			if des.Time(d) > maxArrive {
+				maxArrive = des.Time(d)
+			}
+		}
+		steps := 0
+		for v := n - 1; v > 0; v >>= 1 {
+			steps++
+		}
+		want := maxArrive + des.Time(steps)*cfg.Latency
+		okAll := true
+		for i := 0; i < n; i++ {
+			d := des.Time(delays[i])
+			w.Spawn(i, "p", func(r *Rank) {
+				r.Compute(d)
+				b.Arrive(r)
+				if r.Now() != want {
+					okAll = false
+				}
+			})
+		}
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

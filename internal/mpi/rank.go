@@ -1,0 +1,193 @@
+package mpi
+
+import "s3asim/internal/des"
+
+// Rank is one MPI process. All of its operations must be invoked from
+// inside the des.Proc that Spawn started for it.
+type Rank struct {
+	w    *World
+	rank int
+	node *node
+	proc *des.Proc
+
+	inbox    []*Message    // arrived, not yet matched
+	posted   []*postedRecv // posted receives, not yet matched
+	activity *des.Signal   // broadcast whenever a request completes
+}
+
+type postedRecv struct {
+	source, tag int
+	req         *Request
+}
+
+func (pr *postedRecv) matches(m *Message) bool {
+	return (pr.source == AnySource || pr.source == m.Source) &&
+		(pr.tag == AnyTag || pr.tag == m.Tag)
+}
+
+// Rank returns this rank's index.
+func (r *Rank) Rank() int { return r.rank }
+
+// World returns the communicator.
+func (r *Rank) World() *World { return r.w }
+
+// Proc returns the simulated process executing this rank.
+func (r *Rank) Proc() *des.Proc { return r.proc }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() des.Time { return r.w.sim.Now() }
+
+// Compute advances this rank's virtual clock by d, modeling local work.
+func (r *Rank) Compute(d des.Time) { r.proc.Sleep(d) }
+
+// Request tracks the completion of a nonblocking operation. A receive
+// request additionally carries the matched message once complete.
+type Request struct {
+	owner *Rank
+	done  bool
+	msg   *Message // non-nil for completed receives
+}
+
+// Done reports whether the operation has completed (MPI_Test without
+// side effects; our Test is free of progress obligations because the DES
+// kernel advances the network independently).
+func (q *Request) Done() bool { return q.done }
+
+// Message returns the received message, or nil if not a completed receive.
+func (q *Request) Message() *Message { return q.msg }
+
+func (q *Request) complete(m *Message) {
+	q.done = true
+	q.msg = m
+	q.owner.activity.Broadcast()
+}
+
+// Isend starts a nonblocking send of a message with the given simulated
+// size and real payload. The returned request completes when the sender-side
+// NIC finishes (bytes ≤ eager limit) or when the message is delivered to the
+// destination rank's matching engine (larger messages).
+func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
+	if dest < 0 || dest >= len(r.w.ranks) {
+		panic("mpi: Isend to invalid rank")
+	}
+	w := r.w
+	cfg := w.cfg
+	m := &Message{Source: r.rank, Dest: dest, Tag: tag, Bytes: bytes, Payload: payload}
+	req := &Request{owner: r}
+	w.msgsSent++
+	w.bytesSent += uint64(bytes)
+
+	eager := bytes <= cfg.EagerLimit
+	sendCost := cfg.PerMessageCPU + des.BytesOver(bytes, cfg.Bandwidth)
+	dstRank := w.ranks[dest]
+	r.node.send.Submit(sendCost, func() {
+		if eager {
+			req.complete(nil) // send requests carry no message
+		}
+		w.sim.After(cfg.Latency, func() {
+			recvCost := cfg.PerMessageCPU + des.BytesOver(bytes, cfg.Bandwidth)
+			dstRank.node.recv.Submit(recvCost, func() {
+				dstRank.deliver(m)
+				if !eager {
+					req.complete(nil)
+				}
+			})
+		})
+	})
+	return req
+}
+
+// Send is a blocking standard-mode send: Isend followed by Wait.
+func (r *Rank) Send(dest, tag int, bytes int64, payload any) {
+	r.Wait(r.Isend(dest, tag, bytes, payload))
+}
+
+// deliver runs in kernel context when a message clears the receiver NIC:
+// match the oldest satisfiable posted receive, else queue in arrival order.
+func (r *Rank) deliver(m *Message) {
+	for i, pr := range r.posted {
+		if pr.matches(m) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			pr.req.complete(m)
+			return
+		}
+	}
+	r.inbox = append(r.inbox, m)
+}
+
+// Irecv posts a nonblocking receive for (source, tag); AnySource/AnyTag
+// wildcards apply. If a queued message already matches, the request
+// completes immediately (consuming the oldest match).
+func (r *Rank) Irecv(source, tag int) *Request {
+	req := &Request{owner: r}
+	for i, m := range r.inbox {
+		if (source == AnySource || source == m.Source) && (tag == AnyTag || tag == m.Tag) {
+			r.inbox = append(r.inbox[:i], r.inbox[i+1:]...)
+			req.complete(m)
+			return req
+		}
+	}
+	r.posted = append(r.posted, &postedRecv{source: source, tag: tag, req: req})
+	return req
+}
+
+// Recv is a blocking receive: Irecv followed by Wait.
+func (r *Rank) Recv(source, tag int) *Message {
+	return r.Wait(r.Irecv(source, tag))
+}
+
+// Wait blocks this rank until the request completes, returning the matched
+// message for receives (nil for sends). Corresponds to MPI_Wait.
+func (r *Rank) Wait(q *Request) *Message {
+	for !q.done {
+		r.activity.Wait(r.proc)
+	}
+	return q.msg
+}
+
+// WaitAll blocks until every request has completed.
+func (r *Rank) WaitAll(qs ...*Request) {
+	for _, q := range qs {
+		r.Wait(q)
+	}
+}
+
+// WaitAny blocks until at least one of the requests has completed and
+// returns the index of the first completed one. Panics on an empty set.
+func (r *Rank) WaitAny(qs []*Request) int {
+	if len(qs) == 0 {
+		panic("mpi: WaitAny on empty request set")
+	}
+	for {
+		for i, q := range qs {
+			if q.done {
+				return i
+			}
+		}
+		r.activity.Wait(r.proc)
+	}
+}
+
+// Test reports whether the request has completed (MPI_Test).
+func (r *Rank) Test(q *Request) bool { return q.done }
+
+// TestSome appends completed requests' indices to idx and returns it.
+func (r *Rank) TestSome(qs []*Request, idx []int) []int {
+	for i, q := range qs {
+		if q.done {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Probe reports whether a message matching (source, tag) has arrived but
+// not been received (MPI_Iprobe).
+func (r *Rank) Probe(source, tag int) bool {
+	for _, m := range r.inbox {
+		if (source == AnySource || source == m.Source) && (tag == AnyTag || tag == m.Tag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package mpi
+
+import "sort"
+
+// teamTagBase keeps collective tags away from application and two-phase
+// exchange tags.
+const teamTagBase = 1 << 22
+
+// Team is a fixed group of ranks executing collectives together: broadcast
+// and reduce use binomial trees (log₂(n) rounds, as MPICH does), gather is
+// linear at the root. Every member must call each collective in the same
+// order; a generation counter isolates successive operations.
+type Team struct {
+	w       *World
+	ranks   []int
+	indexOf map[int]int
+	// memberGen counts collectives each member has entered. Members call
+	// collectives in the same order, so the k-th operation carries the
+	// same tag on every member even when operations overlap in time.
+	memberGen []int
+}
+
+// NewTeam creates a collective team over the given ranks.
+func (w *World) NewTeam(ranks []int) *Team {
+	if len(ranks) == 0 {
+		panic("mpi: empty team")
+	}
+	t := &Team{w: w, ranks: append([]int(nil), ranks...), indexOf: map[int]int{}}
+	sort.Ints(t.ranks)
+	for i, rk := range t.ranks {
+		if _, dup := t.indexOf[rk]; dup {
+			panic("mpi: duplicate rank in team")
+		}
+		t.indexOf[rk] = i
+	}
+	t.memberGen = make([]int, len(t.ranks))
+	return t
+}
+
+// Size returns the number of team members.
+func (t *Team) Size() int { return len(t.ranks) }
+
+// pos returns r's position within the team, panicking on foreign ranks.
+func (t *Team) pos(r *Rank) int {
+	p, ok := t.indexOf[r.Rank()]
+	if !ok {
+		panic("mpi: rank not in team")
+	}
+	return p
+}
+
+// vrank is the virtual rank relative to root (tree algorithms are written
+// as if root were position 0).
+func (t *Team) vrank(pos, rootPos int) int {
+	return (pos - rootPos + len(t.ranks)) % len(t.ranks)
+}
+
+// absRank converts a virtual rank back to a world rank.
+func (t *Team) absRank(vr, rootPos int) int {
+	return t.ranks[(vr+rootPos)%len(t.ranks)]
+}
+
+// opTag reserves this member's tag for its next collective operation.
+func (t *Team) opTag(r *Rank) int {
+	p := t.pos(r)
+	tag := teamTagBase + (t.memberGen[p] % (1 << 16))
+	t.memberGen[p]++
+	return tag
+}
+
+// Bcast distributes payload (of the given simulated size) from root to
+// every team member along a binomial tree. Returns the payload on every
+// member. root is a world rank that must belong to the team.
+func (t *Team) Bcast(r *Rank, root int, bytes int64, payload any) any {
+	n := len(t.ranks)
+	tag := t.opTag(r)
+	rootPos, ok := t.indexOf[root]
+	if !ok {
+		panic("mpi: bcast root not in team")
+	}
+	vr := t.vrank(t.pos(r), rootPos)
+
+	// Receive from parent (all but the root).
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			parent := t.absRank(vr-mask, rootPos)
+			payload = r.Recv(parent, tag).Payload
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children.
+	mask >>= 1
+	var sends []*Request
+	for mask > 0 {
+		if vr+mask < n {
+			child := t.absRank(vr+mask, rootPos)
+			sends = append(sends, r.Isend(child, tag, bytes, payload))
+		}
+		mask >>= 1
+	}
+	r.WaitAll(sends...)
+	return payload
+}
+
+// Gather collects every member's payload at root (linear algorithm, as
+// MPICH uses for small teams). At root it returns payloads indexed by team
+// position; elsewhere it returns nil.
+func (t *Team) Gather(r *Rank, root int, bytes int64, payload any) []any {
+	tag := t.opTag(r)
+	rootPos, ok := t.indexOf[root]
+	if !ok {
+		panic("mpi: gather root not in team")
+	}
+	me := t.pos(r)
+	if me != rootPos {
+		r.Send(root, tag, bytes, gatherItem{Pos: me, Value: payload})
+		return nil
+	}
+	out := make([]any, len(t.ranks))
+	out[rootPos] = payload
+	for i := 0; i < len(t.ranks)-1; i++ {
+		m := r.Recv(AnySource, tag)
+		item := m.Payload.(gatherItem)
+		out[item.Pos] = item.Value
+	}
+	return out
+}
+
+type gatherItem struct {
+	Pos   int
+	Value any
+}
+
+// Reduce combines every member's float64 value with op along a binomial
+// tree, delivering the result at root (others receive 0). op must be
+// associative and commutative.
+func (t *Team) Reduce(r *Rank, root int, bytes int64, value float64, op func(a, b float64) float64) float64 {
+	n := len(t.ranks)
+	tag := t.opTag(r)
+	rootPos, ok := t.indexOf[root]
+	if !ok {
+		panic("mpi: reduce root not in team")
+	}
+	vr := t.vrank(t.pos(r), rootPos)
+	acc := value
+	mask := 1
+	for mask < n {
+		if vr&mask == 0 {
+			src := vr | mask
+			if src < n {
+				m := r.Recv(t.absRank(src, rootPos), tag)
+				acc = op(acc, m.Payload.(float64))
+			}
+		} else {
+			dst := t.absRank(vr&^mask, rootPos)
+			r.Send(dst, tag, bytes, acc)
+			return 0
+		}
+		mask <<= 1
+	}
+	return acc // only the root reaches here
+}

@@ -1,0 +1,249 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"s3asim/internal/des"
+)
+
+func teamFixture(t *testing.T, n int) (*des.Simulation, *World, *Team) {
+	t.Helper()
+	sim := des.New()
+	w := NewWorld(sim, n, fastNet())
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return sim, w, w.NewTeam(ranks)
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		sim, w, team := teamFixture(t, n)
+		got := make([]any, n)
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(i, "p", func(r *Rank) {
+				var payload any
+				if i == 2%n {
+					payload = "the-config"
+				}
+				got[i] = team.Bcast(r, 2%n, 100, payload)
+			})
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, v := range got {
+			if v != "the-config" {
+				t.Fatalf("n=%d rank %d got %v", n, i, v)
+			}
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	const n = 7
+	const root = 5
+	sim, w, team := teamFixture(t, n)
+	ok := true
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			var payload any
+			if i == root {
+				payload = 42
+			}
+			if team.Bcast(r, root, 8, payload) != 42 {
+				ok = false
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("payload lost with non-zero root")
+	}
+}
+
+func TestBcastLogarithmicDepth(t *testing.T) {
+	// With a binomial tree, 16 ranks need 4 rounds, so completion should
+	// be far faster than 15 sequential sends at high latency.
+	cfg := fastNet()
+	cfg.Latency = 10 * des.Millisecond
+	const n = 16
+	sim := des.New()
+	w := NewWorld(sim, n, cfg)
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	team := w.NewTeam(ranks)
+	var last des.Time
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			team.Bcast(r, 0, 8, i == 0)
+			if r.Now() > last {
+				last = r.Now()
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 tree levels x ~10ms each, far below 15 x 10ms.
+	if last > 80*des.Millisecond {
+		t.Fatalf("bcast finished at %v; tree depth looks linear", last)
+	}
+}
+
+func TestGatherCollectsInPositionOrder(t *testing.T) {
+	const n = 6
+	sim, w, team := teamFixture(t, n)
+	var collected []any
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			out := team.Gather(r, 0, 16, i*i)
+			if i == 0 {
+				collected = out
+			} else if out != nil {
+				t.Errorf("non-root rank %d got gather output", i)
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(collected) != n {
+		t.Fatalf("collected %d values", len(collected))
+	}
+	for i, v := range collected {
+		if v != i*i {
+			t.Fatalf("position %d = %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 9} {
+		sim, w, team := teamFixture(t, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		values := make([]float64, n)
+		want := 0.0
+		for i := range values {
+			values[i] = rng.Float64() * 100
+			want += values[i]
+		}
+		var got float64
+		for i := 0; i < n; i++ {
+			i := i
+			w.Spawn(i, "p", func(r *Rank) {
+				res := team.Reduce(r, 0, 8, values[i], func(a, b float64) float64 { return a + b })
+				if i == 0 {
+					got = res
+				}
+			})
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: sum = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestReduceMaxNonZeroRoot(t *testing.T) {
+	const n = 5
+	const root = 3
+	sim, w, team := teamFixture(t, n)
+	var got float64
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			res := team.Reduce(r, root, 8, float64(i*10), math.Max)
+			if i == root {
+				got = res
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Fatalf("max = %v, want 40", got)
+	}
+}
+
+func TestBackToBackCollectivesDoNotCrossTalk(t *testing.T) {
+	const n = 4
+	sim, w, team := teamFixture(t, n)
+	rounds := 5
+	bad := false
+	for i := 0; i < n; i++ {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			for round := 0; round < rounds; round++ {
+				var payload any
+				if i == 0 {
+					payload = round
+				}
+				if got := team.Bcast(r, 0, 8, payload); got != round {
+					bad = true
+				}
+				sum := team.Reduce(r, 0, 8, float64(round), func(a, b float64) float64 { return a + b })
+				if i == 0 && sum != float64(round*n) {
+					bad = true
+				}
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("collective rounds interfered")
+	}
+}
+
+func TestTeamSubsetOfWorld(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 6, fastNet())
+	team := w.NewTeam([]int{1, 3, 5}) // workers only
+	var got []any
+	for _, i := range []int{1, 3, 5} {
+		i := i
+		w.Spawn(i, "p", func(r *Rank) {
+			v := team.Bcast(r, 3, 8, map[bool]any{true: "x", false: nil}[i == 3])
+			got = append(got, v)
+		})
+	}
+	w.Spawn(0, "outsider", func(r *Rank) { r.Compute(des.Second) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("members = %d", len(got))
+	}
+	for _, v := range got {
+		if v != "x" {
+			t.Fatalf("subset bcast value %v", v)
+		}
+	}
+}
+
+func TestTeamValidation(t *testing.T) {
+	sim := des.New()
+	w := NewWorld(sim, 3, fastNet())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate ranks accepted")
+		}
+	}()
+	w.NewTeam([]int{1, 1})
+}

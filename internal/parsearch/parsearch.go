@@ -1,0 +1,354 @@
+// Package parsearch is a real-execution miniature of a database-segmented
+// parallel sequence-search tool — the class of application (mpiBLAST,
+// pioBLAST) whose I/O behaviour S3aSim simulates. It partitions a database
+// into fragments, searches every query against every fragment with the real
+// aligner in internal/align using a pool of worker goroutines, merges
+// results by score, and writes a deterministic output file using either the
+// master-writing or the worker-writing strategy:
+//
+//   - MasterWrites: workers send formatted results to the coordinator,
+//     which writes each query's block contiguously (MW).
+//   - WorkerWrites: workers keep their results; the coordinator merges
+//     scores only and sends back offset lists; workers position-write
+//     their own lines (WW, the paper's proposed strategy family).
+//
+// Both strategies produce byte-identical output files, mirroring the
+// simulator's cross-strategy file-image invariant.
+package parsearch
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"s3asim/internal/align"
+	"s3asim/internal/bio"
+)
+
+// Strategy selects who writes the output file.
+type Strategy int
+
+const (
+	// MasterWrites gathers full results at the coordinator (MW).
+	MasterWrites Strategy = iota
+	// WorkerWrites sends workers offset lists and lets them write (WW).
+	WorkerWrites
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == MasterWrites {
+		return "master-writes"
+	}
+	return "worker-writes"
+}
+
+// Config tunes an engine run.
+type Config struct {
+	Workers   int // searcher goroutines (≥1)
+	Fragments int // database segments (≥1)
+	K         int // seed length
+	Search    align.SearchOptions
+	Strategy  Strategy
+}
+
+// DefaultConfig returns a small, deterministic configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:   4,
+		Fragments: 8,
+		K:         8,
+		Search:    align.DefaultSearchOptions(),
+	}
+}
+
+// Summary reports a run's outcome.
+type Summary struct {
+	Queries     int
+	Tasks       int
+	Hits        int
+	OutputBytes int64
+	Index       time.Duration // fragment indexing wall time
+	Wall        time.Duration // end-to-end wall time
+}
+
+// task is one (query, fragment) search unit.
+type task struct {
+	q, f int
+}
+
+// taskResult carries a completed task's formatted hits.
+type taskResult struct {
+	task     task
+	workerID int
+	lines    []string // formatted hits, already score-ordered within the task
+	keys     []hitKey // merge keys parallel to lines
+}
+
+// hitKey orders hits within a query deterministically across fragments.
+type hitKey struct {
+	score   int
+	subject int // global sequence index
+	sstart  int
+}
+
+func (a hitKey) less(b hitKey) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.subject != b.subject {
+		return a.subject < b.subject
+	}
+	return a.sstart < b.sstart
+}
+
+// writeOrder instructs a worker to write its retained lines for a query at
+// the given absolute offsets (WorkerWrites strategy).
+type writeOrder struct {
+	q       int
+	offsets []int64 // parallel to the worker's retained lines for q
+}
+
+// Run searches queries against db and writes results to outPath.
+func Run(cfg Config, db *bio.Database, queries []bio.Sequence, outPath string) (*Summary, error) {
+	if cfg.Workers < 1 || cfg.Fragments < 1 {
+		return nil, fmt.Errorf("parsearch: need at least one worker and one fragment")
+	}
+	if cfg.K < 4 {
+		cfg.K = 8
+	}
+	start := time.Now()
+	frags := db.Partition(cfg.Fragments)
+
+	// Index fragments in parallel (database segmentation setup).
+	idxStart := time.Now()
+	indexes := make([]*align.Index, len(frags))
+	var iwg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, fr := range frags {
+		i, fr := i, fr
+		iwg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer iwg.Done()
+			indexes[i] = align.NewIndex(db.FragmentSeqs(fr), cfg.K)
+			<-sem
+		}()
+	}
+	iwg.Wait()
+	indexDur := time.Since(idxStart)
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	defer out.Close()
+
+	tasks := make(chan task, cfg.Workers)
+	results := make(chan taskResult, cfg.Workers)
+	orders := make([]chan writeOrder, cfg.Workers)
+	for w := range orders {
+		orders[w] = make(chan writeOrder, len(queries))
+	}
+	retained := make([]map[int][]string, cfg.Workers) // worker -> query -> lines
+	for w := range retained {
+		retained[w] = map[int][]string{}
+	}
+
+	var wwg sync.WaitGroup
+	var writeErr error
+	var writeErrOnce sync.Once
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			taskCh, orderCh := tasks, orders[w]
+			for taskCh != nil || orderCh != nil {
+				select {
+				case t, ok := <-taskCh:
+					if !ok {
+						taskCh = nil
+						continue
+					}
+					res := searchTask(cfg, indexes[t.f], frags[t.f], queries[t.q], t)
+					res.workerID = w
+					if cfg.Strategy == WorkerWrites {
+						retained[w][t.q] = append(retained[w][t.q], res.lines...)
+					}
+					results <- res
+				case o, ok := <-orderCh:
+					if !ok {
+						orderCh = nil
+						continue
+					}
+					lines := retained[w][o.q]
+					for i, off := range o.offsets {
+						if _, err := out.WriteAt([]byte(lines[i]), off); err != nil {
+							writeErrOnce.Do(func() { writeErr = err })
+						}
+					}
+					delete(retained[w], o.q)
+				}
+			}
+		}()
+	}
+
+	// Coordinator: distribute tasks, merge per query, flush in query order.
+	sum := &Summary{Queries: len(queries), Tasks: len(queries) * len(frags)}
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- coordinate(cfg, queries, frags, tasks, results, orders, out, sum)
+	}()
+
+	if err := <-coordErr; err != nil {
+		return nil, err
+	}
+	wwg.Wait()
+	if writeErr != nil {
+		return nil, writeErr
+	}
+	if err := out.Sync(); err != nil {
+		return nil, err
+	}
+	sum.Index = indexDur
+	sum.Wall = time.Since(start)
+	return sum, nil
+}
+
+// searchTask runs one (query, fragment) search and formats its hits.
+func searchTask(cfg Config, ix *align.Index, fr bio.Fragment, query bio.Sequence, t task) taskResult {
+	hits := ix.Search(query.Data, cfg.Search)
+	res := taskResult{task: t}
+	for _, h := range hits {
+		global := fr.Start + h.SubjectIndex
+		res.lines = append(res.lines, fmt.Sprintf(
+			"%s\t%s\t%d\t%.3f\t%d\t%d\t%d\t%d\n",
+			query.ID, h.SubjectID, h.Score, h.Identity,
+			h.QStart, h.QEnd, h.SStart, h.SEnd))
+		res.keys = append(res.keys, hitKey{score: h.Score, subject: global, sstart: h.SStart})
+	}
+	return res
+}
+
+// mergedHit pairs a merge key with its producing worker and line.
+type mergedHit struct {
+	key    hitKey
+	line   string
+	worker int
+	seq    int // arrival order within (worker, query): index into retained lines
+}
+
+// coordinate is the master loop: hand out tasks, merge completed ones, and
+// flush fully-processed queries in order using the configured strategy.
+func coordinate(cfg Config, queries []bio.Sequence, frags []bio.Fragment,
+	tasks chan<- task, results <-chan taskResult, orders []chan writeOrder,
+	out *os.File, sum *Summary) error {
+
+	defer func() {
+		for _, ch := range orders {
+			close(ch)
+		}
+	}()
+
+	// Feed tasks in deterministic order from a separate goroutine so the
+	// coordinator can keep draining results.
+	go func() {
+		for q := range queries {
+			for f := range frags {
+				tasks <- task{q: q, f: f}
+			}
+		}
+		close(tasks)
+	}()
+
+	remaining := make([]int, len(queries))
+	merged := make([][]mergedHit, len(queries))
+	for q := range remaining {
+		remaining[q] = len(frags)
+	}
+	flushed := 0
+	var offset int64
+
+	flushReady := func() error {
+		for flushed < len(queries) && remaining[flushed] == 0 {
+			q := flushed
+			hits := merged[q]
+			sort.Slice(hits, func(i, j int) bool {
+				if hits[i].key != hits[j].key {
+					return hits[i].key.less(hits[j].key)
+				}
+				return hits[i].line < hits[j].line
+			})
+			if cfg.Strategy == MasterWrites {
+				var block strings.Builder
+				for _, h := range hits {
+					block.WriteString(h.line)
+				}
+				if _, err := out.WriteAt([]byte(block.String()), offset); err != nil {
+					return err
+				}
+				offset += int64(block.Len())
+			} else {
+				// Assign per-hit offsets in merged order; group by worker,
+				// preserving each worker's retained-line order.
+				perWorker := make([][]int64, len(orders))
+				type slot struct {
+					seq int
+					off int64
+				}
+				slots := make([][]slot, len(orders))
+				for _, h := range hits {
+					slots[h.worker] = append(slots[h.worker], slot{seq: h.seq, off: offset})
+					offset += int64(len(h.line))
+				}
+				for w := range slots {
+					if len(slots[w]) == 0 {
+						continue
+					}
+					bySeq := append([]slot(nil), slots[w]...)
+					sort.Slice(bySeq, func(i, j int) bool { return bySeq[i].seq < bySeq[j].seq })
+					offs := make([]int64, len(bySeq))
+					for i, s := range bySeq {
+						offs[i] = s.off
+					}
+					perWorker[w] = offs
+				}
+				for w, offs := range perWorker {
+					if offs != nil { // workers with no hits retain nothing
+						orders[w] <- writeOrder{q: q, offsets: offs}
+					}
+				}
+			}
+			sum.Hits += len(hits)
+			flushed++
+		}
+		return nil
+	}
+
+	total := len(queries) * len(frags)
+	workerSeq := make([]map[int]int, len(orders)) // worker -> query -> next seq
+	for w := range workerSeq {
+		workerSeq[w] = map[int]int{}
+	}
+	for done := 0; done < total; done++ {
+		res := <-results
+		q := res.task.q
+		w := res.workerID
+		for i := range res.lines {
+			mh := mergedHit{key: res.keys[i], line: res.lines[i], worker: w}
+			mh.seq = workerSeq[w][q]
+			workerSeq[w][q]++
+			merged[q] = append(merged[q], mh)
+		}
+		remaining[q]--
+		if err := flushReady(); err != nil {
+			return err
+		}
+	}
+	sum.OutputBytes = offset
+	return nil
+}

@@ -1,0 +1,197 @@
+package parsearch
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"s3asim/internal/bio"
+	"s3asim/internal/stats"
+)
+
+// testData builds a deterministic database and query set where every query
+// is a (possibly mutated) slice of some database sequence, guaranteeing
+// hits.
+func testData(t *testing.T) (*bio.Database, []bio.Sequence) {
+	t.Helper()
+	db := bio.Generate(bio.GenSpec{
+		NumSeqs:  60,
+		SizeHist: stats.Uniform(200, 800),
+		Seed:     42,
+	})
+	var queries []bio.Sequence
+	for i := 0; i < 6; i++ {
+		src := db.Seqs[i*7]
+		n := 60
+		q := append([]byte(nil), src.Data[10:10+n]...)
+		if i%2 == 1 {
+			q[n/2] = 'A' // point mutation on odd queries
+		}
+		queries = append(queries, bio.Sequence{
+			ID:   "query" + strconv.Itoa(i),
+			Data: q,
+		})
+	}
+	return db, queries
+}
+
+func runStrategy(t *testing.T, s Strategy, workers int) (string, *Summary) {
+	t.Helper()
+	db, queries := testData(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = s
+	cfg.Workers = workers
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	sum, err := Run(cfg, db, queries, path)
+	if err != nil {
+		t.Fatalf("%v: %v", s, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != sum.OutputBytes {
+		t.Fatalf("%v: file %d bytes, summary says %d", s, len(data), sum.OutputBytes)
+	}
+	return string(data), sum
+}
+
+func TestStrategiesProduceIdenticalFiles(t *testing.T) {
+	mw, mwSum := runStrategy(t, MasterWrites, 4)
+	ww, wwSum := runStrategy(t, WorkerWrites, 4)
+	if mw != ww {
+		t.Fatalf("output differs between strategies:\nMW:\n%s\nWW:\n%s", mw, ww)
+	}
+	if mwSum.Hits != wwSum.Hits || mwSum.Hits == 0 {
+		t.Fatalf("hits: MW %d, WW %d", mwSum.Hits, wwSum.Hits)
+	}
+}
+
+func TestOutputStableAcrossWorkerCounts(t *testing.T) {
+	base, _ := runStrategy(t, WorkerWrites, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got, _ := runStrategy(t, WorkerWrites, workers)
+		if got != base {
+			t.Fatalf("output differs at %d workers", workers)
+		}
+	}
+}
+
+func TestOutputFormatAndOrdering(t *testing.T) {
+	out, sum := runStrategy(t, MasterWrites, 4)
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lines := 0
+	lastQuery := ""
+	lastScore := 1 << 30
+	seenQueries := map[string]bool{}
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != 8 {
+			t.Fatalf("line %d has %d fields: %q", lines, len(fields), sc.Text())
+		}
+		score, err := strconv.Atoi(fields[2])
+		if err != nil {
+			t.Fatalf("bad score %q", fields[2])
+		}
+		if fields[0] != lastQuery {
+			// New query block: queries appear in input order, once.
+			if seenQueries[fields[0]] {
+				t.Fatalf("query %s appears in two blocks", fields[0])
+			}
+			seenQueries[fields[0]] = true
+			lastQuery = fields[0]
+			lastScore = 1 << 30
+		}
+		if score > lastScore {
+			t.Fatalf("scores not descending within query %s", fields[0])
+		}
+		lastScore = score
+		lines++
+	}
+	if lines != sum.Hits {
+		t.Fatalf("lines %d != hits %d", lines, sum.Hits)
+	}
+	if len(seenQueries) == 0 {
+		t.Fatal("no hits at all")
+	}
+}
+
+func TestEveryQueryFindsItsSource(t *testing.T) {
+	out, _ := runStrategy(t, MasterWrites, 4)
+	db, queries := testData(t)
+	for i, q := range queries {
+		want := db.Seqs[i*7].ID
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, q.ID+"\t"+want+"\t") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %s did not hit its source sequence %s", q.ID, want)
+		}
+	}
+}
+
+func TestEmptyQuerySet(t *testing.T) {
+	db, _ := testData(t)
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	sum, err := Run(DefaultConfig(), db, nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Hits != 0 || sum.OutputBytes != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestQueryWithNoHits(t *testing.T) {
+	db, _ := testData(t)
+	queries := []bio.Sequence{{ID: "alien", Data: bytes.Repeat([]byte("ACGT"), 20)}}
+	// Replace the alphabet so no 8-mer matches: all-N query.
+	queries[0].Data = bytes.Repeat([]byte{'N'}, 80)
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	cfg := DefaultConfig()
+	cfg.Strategy = WorkerWrites
+	sum, err := Run(cfg, db, queries, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Hits != 0 {
+		t.Fatalf("hits = %d for unmatched query", sum.Hits)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	db, queries := testData(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 0
+	if _, err := Run(cfg, db, queries, filepath.Join(t.TempDir(), "o")); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Fragments = 0
+	if _, err := Run(cfg, db, queries, filepath.Join(t.TempDir(), "o")); err == nil {
+		t.Fatal("zero fragments accepted")
+	}
+}
+
+func TestMoreFragmentsThanSequences(t *testing.T) {
+	db := bio.Generate(bio.GenSpec{NumSeqs: 3, SizeHist: stats.Uniform(300, 400), Seed: 1})
+	queries := []bio.Sequence{{ID: "q", Data: db.Seqs[0].Data[:50]}}
+	cfg := DefaultConfig()
+	cfg.Fragments = 10
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	sum, err := Run(cfg, db, queries, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Hits == 0 {
+		t.Fatal("no hits with oversubscribed fragments")
+	}
+}

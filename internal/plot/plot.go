@@ -1,0 +1,227 @@
+// Package plot renders the experiment results in the paper's two figure
+// shapes — multi-series line charts (Figures 2 and 5) and stacked bar
+// charts of phase decompositions (Figures 3, 4, 6, 7) — as self-contained
+// SVG documents and as ASCII charts for terminals. No external
+// dependencies; coordinates are computed directly.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line in a line chart.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// LineChart describes a Figure-2/5-style chart.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// StackedBars describes a Figure-3/4/6/7-style chart: for each category
+// (x value) a bar split into named segments.
+type StackedBars struct {
+	Title    string
+	XLabel   string
+	YLabel   string
+	Labels   []string    // one per bar
+	Segments []string    // segment names, bottom to top
+	Values   [][]float64 // Values[bar][segment]
+}
+
+// palette holds the SVG series/segment colors.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44",
+	"#66ccee", "#aa3377", "#bbbbbb", "#222222",
+}
+
+// asciiMarks distinguish line-chart series in terminals.
+var asciiMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func colorOf(i int) string { return palette[i%len(palette)] }
+
+// scale maps data values to pixel coordinates, optionally through log10.
+type scale struct {
+	lo, hi   float64
+	plo, phi float64
+	log      bool
+}
+
+func newScale(lo, hi, plo, phi float64, log bool) scale {
+	if log {
+		if lo <= 0 {
+			lo = 1e-9
+		}
+		lo, hi = math.Log10(lo), math.Log10(hi)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return scale{lo: lo, hi: hi, plo: plo, phi: phi, log: log}
+}
+
+func (s scale) at(v float64) float64 {
+	if s.log {
+		if v <= 0 {
+			v = 1e-9
+		}
+		v = math.Log10(v)
+	}
+	return s.plo + (v-s.lo)/(s.hi-s.lo)*(s.phi-s.plo)
+}
+
+// bounds computes the data range of all series.
+func (c *LineChart) bounds() (xmin, xmax, ymin, ymax float64) {
+	first := true
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !c.LogY {
+		ymin = math.Min(ymin, 0)
+	}
+	return
+}
+
+// niceTicks returns ~n round tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo, hi}
+	}
+	span := hi - lo
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	for _, m := range []float64{1, 2, 5, 10} {
+		step = m * mag
+		if span/step <= float64(n) {
+			break
+		}
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// logTicks returns decade ticks covering [lo, hi].
+func logTicks(lo, hi float64) []float64 {
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	var ticks []float64
+	for e := math.Floor(math.Log10(lo)); e <= math.Ceil(math.Log10(hi)); e++ {
+		ticks = append(ticks, math.Pow(10, e))
+	}
+	return ticks
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// sortedCopy returns series sorted by name for deterministic rendering.
+func sortedCopy(in []Series) []Series {
+	out := append([]Series(nil), in...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ASCII renders the line chart as a width×height character grid with axis
+// labels and a legend.
+func (c *LineChart) ASCII(width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	if len(c.Series) == 0 {
+		return "(empty chart)\n"
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	sx := newScale(xmin, xmax, 0, float64(width-1), c.LogX)
+	sy := newScale(ymin, ymax, float64(height-1), 0, c.LogY)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := asciiMarks[si%len(asciiMarks)]
+		// Connect consecutive points with interpolated marks.
+		for i := 0; i+1 < len(s.Xs); i++ {
+			x0, y0 := sx.at(s.Xs[i]), sy.at(s.Ys[i])
+			x1, y1 := sx.at(s.Xs[i+1]), sy.at(s.Ys[i+1])
+			steps := int(math.Max(math.Abs(x1-x0), math.Abs(y1-y0))) + 1
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				col := int(math.Round(x0 + (x1-x0)*f))
+				row := int(math.Round(y0 + (y1-y0)*f))
+				if row >= 0 && row < height && col >= 0 && col < width {
+					grid[row][col] = mark
+				}
+			}
+		}
+		if len(s.Xs) == 1 {
+			col := int(math.Round(sx.at(s.Xs[0])))
+			row := int(math.Round(sy.at(s.Ys[0])))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	topLabel := trimNum(ymax)
+	botLabel := trimNum(ymin)
+	lw := len(topLabel)
+	if len(botLabel) > lw {
+		lw = len(botLabel)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", lw)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", lw, topLabel)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", lw, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", lw), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", lw), width-len(trimNum(xmax)),
+		trimNum(xmin)+" "+c.XLabel, trimNum(xmax))
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", asciiMarks[si%len(asciiMarks)], s.Name))
+	}
+	b.WriteString("legend: " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *LineChart {
+	return &LineChart{
+		Title:  "Figure 2 — overall execution time",
+		XLabel: "processes",
+		YLabel: "time (s)",
+		LogX:   true,
+		Series: []Series{
+			{Name: "MW", Xs: []float64{2, 8, 32, 96}, Ys: []float64{447, 166, 150, 145}},
+			{Name: "WW-List", Xs: []float64{2, 8, 32, 96}, Ys: []float64{535, 82, 36, 32}},
+		},
+	}
+}
+
+func TestLineChartASCII(t *testing.T) {
+	out := sampleChart().ASCII(60, 12)
+	if !strings.Contains(out, "Figure 2") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=MW") || !strings.Contains(out, "o=WW-List") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("no data marks drawn")
+	}
+	if !strings.Contains(out, "processes") {
+		t.Fatal("x label missing")
+	}
+}
+
+func TestLineChartASCIIEmpty(t *testing.T) {
+	c := &LineChart{}
+	if !strings.Contains(c.ASCII(40, 10), "empty") {
+		t.Fatal("empty chart not flagged")
+	}
+}
+
+func TestLineChartSVGWellFormed(t *testing.T) {
+	svg := sampleChart().SVG(640, 360)
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"Figure 2", "MW", "WW-List", "processes", "time (s)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Fatal("malformed document")
+	}
+	// Two series -> two polylines.
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polylines = %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a <b> & "c"`
+	svg := c.SVG(400, 300)
+	if strings.Contains(svg, "<b>") {
+		t.Fatal("unescaped markup in title")
+	}
+	if !strings.Contains(svg, "&lt;b&gt;") || !strings.Contains(svg, "&amp;") {
+		t.Fatal("escapes missing")
+	}
+}
+
+func sampleBars() *StackedBars {
+	return &StackedBars{
+		Title:    "MW — worker phase times",
+		XLabel:   "processes",
+		YLabel:   "time (s)",
+		Labels:   []string{"2", "8", "32"},
+		Segments: []string{"Compute", "I/O", "Sync"},
+		Values: [][]float64{
+			{373, 0, 4},
+			{53, 0, 7},
+			{12, 0, 7},
+		},
+	}
+}
+
+func TestStackedBarsASCII(t *testing.T) {
+	out := sampleBars().ASCII(70)
+	if !strings.Contains(out, "C=Compute") || !strings.Contains(out, "S=Sync") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Bar rows: label + bar + total.
+	if !strings.Contains(lines[1], "2") || !strings.Contains(lines[1], "377.00") {
+		t.Fatalf("first bar row: %q", lines[1])
+	}
+	// Tallest bar (row 1) must have the most fill characters.
+	fill := func(s string) int { return strings.Count(s, "C") }
+	if fill(lines[1]) <= fill(lines[3]) {
+		t.Fatal("bar heights not proportional")
+	}
+}
+
+func TestStackedBarsSVG(t *testing.T) {
+	svg := sampleBars().SVG(640, 360)
+	for _, want := range []string{"<svg", "rect", "Compute", "Sync", "processes"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// 3 bars x up-to-3 segments (zero segments skipped: I/O is 0) + legend
+	// swatches (3) + background: at least 3*2+3+1 rects.
+	if strings.Count(svg, "<rect") < 9 {
+		t.Fatalf("rects = %d", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestStackedBarsEmpty(t *testing.T) {
+	sb := &StackedBars{}
+	if !strings.Contains(sb.SVG(300, 200), "empty") {
+		t.Fatal("empty bars SVG not flagged")
+	}
+	if !strings.Contains(sb.ASCII(40), "empty") {
+		t.Fatal("empty bars ASCII not flagged")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 3 || ticks[0] != 0 || ticks[len(ticks)-1] != 100 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+}
+
+func TestLogTicks(t *testing.T) {
+	ticks := logTicks(0.1, 100)
+	want := []float64{0.1, 1, 10, 100}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] < want[i]*0.999 || ticks[i] > want[i]*1.001 {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestScaleLogMapping(t *testing.T) {
+	s := newScale(1, 100, 0, 100, true)
+	if got := s.at(10); got < 49 || got > 51 {
+		t.Fatalf("log midpoint = %v, want ~50", got)
+	}
+	lin := newScale(0, 10, 0, 100, false)
+	if lin.at(5) != 50 {
+		t.Fatalf("linear midpoint = %v", lin.at(5))
+	}
+}

@@ -1,0 +1,256 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// svgCanvas accumulates SVG elements.
+type svgCanvas struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newCanvas(w, h int) *svgCanvas {
+	c := &svgCanvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, color string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+func (c *svgCanvas) polyline(pts []float64, color string, width float64) {
+	var sb strings.Builder
+	for i := 0; i+1 < len(pts); i += 2 {
+		fmt.Fprintf(&sb, "%.1f,%.1f ", pts[i], pts[i+1])
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		strings.TrimSpace(sb.String()), color, width)
+}
+
+func (c *svgCanvas) circle(x, y, r float64, color string) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, color string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="white" stroke-width="0.5"/>`+"\n",
+		x, y, w, h, color)
+}
+
+func (c *svgCanvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (c *svgCanvas) String() string { return c.b.String() + "</svg>\n" }
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// chart layout constants.
+const (
+	marginLeft   = 64.0
+	marginRight  = 150.0
+	marginTop    = 36.0
+	marginBottom = 48.0
+)
+
+// SVG renders the line chart as a self-contained SVG document.
+func (c *LineChart) SVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	cv := newCanvas(width, height)
+	if len(c.Series) == 0 {
+		cv.text(float64(width)/2, float64(height)/2, 14, "middle", "(empty chart)")
+		return cv.String()
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	px0, px1 := marginLeft, float64(width)-marginRight
+	py0, py1 := float64(height)-marginBottom, marginTop
+	sx := newScale(xmin, xmax, px0, px1, c.LogX)
+	sy := newScale(ymin, ymax, py0, py1, c.LogY)
+
+	// Axes.
+	cv.line(px0, py0, px1, py0, "#333", 1.2)
+	cv.line(px0, py0, px0, py1, "#333", 1.2)
+	cv.text(float64(width)/2, 18, 13, "middle", c.Title)
+	cv.text((px0+px1)/2, float64(height)-12, 11, "middle", c.XLabel)
+	cv.text(14, (py0+py1)/2, 11, "middle", c.YLabel)
+
+	xticks := niceTicks(xmin, xmax, 6)
+	if c.LogX {
+		xticks = logTicks(xmin, xmax)
+	}
+	for _, tv := range xticks {
+		x := sx.at(tv)
+		cv.line(x, py0, x, py0+4, "#333", 1)
+		cv.text(x, py0+16, 10, "middle", trimNum(tv))
+	}
+	yticks := niceTicks(ymin, ymax, 6)
+	if c.LogY {
+		yticks = logTicks(ymin, ymax)
+	}
+	for _, tv := range yticks {
+		y := sy.at(tv)
+		cv.line(px0-4, y, px0, y, "#333", 1)
+		cv.line(px0, y, px1, y, "#eee", 0.7)
+		cv.text(px0-7, y+3, 10, "end", trimNum(tv))
+	}
+
+	for si, s := range c.Series {
+		color := colorOf(si)
+		var pts []float64
+		for i := range s.Xs {
+			x, y := sx.at(s.Xs[i]), sy.at(s.Ys[i])
+			pts = append(pts, x, y)
+			cv.circle(x, y, 2.5, color)
+		}
+		cv.polyline(pts, color, 1.8)
+		ly := marginTop + float64(si)*16
+		cv.line(px1+10, ly, px1+30, ly, color, 2)
+		cv.text(px1+34, ly+4, 11, "start", s.Name)
+	}
+	return cv.String()
+}
+
+// SVG renders the stacked bar chart as a self-contained SVG document.
+func (sb *StackedBars) SVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	cv := newCanvas(width, height)
+	if len(sb.Labels) == 0 || len(sb.Segments) == 0 {
+		cv.text(float64(width)/2, float64(height)/2, 14, "middle", "(empty chart)")
+		return cv.String()
+	}
+	var ymax float64
+	for _, vals := range sb.Values {
+		var total float64
+		for _, v := range vals {
+			total += v
+		}
+		if total > ymax {
+			ymax = total
+		}
+	}
+	px0, px1 := marginLeft, float64(width)-marginRight
+	py0, py1 := float64(height)-marginBottom, marginTop
+	sy := newScale(0, ymax, py0, py1, false)
+
+	cv.line(px0, py0, px1, py0, "#333", 1.2)
+	cv.line(px0, py0, px0, py1, "#333", 1.2)
+	cv.text(float64(width)/2, 18, 13, "middle", sb.Title)
+	cv.text((px0+px1)/2, float64(height)-12, 11, "middle", sb.XLabel)
+	cv.text(14, (py0+py1)/2, 11, "middle", sb.YLabel)
+	for _, tv := range niceTicks(0, ymax, 6) {
+		y := sy.at(tv)
+		cv.line(px0-4, y, px0, y, "#333", 1)
+		cv.line(px0, y, px1, y, "#eee", 0.7)
+		cv.text(px0-7, y+3, 10, "end", trimNum(tv))
+	}
+
+	span := px1 - px0
+	slot := span / float64(len(sb.Labels))
+	barW := slot * 0.62
+	for bi, vals := range sb.Values {
+		x := px0 + slot*float64(bi) + (slot-barW)/2
+		base := 0.0
+		for si, v := range vals {
+			if v <= 0 {
+				continue
+			}
+			yTop := sy.at(base + v)
+			yBot := sy.at(base)
+			cv.rect(x, yTop, barW, yBot-yTop, colorOf(si))
+			base += v
+		}
+		cv.text(x+barW/2, py0+16, 10, "middle", sb.Labels[bi])
+	}
+	for si, name := range sb.Segments {
+		ly := marginTop + float64(si)*16
+		cv.rect(px1+10, ly-8, 12, 12, colorOf(si))
+		cv.text(px1+28, ly+2, 11, "start", name)
+	}
+	return cv.String()
+}
+
+// ASCII renders the stacked bars as rows of proportional segment counts.
+func (sb *StackedBars) ASCII(width int) string {
+	if width < 40 {
+		width = 40
+	}
+	var ymax float64
+	for _, vals := range sb.Values {
+		var total float64
+		for _, v := range vals {
+			total += v
+		}
+		if total > ymax {
+			ymax = total
+		}
+	}
+	if ymax == 0 {
+		return "(empty chart)\n"
+	}
+	labelW := 0
+	for _, l := range sb.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if sb.Title != "" {
+		b.WriteString(sb.Title + "\n")
+	}
+	barSpan := float64(width - labelW - 12)
+	for bi, vals := range sb.Values {
+		fmt.Fprintf(&b, "%-*s |", labelW, sb.Labels[bi])
+		var total float64
+		for si, v := range vals {
+			cells := int(v / ymax * barSpan)
+			b.WriteString(strings.Repeat(string(segRune(si, sb.Segments)), cells))
+			total += v
+		}
+		fmt.Fprintf(&b, "| %.2f\n", total)
+	}
+	var legend []string
+	for si, name := range sb.Segments {
+		legend = append(legend, fmt.Sprintf("%c=%s", segRune(si, sb.Segments), name))
+	}
+	b.WriteString("legend: " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}
+
+// segRune picks a distinguishing character for a segment, preferring the
+// segment name's initial when unique.
+func segRune(i int, names []string) rune {
+	if i < len(names) && len(names[i]) > 0 {
+		r := rune(names[i][0])
+		unique := true
+		for j, n := range names {
+			if j != i && len(n) > 0 && rune(n[0]) == r {
+				unique = false
+				break
+			}
+		}
+		if unique {
+			return r
+		}
+	}
+	return rune(asciiMarks[i%len(asciiMarks)])
+}

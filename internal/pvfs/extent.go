@@ -1,0 +1,156 @@
+// Package pvfs implements a simulated PVFS2-style parallel file system:
+// a configurable set of I/O servers plus a metadata server, round-robin
+// striping, native support for noncontiguous list I/O, per-server FCFS
+// request queues with an explicit cost model, and optional capture of real
+// file bytes so tests can verify that different I/O strategies produce
+// identical file images.
+//
+// As on real PVFS2 (paper §3.1), there is no locking and no atomicity for
+// overlapping writes — writers are expected not to overlap, and the file
+// tracks overlapping bytes so invariant tests can assert none occurred.
+package pvfs
+
+import "sort"
+
+// Segment is one contiguous piece of file data: a file offset, a length,
+// and optionally the real bytes (when data capture is enabled).
+type Segment struct {
+	Offset int64
+	Length int64
+	Data   []byte // nil unless capturing; if non-nil, len(Data) == Length
+}
+
+// extent is a stored, non-overlapping run of the file.
+type extent struct {
+	off  int64
+	n    int64
+	data []byte // nil when not capturing
+}
+
+func (e extent) end() int64 { return e.off + e.n }
+
+// extentMap maintains sorted, non-overlapping extents with overwrite
+// semantics and counts bytes that were ever written more than once.
+type extentMap struct {
+	exts        []extent
+	overlapped  int64 // total bytes written over already-written bytes
+	capture     bool
+	writes      int64
+	bytesStored int64 // current coverage
+}
+
+// write records [off, off+n) with optional data, replacing any overlap.
+func (m *extentMap) write(off, n int64, data []byte) {
+	if n <= 0 {
+		return
+	}
+	if m.capture && data != nil && int64(len(data)) != n {
+		panic("pvfs: data length mismatch")
+	}
+	m.writes++
+	end := off + n
+
+	// Find all extents intersecting [off, end).
+	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].end() > off })
+	var replaced []extent
+	j := i
+	for j < len(m.exts) && m.exts[j].off < end {
+		replaced = append(replaced, m.exts[j])
+		j++
+	}
+
+	newExt := extent{off: off, n: n}
+	if m.capture {
+		newExt.data = make([]byte, n)
+		if data != nil {
+			copy(newExt.data, data)
+		}
+	}
+
+	var keep []extent
+	for _, e := range replaced {
+		lo, hi := e.off, e.end()
+		if lo < off {
+			left := extent{off: lo, n: off - lo}
+			if m.capture {
+				left.data = e.data[:off-lo]
+			}
+			keep = append(keep, left)
+		}
+		if hi > end {
+			right := extent{off: end, n: hi - end}
+			if m.capture {
+				right.data = e.data[end-lo:]
+			}
+			keep = append(keep, right)
+		}
+		// Overlapping span of this extent with the new write:
+		ovLo, ovHi := max64(lo, off), min64(hi, end)
+		if ovHi > ovLo {
+			m.overlapped += ovHi - ovLo
+			m.bytesStored -= ovHi - ovLo
+		}
+	}
+	m.bytesStored += n
+
+	out := make([]extent, 0, len(m.exts)-len(replaced)+len(keep)+1)
+	out = append(out, m.exts[:i]...)
+	merged := append(keep, newExt)
+	sort.Slice(merged, func(a, b int) bool { return merged[a].off < merged[b].off })
+	out = append(out, merged...)
+	out = append(out, m.exts[j:]...)
+	m.exts = out
+}
+
+// coverage returns the number of distinct bytes ever written.
+func (m *extentMap) coverage() int64 { return m.bytesStored }
+
+// contiguousFrom reports whether [0, size) is fully covered.
+func (m *extentMap) covers(size int64) bool {
+	var pos int64
+	for _, e := range m.exts {
+		if e.off > pos {
+			return false
+		}
+		if e.end() > pos {
+			pos = e.end()
+		}
+		if pos >= size {
+			return true
+		}
+	}
+	return pos >= size
+}
+
+// read copies stored bytes for [off, off+n) into a fresh slice, zero-filling
+// gaps. Only meaningful with capture enabled.
+func (m *extentMap) read(off, n int64) []byte {
+	out := make([]byte, n)
+	end := off + n
+	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].end() > off })
+	for ; i < len(m.exts) && m.exts[i].off < end; i++ {
+		e := m.exts[i]
+		lo, hi := max64(e.off, off), min64(e.end(), end)
+		if hi <= lo {
+			continue
+		}
+		if e.data != nil {
+			copy(out[lo-off:hi-off], e.data[lo-e.off:hi-e.off])
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

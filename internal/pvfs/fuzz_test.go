@@ -1,0 +1,48 @@
+package pvfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzExtentMap drives the extent map with an arbitrary write program and
+// checks it against a flat reference buffer.
+func FuzzExtentMap(f *testing.F) {
+	f.Add([]byte{10, 5, 1, 8, 9, 2})
+	f.Add([]byte{0, 255, 3})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const size = 1 << 12
+		ref := make([]byte, size)
+		covered := make([]bool, size)
+		m := extentMap{capture: true}
+		for i := 0; i+2 < len(program); i += 3 {
+			off := int64(program[i]) * 16
+			n := int64(program[i+1]%64) + 1
+			if off+n > size {
+				n = size - off
+			}
+			if n <= 0 {
+				continue
+			}
+			fill := program[i+2]
+			data := bytes.Repeat([]byte{fill}, int(n))
+			m.write(off, n, data)
+			copy(ref[off:off+n], data)
+			for j := off; j < off+n; j++ {
+				covered[j] = true
+			}
+		}
+		if got := m.read(0, size); !bytes.Equal(got, ref) {
+			t.Fatal("extent map diverged from reference buffer")
+		}
+		var want int64
+		for _, c := range covered {
+			if c {
+				want++
+			}
+		}
+		if m.coverage() != want {
+			t.Fatalf("coverage %d, want %d", m.coverage(), want)
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package pvfs
+
+import (
+	"fmt"
+	"sort"
+
+	"s3asim/internal/des"
+)
+
+// ackCost is the client-side cost of absorbing a server completion ack.
+const ackCost = 2 * des.Microsecond
+
+// opKind discriminates the service cost shape of a server request.
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opRead
+	opSync
+)
+
+// serverRequest is one request bound for one server's FCFS queue.
+type serverRequest struct {
+	server int
+	kind   opKind
+	segs   []Segment // pieces on this server (write/read)
+	bytes  int64
+	nsegs  int
+}
+
+// groupByServer coalesces pieces into one request per server, preserving
+// per-server piece order.
+func groupRequests(pieces []serverPiece, kind opKind, contiguous bool) []*serverRequest {
+	byServer := map[int]*serverRequest{}
+	var order []*serverRequest
+	for _, pc := range pieces {
+		r := byServer[pc.server]
+		if r == nil {
+			r = &serverRequest{server: pc.server, kind: kind}
+			byServer[pc.server] = r
+			order = append(order, r)
+		}
+		r.segs = append(r.segs, pc.seg)
+		r.bytes += pc.seg.Length
+		r.nsegs++
+	}
+	if contiguous {
+		// A contiguous client range maps to a regular strided pattern the
+		// server handles as a single access: charge one segment.
+		for _, r := range order {
+			r.nsegs = 1
+		}
+	}
+	return order
+}
+
+// issue runs a set of server requests concurrently on behalf of p, blocking
+// until all complete. Per request the client pays PerServerIssue on its CPU
+// (serially), the data crosses the client send NIC and the wire, queues at
+// the server, is serviced, and an ack returns via the client recv NIC.
+func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
+	fs := f.fs
+	cfg := fs.cfg
+	sim := fs.sim
+	p.Sleep(cfg.IssueOverhead + des.Time(len(reqs))*cfg.PerServerIssue)
+	gate := sim.NewGate(len(reqs))
+	for _, r := range reqs {
+		r := r
+		srv := fs.servers[r.server]
+		var cost des.Time
+		switch r.kind {
+		case opWrite, opRead:
+			cost = cfg.RequestOverhead + des.Time(r.nsegs)*cfg.SegmentOverhead +
+				des.BytesOver(r.bytes, cfg.ServiceBandwidth)
+		case opSync:
+			d := srv.dirty
+			srv.dirty = 0
+			cost = cfg.SyncBase + des.BytesOver(d, cfg.SyncBandwidth)
+			srv.syncs++
+		}
+		wireBytes := r.bytes
+		if r.kind != opWrite {
+			wireBytes = 256 // request descriptor only; data flows back for reads
+		}
+		locks := f.lockUnits(r)
+		port.Send.Submit(des.BytesOver(wireBytes, port.Bandwidth), func() {
+			sim.After(cfg.NetLatency, func() {
+				submitAt := sim.Now()
+				serveLocked(sim, locks, srv.res, cost, cfg.LockAcquireCost, func() {
+					doneAt := srv.res.Submit(cost, func() {
+						if r.kind == opWrite {
+							srv.dirty += r.bytes
+							srv.written += r.bytes
+							for _, seg := range r.segs {
+								f.data.write(seg.Offset, seg.Length, seg.Data)
+								if seg.Offset+seg.Length > f.size {
+									f.size = seg.Offset + seg.Length
+								}
+							}
+						}
+						srv.requests++
+						srv.segments += uint64(r.nsegs)
+						sim.After(cfg.NetLatency, func() {
+							back := ackCost
+							if r.kind == opRead {
+								back += des.BytesOver(r.bytes, port.Bandwidth)
+							}
+							port.Recv.Submit(back, func() { gate.Done() })
+						})
+					})
+					if fs.traceOn {
+						fs.trace = append(fs.trace, RequestRecord{
+							Kind:     r.kindName(),
+							Server:   r.server,
+							Bytes:    r.bytes,
+							Segments: r.nsegs,
+							Submit:   submitAt,
+							Start:    doneAt - cost,
+							Done:     doneAt,
+						})
+					}
+				})
+			})
+		})
+	}
+	gate.Wait(p)
+}
+
+// Write performs a contiguous write of n bytes at off. data may be nil
+// unless the file system captures real bytes.
+func (f *File) Write(p *des.Proc, port *Port, off, n int64, data []byte) {
+	if n <= 0 {
+		return
+	}
+	pieces := f.splitByServer([]Segment{{Offset: off, Length: n, Data: data}})
+	f.issue(p, port, groupRequests(pieces, opWrite, true))
+}
+
+// WriteList performs a native noncontiguous list-I/O write: all segments in
+// one operation, one batched request per touched server, issued in parallel.
+// This is the PVFS2 list I/O interface of [Ching et al. 2002] that the
+// WW-List strategy exercises.
+func (f *File) WriteList(p *des.Proc, port *Port, segs []Segment) {
+	if len(segs) == 0 {
+		return
+	}
+	pieces := f.splitByServer(segs)
+	f.issue(p, port, groupRequests(pieces, opWrite, false))
+}
+
+// Read performs a contiguous read; with capture enabled the stored bytes
+// (zero-filled gaps) are returned, otherwise nil.
+func (f *File) Read(p *des.Proc, port *Port, off, n int64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	pieces := f.splitByServer([]Segment{{Offset: off, Length: n}})
+	f.issue(p, port, groupRequests(pieces, opRead, true))
+	if f.fs.cfg.CaptureData {
+		return f.data.read(off, n)
+	}
+	return nil
+}
+
+// Sync flushes every server's dirty data (MPI_File_sync's storage-side
+// effect). Each server charges a base cost plus its dirty bytes over the
+// flush bandwidth; concurrent syncs therefore mostly pay the base cost.
+func (f *File) Sync(p *des.Proc, port *Port) {
+	reqs := make([]*serverRequest, 0, len(f.fs.servers))
+	for i := range f.fs.servers {
+		reqs = append(reqs, &serverRequest{server: i, kind: opSync})
+	}
+	f.issue(p, port, reqs)
+}
+
+// lockUnits returns the lock resources a write request must serialize
+// through, in ascending unit order (empty when locking is disabled or the
+// request is not a write).
+func (f *File) lockUnits(r *serverRequest) []*des.Resource {
+	gran := f.fs.cfg.LockGranularity
+	if gran <= 0 || r.kind != opWrite {
+		return nil
+	}
+	seen := map[int64]bool{}
+	var units []int64
+	for _, seg := range r.segs {
+		for u := seg.Offset / gran; u <= (seg.Offset+seg.Length-1)/gran; u++ {
+			if !seen[u] {
+				seen[u] = true
+				units = append(units, u)
+			}
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	out := make([]*des.Resource, len(units))
+	for i, u := range units {
+		res, ok := f.locks[u]
+		if !ok {
+			res = f.fs.sim.NewResource(fmt.Sprintf("%s.lock%d", f.name, u), 1)
+			f.locks[u] = res
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// serveLocked reserves every lock unit a write touches (atomically, within
+// one simulation event, so lock acquisition cannot deadlock) and starts the
+// service once the last unit is granted. Each unit is held for the
+// request's estimated time-to-completion (current server backlog plus
+// service cost) — an approximation of lock-based file systems'
+// hold-until-write-completes. Uncontended locks are granted after the
+// per-unit acquisition cost (a lock-manager round trip).
+func serveLocked(sim *des.Simulation, locks []*des.Resource, srv *des.Resource, cost, acquire des.Time, then func()) {
+	if len(locks) == 0 {
+		then()
+		return
+	}
+	hold := cost
+	if backlog := srv.FreeAt() - sim.Now(); backlog > 0 {
+		hold += backlog
+	}
+	grant := sim.Now()
+	for _, l := range locks {
+		if start := l.Submit(hold, nil) - hold; start > grant {
+			grant = start
+		}
+	}
+	grant += acquire * des.Time(len(locks))
+	sim.At(grant, then)
+}
+
+// ServerStats is a per-server utilization snapshot.
+type ServerStats struct {
+	Requests     uint64
+	Segments     uint64
+	BytesWritten int64
+	Syncs        uint64
+	Busy         des.Time
+	QueueWait    des.Time
+}
+
+// Stats summarizes all servers.
+type Stats struct {
+	Servers       []ServerStats
+	TotalRequests uint64
+	TotalSegments uint64
+	TotalBytes    int64
+	TotalSyncs    uint64
+	TotalBusy     des.Time
+}
+
+// Stats returns a snapshot of per-server and aggregate counters.
+func (fs *FileSystem) Stats() Stats {
+	var out Stats
+	for _, s := range fs.servers {
+		rs := s.res.Stats()
+		st := ServerStats{
+			Requests:     s.requests,
+			Segments:     s.segments,
+			BytesWritten: s.written,
+			Syncs:        s.syncs,
+			Busy:         rs.BusyTime,
+			QueueWait:    rs.QueueWait,
+		}
+		out.Servers = append(out.Servers, st)
+		out.TotalRequests += st.Requests
+		out.TotalSegments += st.Segments
+		out.TotalBytes += st.BytesWritten
+		out.TotalSyncs += st.Syncs
+		out.TotalBusy += st.Busy
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package pvfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"s3asim/internal/des"
+	"s3asim/internal/stats"
+)
+
+// RequestRecord describes one server request's lifetime, for I/O analysis:
+// what kind of request, which server, how much data in how many segments,
+// and when it was submitted, started service, and completed.
+type RequestRecord struct {
+	Kind     string // "write", "read", "sync"
+	Server   int
+	Bytes    int64
+	Segments int
+	Submit   des.Time // when the request entered the server queue
+	Start    des.Time // when service began
+	Done     des.Time // when service completed
+}
+
+// QueueWait returns how long the request waited before service.
+func (r RequestRecord) QueueWait() des.Time { return r.Start - r.Submit }
+
+// Service returns the service duration.
+func (r RequestRecord) Service() des.Time { return r.Done - r.Start }
+
+// EnableRequestTrace turns on per-request recording. Call before issuing
+// I/O; the trace grows by one record per server request.
+func (fs *FileSystem) EnableRequestTrace() { fs.traceOn = true }
+
+// RequestTrace returns the recorded requests in completion-event order.
+func (fs *FileSystem) RequestTrace() []RequestRecord { return fs.trace }
+
+func (r *serverRequest) kindName() string {
+	switch r.kind {
+	case opWrite:
+		return "write"
+	case opRead:
+		return "read"
+	default:
+		return "sync"
+	}
+}
+
+// IOStats is an aggregate view of a request trace.
+type IOStats struct {
+	Requests   int
+	Bytes      int64
+	Span       des.Time // first submit to last completion
+	MeanWait   des.Time
+	MaxWait    des.Time
+	WaitP50    des.Time
+	WaitP95    des.Time
+	WaitP99    des.Time
+	MeanSvc    des.Time
+	PerKind    map[string]int
+	PerServer  []int64 // bytes written+read per server
+	SizeBucket map[string]int
+}
+
+// AnalyzeTrace computes aggregate statistics over a request trace.
+func AnalyzeTrace(trace []RequestRecord, servers int) IOStats {
+	st := IOStats{
+		PerKind:    map[string]int{},
+		PerServer:  make([]int64, servers),
+		SizeBucket: map[string]int{},
+	}
+	if len(trace) == 0 {
+		return st
+	}
+	first, last := trace[0].Submit, trace[0].Done
+	var waitSum, svcSum des.Time
+	for _, r := range trace {
+		st.Requests++
+		st.Bytes += r.Bytes
+		st.PerKind[r.Kind]++
+		if r.Server >= 0 && r.Server < servers {
+			st.PerServer[r.Server] += r.Bytes
+		}
+		if w := r.QueueWait(); w > st.MaxWait {
+			st.MaxWait = w
+		}
+		waitSum += r.QueueWait()
+		svcSum += r.Service()
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.Done > last {
+			last = r.Done
+		}
+		st.SizeBucket[sizeBucket(r.Bytes)]++
+	}
+	st.Span = last - first
+	st.MeanWait = waitSum / des.Time(st.Requests)
+	st.MeanSvc = svcSum / des.Time(st.Requests)
+	waits := make([]float64, len(trace))
+	for i, r := range trace {
+		waits[i] = float64(r.QueueWait())
+	}
+	qs := stats.Quantiles(waits, 0.5, 0.95, 0.99)
+	st.WaitP50 = des.Time(qs[0])
+	st.WaitP95 = des.Time(qs[1])
+	st.WaitP99 = des.Time(qs[2])
+	return st
+}
+
+// sizeBucket assigns a request to a power-of-four size class.
+func sizeBucket(n int64) string {
+	switch {
+	case n == 0:
+		return "0B"
+	case n < 4<<10:
+		return "<4KB"
+	case n < 64<<10:
+		return "4-64KB"
+	case n < 1<<20:
+		return "64KB-1MB"
+	default:
+		return ">=1MB"
+	}
+}
+
+// Render formats the statistics as a report.
+func (st IOStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d (%.1f MB total) over %v\n",
+		st.Requests, float64(st.Bytes)/1e6, st.Span)
+	if st.Span > 0 && st.Requests > 0 {
+		fmt.Fprintf(&b, "rates: %.0f ops/s, %.1f MB/s aggregate\n",
+			float64(st.Requests)/st.Span.Seconds(),
+			float64(st.Bytes)/1e6/st.Span.Seconds())
+	}
+	fmt.Fprintf(&b, "queueing: mean wait %v (p50 %v, p95 %v, p99 %v, max %v), mean service %v\n",
+		st.MeanWait, st.WaitP50, st.WaitP95, st.WaitP99, st.MaxWait, st.MeanSvc)
+	var kinds []string
+	for k := range st.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-6s %d\n", k+":", st.PerKind[k])
+	}
+	b.WriteString("request sizes:\n")
+	for _, bucket := range []string{"0B", "<4KB", "4-64KB", "64KB-1MB", ">=1MB"} {
+		if n := st.SizeBucket[bucket]; n > 0 {
+			fmt.Fprintf(&b, "  %-9s %d\n", bucket, n)
+		}
+	}
+	if len(st.PerServer) > 0 {
+		min, max := st.PerServer[0], st.PerServer[0]
+		var sum int64
+		for _, v := range st.PerServer {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		mean := float64(sum) / float64(len(st.PerServer))
+		imbalance := 0.0
+		if mean > 0 {
+			imbalance = float64(max)/mean - 1
+		}
+		fmt.Fprintf(&b, "server balance: min %.1f MB, mean %.1f MB, max %.1f MB (imbalance %.0f%%)\n",
+			float64(min)/1e6, mean/1e6, float64(max)/1e6, imbalance*100)
+	}
+	return b.String()
+}

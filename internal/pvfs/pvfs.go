@@ -1,0 +1,209 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"s3asim/internal/des"
+)
+
+// Config is the file-system cost model. The defaults in FeynmanLike are
+// tuned so that end-to-end S3aSim runs land in the paper's regime (I/O
+// dominated past ~32 processes); every knob is overridable.
+type Config struct {
+	NumServers int   // I/O servers (paper: 16)
+	StripSize  int64 // bytes per strip, round-robin (paper: 64 KB)
+
+	// Per-server request service model (one FCFS queue per server):
+	// cost = RequestOverhead + segments·SegmentOverhead + bytes/ServiceBandwidth.
+	RequestOverhead  des.Time
+	SegmentOverhead  des.Time
+	ServiceBandwidth float64 // bytes/sec storage path per server
+
+	// Sync (flush) model: a client sync costs, at each server,
+	// SyncBase + dirtyBytes/SyncBandwidth, where dirtyBytes is the data
+	// written to that server since its previous flush completed.
+	SyncBase      des.Time
+	SyncBandwidth float64
+
+	MetaOverhead des.Time // per metadata operation (create/open)
+
+	// Client-side issuance model: per pvfs operation the client pays
+	// IssueOverhead once, plus PerServerIssue for each server request the
+	// operation fans out to (request construction, serialized on the CPU).
+	IssueOverhead  des.Time
+	PerServerIssue des.Time
+
+	NetLatency des.Time // client <-> server one-way wire latency
+
+	// LockGranularity, when positive, emulates a lock-based file system
+	// (GPFS-like byte-range/block locking) instead of PVFS2's lock-free
+	// semantics: every write request serializes against other writes
+	// touching the same lock unit, even when byte ranges do not overlap
+	// (false sharing). The paper's §3.1 points out that such serialization
+	// "may unnecessarily serialize writes in the I/O phase" for S3aSim's
+	// interleaved, non-overlapping pattern; 0 (the default, PVFS2) disables
+	// locking entirely.
+	LockGranularity int64
+	// LockAcquireCost is the distributed-lock-manager cost per lock unit
+	// acquired (token/revocation round trip); only used when
+	// LockGranularity > 0.
+	LockAcquireCost des.Time
+
+	CaptureData bool // store real bytes for verification
+}
+
+// FeynmanLike returns a cost model shaped after the paper's test
+// environment: 16 PVFS2 servers, 64 KB strips, 2006-era server request
+// costs. See DESIGN.md §7 for the calibration rationale.
+func FeynmanLike() Config {
+	return Config{
+		NumServers:       16,
+		StripSize:        64 * 1024,
+		RequestOverhead:  7 * des.Millisecond,
+		SegmentOverhead:  7 * des.Millisecond,
+		ServiceBandwidth: 50e6,
+		SyncBase:         5 * des.Millisecond,
+		SyncBandwidth:    80e6,
+		MetaOverhead:     1000 * des.Microsecond,
+		IssueOverhead:    150 * des.Microsecond,
+		PerServerIssue:   60 * des.Microsecond,
+		NetLatency:       12 * des.Microsecond,
+	}
+}
+
+// Port is the client's attachment to the storage network: the NIC resources
+// of the node issuing the operation plus the NIC bandwidth. The mpi layer's
+// node NICs are passed here so compute traffic and storage traffic contend
+// for the same interfaces, as they did on Feynman.
+type Port struct {
+	Send      *des.Resource
+	Recv      *des.Resource
+	Bandwidth float64
+}
+
+// server is one I/O daemon: a FCFS service queue plus flush accounting.
+type server struct {
+	res      *des.Resource
+	dirty    int64
+	written  int64
+	requests uint64
+	segments uint64
+	syncs    uint64
+}
+
+// FileSystem is a simulated PVFS2 deployment.
+type FileSystem struct {
+	sim     *des.Simulation
+	cfg     Config
+	servers []*server
+	meta    *des.Resource
+	files   map[string]*File
+
+	traceOn bool
+	trace   []RequestRecord
+}
+
+// New creates a file system with the given configuration.
+func New(sim *des.Simulation, cfg Config) *FileSystem {
+	if cfg.NumServers < 1 {
+		panic("pvfs: need at least one server")
+	}
+	if cfg.StripSize < 1 {
+		panic("pvfs: strip size must be positive")
+	}
+	fs := &FileSystem{sim: sim, cfg: cfg, files: make(map[string]*File)}
+	for i := 0; i < cfg.NumServers; i++ {
+		fs.servers = append(fs.servers, &server{
+			res: sim.NewResource(fmt.Sprintf("pvfs.server%d", i), 1),
+		})
+	}
+	fs.meta = sim.NewResource("pvfs.meta", 1)
+	return fs
+}
+
+// Config returns the cost model in use.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// File is a striped file. Writes may come from any client concurrently;
+// PVFS2 provides no overlap atomicity, and the extent map records any
+// overlapping bytes so tests can assert there were none.
+type File struct {
+	fs    *FileSystem
+	name  string
+	size  int64
+	data  extentMap
+	locks map[int64]*des.Resource // lock-unit serializers (LockGranularity > 0)
+}
+
+// Create creates (or truncates) a file via the metadata server. Must be
+// called from within a des.Proc.
+func (fs *FileSystem) Create(p *des.Proc, name string) *File {
+	fs.meta.Use(p, fs.cfg.MetaOverhead)
+	f := &File{fs: fs, name: name, locks: make(map[int64]*des.Resource)}
+	f.data.capture = fs.cfg.CaptureData
+	fs.files[name] = f
+	return f
+}
+
+// Open returns an existing file (metadata round trip), or nil if absent.
+func (fs *FileSystem) Open(p *des.Proc, name string) *File {
+	fs.meta.Use(p, fs.cfg.MetaOverhead)
+	return fs.files[name]
+}
+
+// Lookup returns a file without cost, for inspection in tests and reports.
+func (fs *FileSystem) Lookup(name string) *File { return fs.files[name] }
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file size (highest written offset).
+func (f *File) Size() int64 { return f.size }
+
+// Coverage returns the number of distinct bytes written so far.
+func (f *File) Coverage() int64 { return f.data.coverage() }
+
+// OverlappedBytes returns how many bytes were ever written more than once.
+func (f *File) OverlappedBytes() int64 { return f.data.overlapped }
+
+// FullyCovers reports whether every byte of [0, size) has been written.
+func (f *File) FullyCovers(size int64) bool { return f.data.covers(size) }
+
+// ReadBack returns captured bytes for [off, off+n), zero-filled in gaps.
+func (f *File) ReadBack(off, n int64) []byte { return f.data.read(off, n) }
+
+// serverFor returns the server index holding the strip at file offset x.
+func (f *File) serverFor(x int64) int {
+	return int((x / f.fs.cfg.StripSize) % int64(f.fs.cfg.NumServers))
+}
+
+// serverPiece is a run of bytes destined for one server, possibly one of
+// many pieces of a client segment that crossed strip boundaries.
+type serverPiece struct {
+	server int
+	seg    Segment
+}
+
+// splitByServer cuts segments at strip boundaries and tags each piece with
+// its server.
+func (f *File) splitByServer(segs []Segment) []serverPiece {
+	strip := f.fs.cfg.StripSize
+	var pieces []serverPiece
+	for _, s := range segs {
+		off, n := s.Offset, s.Length
+		var dataPos int64
+		for n > 0 {
+			inStrip := strip - off%strip
+			take := min64(n, inStrip)
+			p := serverPiece{server: f.serverFor(off), seg: Segment{Offset: off, Length: take}}
+			if s.Data != nil {
+				p.seg.Data = s.Data[dataPos : dataPos+take]
+			}
+			pieces = append(pieces, p)
+			off += take
+			dataPos += take
+			n -= take
+		}
+	}
+	return pieces
+}

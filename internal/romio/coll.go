@@ -1,0 +1,290 @@
+package romio
+
+import (
+	"sort"
+
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+)
+
+// collTagBase keeps two-phase exchange tags out of the application's tag
+// space.
+const collTagBase = 1 << 20
+
+// Group is a collective-I/O participant set over a File — the "all workers"
+// group in S3aSim's WW-Coll strategy. Every member must call WriteAll for
+// every collective round, in the same order, with its (possibly empty)
+// segment list; this is the MPI_File_write_at_all contract.
+type Group struct {
+	f       *File
+	ranks   []int
+	entry   *mpi.Barrier
+	exit    *mpi.Barrier
+	indexOf map[int]int // rank -> position in ranks
+
+	round uint64
+	cur   *collRound
+}
+
+type collRound struct {
+	id       uint64
+	segs     map[int][]pvfs.Segment
+	plan     *collPlan
+	departed int
+}
+
+// collPlan is the deterministic two-phase exchange plan every member
+// derives after the entry barrier.
+type collPlan struct {
+	lo, hi      int64
+	aggregators []int                          // ranks that own file domains
+	domains     []int64                        // domain i = [domains[i], domains[i+1])
+	sendPieces  map[int]map[int][]pvfs.Segment // contributor -> aggregator -> pieces
+}
+
+// NewGroup creates a collective group over the given ranks.
+func (f *File) NewGroup(ranks []int) *Group {
+	if len(ranks) == 0 {
+		panic("romio: empty collective group")
+	}
+	g := &Group{
+		f:       f,
+		ranks:   append([]int(nil), ranks...),
+		entry:   f.w.NewBarrier(len(ranks)),
+		exit:    f.w.NewBarrier(len(ranks)),
+		indexOf: make(map[int]int, len(ranks)),
+	}
+	sort.Ints(g.ranks)
+	for i, rk := range g.ranks {
+		g.indexOf[rk] = i
+	}
+	return g
+}
+
+// Size returns the number of participants.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// numAggregators resolves the cb_nodes hint against the group size.
+func (g *Group) numAggregators() int {
+	n := g.f.hints.CBNodes
+	if n <= 0 || n > len(g.ranks) {
+		n = len(g.ranks)
+	}
+	return n
+}
+
+// WriteAll performs one collective two-phase write round. Blocks until the
+// round's exit synchronization — the "inherent synchronization of
+// collective I/O" whose cost the paper measures.
+func (g *Group) WriteAll(r *mpi.Rank, segs []pvfs.Segment) {
+	if _, ok := g.indexOf[r.Rank()]; !ok {
+		panic("romio: rank not in collective group")
+	}
+	// Register this rank's contribution for the current round.
+	if g.cur == nil {
+		g.cur = &collRound{id: g.round, segs: make(map[int][]pvfs.Segment, len(g.ranks))}
+		g.round++
+	}
+	round := g.cur
+	round.segs[r.Rank()] = segs
+
+	if g.f.hints.CollWriteMethod == ListSync {
+		// The paper's proposed collective: each rank writes its own
+		// segments with native list I/O as soon as it arrives, with a
+		// forced synchronization only at the END of the I/O operation —
+		// no entry barrier, no pattern exchange, no redistribution.
+		if len(segs) > 0 {
+			g.f.pv.WriteList(r.Proc(), g.f.port(r), segs)
+		}
+	} else {
+		// Phase 0: everyone synchronizes so the exchange plan is complete.
+		g.entry.Arrive(r)
+		if round.plan == nil {
+			round.plan = g.buildPlan(round)
+		}
+		plan := round.plan
+
+		if plan != nil { // nil plan: nobody had data this round
+			// Phase 1: every participant processes the union access pattern
+			// (ROMIO flattens and domain-assigns all ranks' offsets locally).
+			perSeg := g.f.hints.TwoPhasePlanPerSeg
+			if perSeg <= 0 {
+				perSeg = 400 * des.Microsecond
+			}
+			totalSegs := 0
+			for _, rsegs := range round.segs {
+				totalSegs += len(rsegs)
+			}
+			r.Proc().Sleep(des.Time(totalSegs) * perSeg)
+			// Phase 2: redistribute to aggregators and write the domains.
+			g.exchangeAndWrite(r, plan, round.id)
+		}
+	}
+
+	// Phase 3: exit synchronization; last one out retires the round.
+	round.departed++
+	if round.departed == len(g.ranks) {
+		g.cur = nil
+	}
+	g.exit.Arrive(r)
+}
+
+// buildPlan computes the aggregate extent, file domains, and the
+// contributor->aggregator piece matrix. Runs once per round, after the
+// entry barrier, so every member's data is registered.
+func (g *Group) buildPlan(round *collRound) *collPlan {
+	var lo, hi int64
+	first := true
+	for _, segs := range round.segs {
+		for _, s := range segs {
+			if first || s.Offset < lo {
+				lo = s.Offset
+			}
+			if first || s.Offset+s.Length > hi {
+				hi = s.Offset + s.Length
+			}
+			first = false
+		}
+	}
+	if first {
+		return nil // empty round
+	}
+	nAgg := g.numAggregators()
+	plan := &collPlan{lo: lo, hi: hi, sendPieces: make(map[int]map[int][]pvfs.Segment)}
+	// ROMIO divides the aggregate extent evenly among aggregators.
+	span := hi - lo
+	per := (span + int64(nAgg) - 1) / int64(nAgg)
+	plan.domains = make([]int64, nAgg+1)
+	for i := 0; i <= nAgg; i++ {
+		b := lo + int64(i)*per
+		if b > hi {
+			b = hi
+		}
+		plan.domains[i] = b
+	}
+	plan.aggregators = g.ranks[:nAgg]
+
+	domainOf := func(x int64) int {
+		d := int((x - lo) / per)
+		if d >= nAgg {
+			d = nAgg - 1
+		}
+		return d
+	}
+	for contributor, segs := range round.segs {
+		for _, s := range segs {
+			off, n := s.Offset, s.Length
+			var pos int64
+			for n > 0 {
+				d := domainOf(off)
+				dEnd := plan.domains[d+1]
+				take := n
+				if off+take > dEnd {
+					take = dEnd - off
+				}
+				piece := pvfs.Segment{Offset: off, Length: take}
+				if s.Data != nil {
+					piece.Data = s.Data[pos : pos+take]
+				}
+				agg := plan.aggregators[d]
+				m := plan.sendPieces[contributor]
+				if m == nil {
+					m = make(map[int][]pvfs.Segment)
+					plan.sendPieces[contributor] = m
+				}
+				m[agg] = append(m[agg], piece)
+				off += take
+				pos += take
+				n -= take
+			}
+		}
+	}
+	return plan
+}
+
+// exchangeAndWrite runs the data redistribution and, for aggregators, the
+// domain write. Every member executes the same deterministic plan, so sends
+// and receives pair up without further negotiation.
+func (g *Group) exchangeAndWrite(r *mpi.Rank, plan *collPlan, roundID uint64) {
+	me := r.Rank()
+	tag := collTagBase + int(roundID&0xFFFF)
+
+	// Start all outbound transfers, visiting aggregators in deterministic
+	// (sorted-rank) order so the event schedule replays identically.
+	var sends []*mpi.Request
+	var local []pvfs.Segment
+	mine := plan.sendPieces[me]
+	for _, agg := range plan.aggregators {
+		pieces, ok := mine[agg]
+		if !ok {
+			continue
+		}
+		if agg == me {
+			local = append(local, pieces...) // no self-message
+			continue
+		}
+		var bytes int64
+		for _, pc := range pieces {
+			bytes += pc.Length
+		}
+		sends = append(sends, r.Isend(agg, tag, bytes, pieces))
+	}
+
+	// Aggregators gather their domain.
+	if isAggregator(me, plan) {
+		expected := 0
+		for contributor, m := range plan.sendPieces {
+			if contributor == me {
+				continue
+			}
+			if _, ok := m[me]; ok {
+				expected++
+			}
+		}
+		gathered := append([]pvfs.Segment(nil), local...)
+		for i := 0; i < expected; i++ {
+			msg := r.Recv(mpi.AnySource, tag)
+			gathered = append(gathered, msg.Payload.([]pvfs.Segment)...)
+		}
+		if len(gathered) > 0 {
+			coalesced := coalesce(gathered)
+			g.f.pv.WriteList(r.Proc(), g.f.port(r), coalesced)
+		}
+	}
+
+	r.WaitAll(sends...)
+}
+
+// isAggregator reports whether rank owns a file domain in the plan.
+func isAggregator(rank int, plan *collPlan) bool {
+	for _, a := range plan.aggregators {
+		if a == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// coalesce sorts segments by offset and merges adjacent runs — inside an
+// aggregator's file domain the gathered pieces are usually dense, which is
+// precisely why two-phase writes are storage-efficient.
+func coalesce(segs []pvfs.Segment) []pvfs.Segment {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Offset < segs[j].Offset })
+	out := segs[:0:0]
+	for _, s := range segs {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Offset+last.Length == s.Offset &&
+				(last.Data != nil) == (s.Data != nil) {
+				if last.Data != nil {
+					last.Data = append(append([]byte(nil), last.Data...), s.Data...)
+				}
+				last.Length += s.Length
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

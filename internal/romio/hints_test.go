@@ -1,0 +1,115 @@
+package romio
+
+import (
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+)
+
+func TestMethodNames(t *testing.T) {
+	if Posix.String() != "posix" || ListIO.String() != "list" || DataSieve.String() != "sieve" {
+		t.Fatal("method names")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method should still render")
+	}
+	if TwoPhase.String() != "two-phase" || ListSync.String() != "list-sync" {
+		t.Fatal("collective method names")
+	}
+}
+
+func TestDefaultHints(t *testing.T) {
+	h := DefaultHints()
+	if h.IndWriteMethod != ListIO || h.SieveBufferSize != 512*1024 {
+		t.Fatalf("defaults = %+v", h)
+	}
+	if h.TwoPhasePlanPerSeg <= 0 {
+		t.Fatal("two-phase planning cost unset")
+	}
+	if h.CollWriteMethod != TwoPhase {
+		t.Fatal("default collective should be two-phase (ROMIO default)")
+	}
+}
+
+func TestOpenDefaultsSieveBuffer(t *testing.T) {
+	sim := des.New()
+	w := mpi.NewWorld(sim, 1, testNet())
+	fs := pvfs.New(sim, testFS())
+	var f *File
+	sim.Spawn("open", func(p *des.Proc) {
+		f = Open(p, w, fs, "x", Hints{IndWriteMethod: DataSieve})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Hints().SieveBufferSize != 512*1024 {
+		t.Fatalf("sieve buffer defaulted to %d", f.Hints().SieveBufferSize)
+	}
+	if f.PV() == nil {
+		t.Fatal("PV accessor nil")
+	}
+}
+
+func TestCBNodesClampedToGroup(t *testing.T) {
+	e := newEnv(t, 3, Hints{CBNodes: 50, IndWriteMethod: ListIO})
+	g := e.f.NewGroup([]int{0, 1, 2})
+	if got := g.numAggregators(); got != 3 {
+		t.Fatalf("aggregators = %d, want clamped to 3", got)
+	}
+	if g.Size() != 3 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestListSyncCollectiveImage(t *testing.T) {
+	h := DefaultHints()
+	h.CollWriteMethod = ListSync
+	e := newEnv(t, 3, h)
+	g := e.f.NewGroup([]int{0, 1, 2})
+	const segSize = 40
+	for rk := 0; rk < 3; rk++ {
+		rk := rk
+		e.w.Spawn(rk, "r", func(r *mpi.Rank) {
+			for round := 0; round < 2; round++ {
+				off := int64(round*3+rk) * segSize
+				g.WriteAll(r, []pvfs.Segment{
+					{Offset: off, Length: segSize, Data: pattern(off, segSize)},
+				})
+			}
+		})
+	}
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(2 * 3 * segSize)
+	if !e.f.PV().FullyCovers(total) {
+		t.Fatal("list-sync collective left gaps")
+	}
+	if e.f.PV().OverlappedBytes() != 0 {
+		t.Fatal("list-sync collective overlapped")
+	}
+}
+
+func TestForeignRankPanicsInCollective(t *testing.T) {
+	e := newEnv(t, 3, DefaultHints())
+	g := e.f.NewGroup([]int{0, 1})
+	panicked := false
+	e.w.Spawn(2, "foreign", func(r *mpi.Rank) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		g.WriteAll(r, nil)
+	})
+	e.w.Spawn(0, "a", func(r *mpi.Rank) { r.Compute(des.Millisecond) })
+	e.w.Spawn(1, "b", func(r *mpi.Rank) { r.Compute(des.Millisecond) })
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("foreign rank accepted into collective")
+	}
+}

@@ -1,0 +1,253 @@
+// Package romio implements a simulated MPI-IO layer in the spirit of
+// ROMIO/ADIO over the simulated MPI (internal/mpi) and PVFS2
+// (internal/pvfs) substrates. It provides:
+//
+//   - individual contiguous writes (MPI_File_write_at),
+//   - individual noncontiguous writes with three ADIO methods — plain POSIX
+//     (one file-system request per segment, issued sequentially), PVFS2
+//     native list I/O (one batched request per server, issued in parallel),
+//     and generic data sieving (read-modify-write of a sieve buffer),
+//   - collective writes (MPI_File_write_at_all) using the two-phase
+//     algorithm: entry synchronization, redistribution of data to
+//     aggregator-owned file domains over the simulated network, aggregator
+//     writes, and exit synchronization,
+//   - MPI_File_sync.
+//
+// The hints structure mirrors the ROMIO hints the paper manipulates
+// (cb_nodes, buffer sizes, individual-write method).
+package romio
+
+import (
+	"fmt"
+	"sort"
+
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+)
+
+// Method selects the ADIO implementation used for individual noncontiguous
+// writes.
+type Method int
+
+const (
+	// Posix issues one contiguous file-system write per segment,
+	// sequentially — MPI_File_write without optimization (paper §2.3).
+	Posix Method = iota
+	// ListIO uses PVFS2's native list interface: segments batched into one
+	// request per server, all servers engaged in parallel (paper §2.3,
+	// [Ching et al. 2002]).
+	ListIO
+	// DataSieve uses ROMIO's generic write data sieving: read a sieve
+	// buffer covering the extent, overlay the segments, write it back.
+	DataSieve
+)
+
+// String returns the method's conventional name.
+func (m Method) String() string {
+	switch m {
+	case Posix:
+		return "posix"
+	case ListIO:
+		return "list"
+	case DataSieve:
+		return "sieve"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// CollMethod selects the collective-write implementation.
+type CollMethod int
+
+const (
+	// TwoPhase is ROMIO's default: entry synchronization, redistribution
+	// of data to aggregator-owned file domains, aggregated writes, exit
+	// synchronization.
+	TwoPhase CollMethod = iota
+	// ListSync is the collective the paper's conclusion proposes: every
+	// rank writes its own segments with native list I/O, bracketed by
+	// barriers — no redistribution, no aggregators. ("a collective I/O
+	// method implemented with list I/O and forced synchronization may be a
+	// more efficient collective I/O method than the default two phase I/O
+	// method in ROMIO")
+	ListSync
+)
+
+// String names the collective method.
+func (m CollMethod) String() string {
+	if m == ListSync {
+		return "list-sync"
+	}
+	return "two-phase"
+}
+
+// Hints mirrors the MPI-IO hints relevant to the paper's experiments.
+type Hints struct {
+	// CBNodes is the number of two-phase aggregators (cb_nodes);
+	// 0 means every participant aggregates.
+	CBNodes int
+	// CollWriteMethod selects the collective-write algorithm.
+	CollWriteMethod CollMethod
+	// IndWriteMethod selects the individual noncontiguous write path.
+	IndWriteMethod Method
+	// SieveBufferSize is the data-sieving window (ind_wr_buffer_size);
+	// 0 defaults to 512 KB.
+	SieveBufferSize int64
+	// TwoPhasePlanPerSeg models the per-segment access-pattern processing
+	// every participant performs in ROMIO's two-phase algorithm (offset
+	// flattening and file-domain assignment are computed over the *union*
+	// of all ranks' segments, on every rank). 0 defaults to 400 µs.
+	TwoPhasePlanPerSeg des.Time
+}
+
+// DefaultHints matches ROMIO defaults as configured in the paper: two-phase
+// collective I/O with all ranks aggregating, 512 KB sieve buffers.
+func DefaultHints() Hints {
+	return Hints{
+		IndWriteMethod:     ListIO,
+		SieveBufferSize:    512 * 1024,
+		TwoPhasePlanPerSeg: 400 * des.Microsecond,
+	}
+}
+
+// File is an MPI-IO file handle shared by all ranks of a world: the
+// underlying PVFS2 file plus one storage port per node, so file traffic
+// contends with message traffic on the same NICs.
+type File struct {
+	w     *mpi.World
+	pv    *pvfs.File
+	hints Hints
+	ports []*pvfs.Port // indexed by rank
+}
+
+// Open collectively creates/opens name on fs for every rank of w. It must
+// be called from a simulated process (typically rank 0 before the run, or
+// any setup proc).
+func Open(p *des.Proc, w *mpi.World, fs *pvfs.FileSystem, name string, hints Hints) *File {
+	if hints.SieveBufferSize <= 0 {
+		hints.SieveBufferSize = 512 * 1024
+	}
+	pv := fs.Lookup(name)
+	if pv == nil {
+		pv = fs.Create(p, name)
+	}
+	f := &File{w: w, pv: pv, hints: hints}
+	bw := w.Config().Bandwidth
+	for i := 0; i < w.Size(); i++ {
+		send, recv := w.NodeNIC(i)
+		f.ports = append(f.ports, &pvfs.Port{Send: send, Recv: recv, Bandwidth: bw})
+	}
+	return f
+}
+
+// PV exposes the underlying PVFS file for verification and reporting.
+func (f *File) PV() *pvfs.File { return f.pv }
+
+// Hints returns the hints the file was opened with.
+func (f *File) Hints() Hints { return f.hints }
+
+// port returns rank r's storage port.
+func (f *File) port(r *mpi.Rank) *pvfs.Port { return f.ports[r.Rank()] }
+
+// WriteAt performs an individual contiguous write from rank r.
+func (f *File) WriteAt(r *mpi.Rank, off, n int64, data []byte) {
+	f.pv.Write(r.Proc(), f.port(r), off, n, data)
+}
+
+// ReadAt performs an individual contiguous read from rank r, returning the
+// stored bytes when the file system captures data (nil otherwise).
+func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
+	return f.pv.Read(r.Proc(), f.port(r), off, n)
+}
+
+// WriteSegs performs an individual noncontiguous write of segs from rank r
+// using the hinted ADIO method.
+func (f *File) WriteSegs(r *mpi.Rank, segs []pvfs.Segment) {
+	if len(segs) == 0 {
+		return
+	}
+	switch f.hints.IndWriteMethod {
+	case Posix:
+		for _, s := range segs {
+			f.pv.Write(r.Proc(), f.port(r), s.Offset, s.Length, s.Data)
+		}
+	case ListIO:
+		f.pv.WriteList(r.Proc(), f.port(r), segs)
+	case DataSieve:
+		f.writeSieved(r, segs)
+	}
+}
+
+// writeSieved implements ROMIO's generic write data sieving: for each
+// sieve-buffer-sized window of the segments' extent that contains data,
+// read the window, overlay the segments, and write it back contiguously.
+func (f *File) writeSieved(r *mpi.Rank, segs []pvfs.Segment) {
+	sorted := append([]pvfs.Segment(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	buf := f.hints.SieveBufferSize
+	p, port := r.Proc(), f.port(r)
+
+	i := 0
+	for i < len(sorted) {
+		winLo := sorted[i].Offset
+		winHi := winLo + buf
+		// Collect the segments that start inside this window.
+		j := i
+		var last int64 = winLo
+		for j < len(sorted) && sorted[j].Offset < winHi {
+			if end := sorted[j].Offset + sorted[j].Length; end > last {
+				last = end
+			}
+			j++
+		}
+		if last > winHi {
+			last = winHi
+		}
+		n := last - winLo
+		// Read-modify-write the window. The read back is what makes data
+		// sieving expensive for sparse write patterns.
+		img := f.pv.Read(p, port, winLo, n)
+		if img == nil {
+			img = make([]byte, n)
+		}
+		for k := i; k < j; k++ {
+			s := sorted[k]
+			lo := s.Offset
+			hi := s.Offset + s.Length
+			if hi > last {
+				hi = last
+			}
+			if s.Data != nil && hi > lo {
+				copy(img[lo-winLo:hi-winLo], s.Data[:hi-lo])
+			}
+		}
+		f.pv.Write(p, port, winLo, n, img)
+		// Any tail of segment j-1 beyond the window is handled by
+		// re-slicing it into the next iteration.
+		var carry []pvfs.Segment
+		for k := i; k < j; k++ {
+			s := sorted[k]
+			if s.Offset+s.Length > last {
+				over := s.Offset + s.Length - last
+				cs := pvfs.Segment{Offset: last, Length: over}
+				if s.Data != nil {
+					cs.Data = s.Data[s.Length-over:]
+				}
+				carry = append(carry, cs)
+			}
+		}
+		rest := append(carry, sorted[j:]...)
+		sort.Slice(rest, func(a, b int) bool { return rest[a].Offset < rest[b].Offset })
+		sorted = rest
+		i = 0
+		if len(sorted) == 0 {
+			break
+		}
+	}
+}
+
+// Sync flushes the file from rank r (MPI_File_sync).
+func (f *File) Sync(r *mpi.Rank) {
+	f.pv.Sync(r.Proc(), f.port(r))
+}

@@ -1,0 +1,25 @@
+package search
+
+import "testing"
+
+// BenchmarkGenerateDefault measures full paper-workload generation
+// (20 queries × ~1500 results with layout).
+func BenchmarkGenerateDefault(b *testing.B) {
+	spec := DefaultSpec()
+	for i := 0; i < b.N; i++ {
+		Generate(spec)
+	}
+}
+
+// BenchmarkTaskLookup measures the per-task accessors the engine calls on
+// the hot path.
+func BenchmarkTaskLookup(b *testing.B) {
+	w := Generate(DefaultSpec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % w.Spec.NumQueries
+		f := i % w.Spec.NumFragments
+		_ = w.TaskBytes(q, f)
+		_ = w.TaskCount(q, f)
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import "sort"
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs is not modified. Returns 0 for
+// an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles computes several quantiles with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

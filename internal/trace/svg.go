@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"s3asim/internal/des"
+)
+
+// stateColors maps the engine's phase names to timeline colors; unknown
+// states hash onto the palette.
+var stateColors = map[string]string{
+	"Setup":             "#bbbbbb",
+	"Data Distribution": "#ee6677",
+	"Compute":           "#4477aa",
+	"Merge Results":     "#66ccee",
+	"Gather Results":    "#ccbb44",
+	"I/O":               "#228833",
+	"Sync":              "#aa3377",
+	"Other":             "#222222",
+}
+
+var extraPalette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"}
+
+func stateColor(name string) string {
+	if c, ok := stateColors[name]; ok {
+		return c
+	}
+	h := 0
+	for i := 0; i < len(name); i++ {
+		h = h*31 + int(name[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return extraPalette[h%len(extraPalette)]
+}
+
+// GanttSVG renders state events as an SVG timeline: one row per process,
+// colored bars per state, a time axis, and a legend — the Jumpshot view.
+func GanttSVG(events []Event, width, height int) string {
+	if width < 300 {
+		width = 300
+	}
+	procSet := map[string]bool{}
+	var tMax des.Time
+	names := map[string]bool{}
+	for _, e := range events {
+		procSet[e.Proc] = true
+		if e.End > tMax {
+			tMax = e.End
+		}
+		if !e.Point {
+			names[e.Name] = true
+		}
+	}
+	var b strings.Builder
+	if len(procSet) == 0 || tMax == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="300" height="60"><text x="150" y="30" text-anchor="middle" font-size="12">(empty trace)</text></svg>` + "\n"
+	}
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	stateNames := make([]string, 0, len(names))
+	for n := range names {
+		stateNames = append(stateNames, n)
+	}
+	sort.Strings(stateNames)
+
+	const rowH, rowGap, left, top = 16.0, 4.0, 90.0, 28.0
+	legendH := 20.0 * float64((len(stateNames)+3)/4)
+	if height <= 0 {
+		height = int(top + float64(len(procs))*(rowH+rowGap) + 36 + legendH)
+	}
+	plotW := float64(width) - left - 16
+	xAt := func(t des.Time) float64 { return left + float64(t)/float64(tMax)*plotW }
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="12" font-family="sans-serif">process timeline, 0 .. %s</text>`+"\n", int(left), tMax)
+
+	for pi, p := range procs {
+		y := top + float64(pi)*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="%0.1f" y="%0.1f" font-size="10" font-family="monospace" text-anchor="end">%s</text>`+"\n",
+			left-6, y+rowH-4, p)
+		for _, e := range events {
+			if e.Proc != p || e.Point || e.End <= e.Start {
+				continue
+			}
+			x0, x1 := xAt(e.Start), xAt(e.End)
+			if x1-x0 < 0.4 {
+				x1 = x0 + 0.4
+			}
+			fmt.Fprintf(&b, `<rect x="%0.2f" y="%0.1f" width="%0.2f" height="%0.1f" fill="%s"><title>%s %s..%s</title></rect>`+"\n",
+				x0, y, x1-x0, rowH, stateColor(e.Name), e.Name, e.Start, e.End)
+		}
+	}
+	axisY := top + float64(len(procs))*(rowH+rowGap) + 8
+	fmt.Fprintf(&b, `<line x1="%0.1f" y1="%0.1f" x2="%0.1f" y2="%0.1f" stroke="#333"/>`+"\n", left, axisY, left+plotW, axisY)
+	for i := 0; i <= 4; i++ {
+		t := des.Time(float64(tMax) * float64(i) / 4)
+		fmt.Fprintf(&b, `<text x="%0.1f" y="%0.1f" font-size="9" font-family="sans-serif" text-anchor="middle">%.1fs</text>`+"\n",
+			xAt(t), axisY+12, t.Seconds())
+	}
+	ly := axisY + 26
+	for i, n := range stateNames {
+		lx := left + float64(i%4)*130
+		yRow := ly + float64(i/4)*20
+		fmt.Fprintf(&b, `<rect x="%0.1f" y="%0.1f" width="10" height="10" fill="%s"/>`+"\n", lx, yRow-9, stateColor(n))
+		fmt.Fprintf(&b, `<text x="%0.1f" y="%0.1f" font-size="10" font-family="sans-serif">%s</text>`+"\n", lx+14, yRow, n)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,194 @@
+// Package trace records per-process state timelines from a simulation run
+// and renders them — a lightweight stand-in for the MPE/Jumpshot tooling
+// the original S3aSim used for debugging (paper §3). Events serialize to
+// JSON-lines and render as an ASCII Gantt chart (cmd/s3atrace).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"s3asim/internal/des"
+)
+
+// Event is one interval of a process timeline ("state", as MPE calls it) or
+// an instantaneous marker.
+type Event struct {
+	Proc  string   `json:"proc"`
+	Name  string   `json:"name"`
+	Start des.Time `json:"start"`
+	End   des.Time `json:"end"` // == Start for point events
+	Point bool     `json:"point,omitempty"`
+}
+
+// Tracer collects events. It is designed for the single-threaded DES
+// kernel: no locking, deterministic order.
+type Tracer struct {
+	events []Event
+	open   map[string]int // proc -> index of the open state event
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{open: make(map[string]int)} }
+
+// BeginState closes proc's current state (if any) at 'at' and opens a new
+// one named name.
+func (t *Tracer) BeginState(proc, name string, at des.Time) {
+	if i, ok := t.open[proc]; ok {
+		t.events[i].End = at
+	}
+	t.events = append(t.events, Event{Proc: proc, Name: name, Start: at, End: at})
+	t.open[proc] = len(t.events) - 1
+}
+
+// EndState closes proc's current state at 'at' without opening another.
+func (t *Tracer) EndState(proc string, at des.Time) {
+	if i, ok := t.open[proc]; ok {
+		t.events[i].End = at
+		delete(t.open, proc)
+	}
+}
+
+// Point records an instantaneous marker.
+func (t *Tracer) Point(proc, name string, at des.Time) {
+	t.events = append(t.events, Event{Proc: proc, Name: name, Start: at, End: at, Point: true})
+}
+
+// Events returns the recorded events (open states have End == their last
+// transition; call EndState to close them).
+func (t *Tracer) Events() []Event { return t.events }
+
+// WriteJSON writes one JSON object per line.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a JSON-lines event stream.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Gantt renders state events as an ASCII chart: one row per process, the
+// time axis scaled to width columns, each cell showing the first letter of
+// the state occupying most of that cell's time span.
+func Gantt(events []Event, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var tMax des.Time
+	procSet := map[string]bool{}
+	for _, e := range events {
+		if e.End > tMax {
+			tMax = e.End
+		}
+		procSet[e.Proc] = true
+	}
+	if tMax == 0 || len(procSet) == 0 {
+		return "(empty trace)\n"
+	}
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+
+	nameW := 0
+	for _, p := range procs {
+		if len(p) > nameW {
+			nameW = len(p)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s |%s| 0 .. %v\n", nameW, "proc", strings.Repeat("-", width), tMax)
+	cellSpan := float64(tMax) / float64(width)
+	for _, p := range procs {
+		row := make([]byte, width)
+		weight := make([]float64, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, e := range events {
+			if e.Proc != p || e.Point || e.End <= e.Start {
+				continue
+			}
+			lo := int(float64(e.Start) / cellSpan)
+			hi := int(float64(e.End) / cellSpan)
+			if hi >= width {
+				hi = width - 1
+			}
+			for c := lo; c <= hi; c++ {
+				cellLo := des.Time(float64(c) * cellSpan)
+				cellHi := des.Time(float64(c+1) * cellSpan)
+				ovLo, ovHi := e.Start, e.End
+				if cellLo > ovLo {
+					ovLo = cellLo
+				}
+				if cellHi < ovHi {
+					ovHi = cellHi
+				}
+				if w := float64(ovHi - ovLo); w > weight[c] {
+					weight[c] = w
+					row[c] = stateRune(e.Name)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, p, row)
+	}
+	b.WriteString(legend(events))
+	return b.String()
+}
+
+// stateRune picks a display character for a state name.
+func stateRune(name string) byte {
+	switch name {
+	case "Sync":
+		return 'Y' // distinguish from Setup
+	case "":
+		return '?'
+	default:
+		return name[0]
+	}
+}
+
+// legend lists the state-name/rune mapping actually used.
+func legend(events []Event) string {
+	seen := map[string]bool{}
+	var names []string
+	for _, e := range events {
+		if !e.Point && !seen[e.Name] {
+			seen[e.Name] = true
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%c=%s", stateRune(n), n))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "legend: " + strings.Join(parts, " ") + "\n"
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"s3asim/internal/des"
+)
+
+func TestStateTransitions(t *testing.T) {
+	tr := New()
+	tr.BeginState("p0", "Compute", 0)
+	tr.BeginState("p0", "I/O", 10)
+	tr.EndState("p0", 15)
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Name != "Compute" || ev[0].Start != 0 || ev[0].End != 10 {
+		t.Fatalf("first = %+v", ev[0])
+	}
+	if ev[1].Name != "I/O" || ev[1].Start != 10 || ev[1].End != 15 {
+		t.Fatalf("second = %+v", ev[1])
+	}
+}
+
+func TestEndStateWithoutOpenIsNoop(t *testing.T) {
+	tr := New()
+	tr.EndState("ghost", 5)
+	if len(tr.Events()) != 0 {
+		t.Fatal("phantom event")
+	}
+}
+
+func TestPointEvents(t *testing.T) {
+	tr := New()
+	tr.Point("p0", "flush", 7)
+	ev := tr.Events()
+	if len(ev) != 1 || !ev[0].Point || ev[0].Start != 7 || ev[0].End != 7 {
+		t.Fatalf("point = %+v", ev)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := New()
+	tr.BeginState("a", "Compute", 0)
+	tr.BeginState("a", "Sync", 100)
+	tr.EndState("a", 150)
+	tr.Point("b", "mark", 42)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr.Events()) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(tr.Events()))
+	}
+	for i, e := range tr.Events() {
+		if back[i] != e {
+			t.Fatalf("event %d: %+v vs %+v", i, back[i], e)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := New()
+	tr.BeginState("w1", "Compute", 0)
+	tr.BeginState("w1", "I/O", 50*des.Second)
+	tr.EndState("w1", 100*des.Second)
+	tr.BeginState("w2", "Sync", 0)
+	tr.EndState("w2", 100*des.Second)
+	out := Gantt(tr.Events(), 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 procs + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "CCCCC") || !strings.Contains(lines[1], "IIIII") {
+		t.Fatalf("w1 row missing states: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "YYYY") {
+		t.Fatalf("w2 row should be sync (Y): %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "Y=Sync") || !strings.Contains(lines[3], "C=Compute") {
+		t.Fatalf("legend wrong: %q", lines[3])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := Gantt(nil, 40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty trace rendering: %q", out)
+	}
+}
+
+func TestGanttDominantStateWins(t *testing.T) {
+	tr := New()
+	// Cell span will be 10s with width 10 over 100s: a 1s blip inside a
+	// 9s state must not own the cell.
+	tr.BeginState("p", "Compute", 0)
+	tr.BeginState("p", "I/O", 9*des.Second)
+	tr.BeginState("p", "Compute", 10*des.Second)
+	tr.EndState("p", 100*des.Second)
+	out := Gantt(tr.Events(), 10)
+	row := strings.Split(out, "\n")[1]
+	if strings.Contains(row, "I") {
+		t.Fatalf("1s blip should not own a 10s cell: %q", row)
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	tr := New()
+	tr.BeginState("worker01", "Compute", 0)
+	tr.BeginState("worker01", "I/O", 40*des.Second)
+	tr.EndState("worker01", 60*des.Second)
+	tr.BeginState("master0", "Data Distribution", 0)
+	tr.EndState("master0", 60*des.Second)
+	svg := GanttSVG(tr.Events(), 800, 0)
+	for _, want := range []string{"<svg", "</svg>", "worker01", "master0",
+		"Compute", "I/O", "Data Distribution", "rect"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatal("malformed SVG")
+	}
+}
+
+func TestGanttSVGEmpty(t *testing.T) {
+	if !strings.Contains(GanttSVG(nil, 400, 0), "empty trace") {
+		t.Fatal("empty trace not flagged")
+	}
+}
+
+func TestStateColorsStable(t *testing.T) {
+	if stateColor("Compute") != stateColor("Compute") {
+		t.Fatal("color not stable")
+	}
+	if stateColor("made-up-state") == "" {
+		t.Fatal("unknown state has no color")
+	}
+}

@@ -1,0 +1,227 @@
+// Package s3asim is a Go reproduction of S3aSim, the sequence similarity
+// search algorithm simulator of Ching, Feng, Lin, Ma and Choudhary,
+// "Exploring I/O Strategies for Parallel Sequence-Search Tools with S3aSim"
+// (HPDC 2006).
+//
+// S3aSim models a database-segmented parallel sequence-search tool
+// (mpiBLAST/pioBLAST-like): a master distributes (query, fragment) tasks to
+// workers, workers model the search and produce pseudo-random scored
+// results, and the merged results are written to a shared output file using
+// one of four I/O strategies:
+//
+//	MW        — the master gathers full results and writes contiguously
+//	WW-POSIX  — workers write individually with per-segment POSIX I/O
+//	WW-List   — workers write individually with batched list I/O
+//	WW-Coll   — workers write collectively with two-phase MPI-IO
+//
+// Everything the original system ran on is simulated deterministically in
+// virtual time: MPI point-to-point and barriers over a Myrinet-like network
+// (internal/mpi), a PVFS2-style striped parallel file system (internal/pvfs),
+// and a ROMIO-style MPI-IO layer (internal/romio), all above a discrete-event
+// kernel (internal/des).
+//
+// Quick start:
+//
+//	cfg := s3asim.DefaultConfig()    // paper §3.3 setup, 64 procs, WW-List
+//	cfg.Strategy = s3asim.WWColl
+//	rep, err := s3asim.Run(cfg)
+//	fmt.Println(rep.Overall, rep.WorkerAvg.Phases[s3asim.PhaseIO])
+//
+// The experiment harnesses reproduce the paper's figures:
+//
+//	sweep, err := s3asim.RunProcessSweep(s3asim.PaperOptions()) // Fig. 2–4
+//	fmt.Println(sweep.OverallTable(false))
+package s3asim
+
+import (
+	"s3asim/internal/core"
+	"s3asim/internal/des"
+	"s3asim/internal/experiments"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+	"s3asim/internal/romio"
+	"s3asim/internal/search"
+	"s3asim/internal/stats"
+)
+
+// Time is a virtual-time instant or duration in nanoseconds.
+type Time = des.Time
+
+// Strategy selects the result-writing algorithm (paper §2).
+type Strategy = core.Strategy
+
+// The four I/O strategies the paper compares.
+const (
+	MW      = core.MW
+	WWPosix = core.WWPosix
+	WWList  = core.WWList
+	WWColl  = core.WWColl
+)
+
+// Strategies lists all strategies in presentation order.
+var Strategies = core.Strategies
+
+// ParseStrategy resolves a strategy from its paper name ("MW", "WW-POSIX",
+// "WW-List", "WW-Coll").
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Phase is one of the paper's timing phases (§3).
+type Phase = core.Phase
+
+// The timing phases, in the paper's order.
+const (
+	PhaseSetup    = core.PhaseSetup
+	PhaseDataDist = core.PhaseDataDist
+	PhaseCompute  = core.PhaseCompute
+	PhaseMerge    = core.PhaseMerge
+	PhaseGather   = core.PhaseGather
+	PhaseIO       = core.PhaseIO
+	PhaseSync     = core.PhaseSync
+	PhaseOther    = core.PhaseOther
+	NumPhases     = core.NumPhases
+)
+
+// Config describes one simulation run; Report is its outcome.
+type (
+	Config        = core.Config
+	Report        = core.Report
+	ProcBreakdown = core.ProcBreakdown
+)
+
+// WorkloadSpec describes the simulated search workload (§3.3 input
+// parameters); ComputeModel is the search-time model.
+type (
+	WorkloadSpec = search.Spec
+	ComputeModel = search.ComputeModel
+)
+
+// NetConfig and FSConfig are the interconnect and file-system cost models.
+type (
+	NetConfig = mpi.NetConfig
+	FSConfig  = pvfs.Config
+)
+
+// Hints mirrors the MPI-IO hints (ROMIO) relevant to the paper.
+type Hints = romio.Hints
+
+// Segmentation selects the parallelization scheme (§1): the paper's
+// database segmentation, or the query-segmentation baseline with its
+// repeated input I/O.
+type Segmentation = core.Segmentation
+
+// The segmentation schemes.
+const (
+	DatabaseSeg = core.DatabaseSeg
+	QuerySeg    = core.QuerySeg
+)
+
+// CollMethod selects the collective-write implementation for WW-Coll.
+type CollMethod = romio.CollMethod
+
+// The collective-write implementations: ROMIO's default two-phase, and the
+// list-I/O-plus-forced-sync collective the paper's conclusion proposes.
+const (
+	TwoPhase = romio.TwoPhase
+	ListSync = romio.ListSync
+)
+
+// BoxHistogram is the paper's piecewise-uniform size distribution input.
+type BoxHistogram = stats.BoxHistogram
+
+// DefaultConfig returns the paper's §3.3 test setup (64 processes, WW-List,
+// 20 NT-histogram queries over 128 fragments, ≈208 MB of output, 16 PVFS2
+// servers with 64 KB strips, sync after every write).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultWorkload returns the §3.3 workload specification.
+func DefaultWorkload() WorkloadSpec { return search.DefaultSpec() }
+
+// NTHistogram returns the NT-database-like sequence size histogram
+// (min 6 B, max slightly over 43 MB, mean ≈ 4401 B — paper §3.3).
+func NTHistogram() *BoxHistogram { return stats.NTLike() }
+
+// UniformHistogram returns a single-box histogram over [min, max].
+func UniformHistogram(min, max int64) *BoxHistogram { return stats.Uniform(min, max) }
+
+// Run executes one simulated S3aSim application run.
+func Run(cfg Config) (*Report, error) { return core.Run(cfg) }
+
+// IOStats aggregates a file-system request trace (Config.TraceIO).
+type IOStats = pvfs.IOStats
+
+// AnalyzeIOTrace summarizes a report's file-system request trace: request
+// rates, queueing, size distribution, per-server balance.
+func AnalyzeIOTrace(rep *Report) IOStats {
+	return pvfs.AnalyzeTrace(rep.IOTrace, len(rep.FS.Servers))
+}
+
+// Experiment harness types (paper §4 evaluation suites).
+type (
+	Options     = experiments.Options
+	SweepResult = experiments.SweepResult
+	Cell        = experiments.Cell
+)
+
+// PaperOptions returns the full §4 experiment scale; QuickOptions a reduced
+// suite for smoke testing.
+func PaperOptions() Options { return experiments.PaperOptions() }
+
+// QuickOptions returns a scaled-down suite that runs in seconds.
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+// RunProcessSweep reproduces the process-scalability suite (Figures 2–4).
+func RunProcessSweep(opts Options) (*SweepResult, error) {
+	return experiments.RunProcessSweep(opts)
+}
+
+// RunSpeedSweep reproduces the compute-speed suite (Figures 5–7).
+func RunSpeedSweep(opts Options) (*SweepResult, error) {
+	return experiments.RunSpeedSweep(opts)
+}
+
+// ResumeOutcome is one row of the write-frequency/failure trade-off study.
+type ResumeOutcome = experiments.ResumeOutcome
+
+// Table is an aligned-text/CSV result table.
+type Table = stats.Table
+
+// CollectiveComparison compares the two collective-write implementations
+// (§5 future work): ROMIO two-phase vs list I/O with forced sync.
+func CollectiveComparison(base Config, procs []int) (*Table, error) {
+	return experiments.CollectiveComparison(base, procs)
+}
+
+// HybridComparison runs the §5 hybrid query/database segmentation
+// extension across group counts.
+func HybridComparison(base Config, groups []int) (*Table, error) {
+	return experiments.HybridComparison(base, groups)
+}
+
+// ResumeTradeoff quantifies the §2 write-frequency/failure-recovery
+// trade-off: a failure at failFrac of the clean run loses undurable work.
+func ResumeTradeoff(base Config, granularities []int, failFrac float64) ([]ResumeOutcome, error) {
+	return experiments.ResumeTradeoff(base, granularities, failFrac)
+}
+
+// ResumeTable renders resume outcomes as a table.
+func ResumeTable(outcomes []ResumeOutcome) *Table {
+	return experiments.ResumeTable(outcomes)
+}
+
+// ServerSweep varies the PVFS2 server count (§4's "larger file system
+// configuration" discussion).
+func ServerSweep(base Config, servers []int) (*Table, error) {
+	return experiments.ServerSweep(base, servers)
+}
+
+// OutputScaleSweep varies the result volume (§5's "amount of results").
+func OutputScaleSweep(base Config, multipliers []float64) (*Table, error) {
+	return experiments.OutputScaleSweep(base, multipliers)
+}
+
+// SegmentationComparison quantifies §1's motivation: database segmentation
+// versus the query-segmentation baseline as the database outgrows worker
+// memory.
+func SegmentationComparison(base Config, dbSizes []int64) (*Table, error) {
+	return experiments.SegmentationComparison(base, dbSizes)
+}

@@ -1,0 +1,65 @@
+package s3asim_test
+
+import (
+	"testing"
+
+	"s3asim"
+)
+
+// TestFacadeQuickRun exercises the public API end to end at small scale.
+func TestFacadeQuickRun(t *testing.T) {
+	cfg := s3asim.DefaultConfig()
+	cfg.Procs = 4
+	cfg.Workload.NumQueries = 2
+	cfg.Workload.NumFragments = 8
+	cfg.Workload.MinResults = 10
+	cfg.Workload.MaxResults = 15
+	cfg.Workload.QueryHist = s3asim.UniformHistogram(100, 1000)
+	cfg.Workload.DBSeqHist = s3asim.UniformHistogram(100, 5000)
+	for _, s := range s3asim.Strategies {
+		cfg.Strategy = s
+		rep, err := s3asim.Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if rep.Overall <= 0 || rep.FileCoverage != rep.OutputBytes {
+			t.Fatalf("%v: bad report %+v", s, rep)
+		}
+	}
+}
+
+func TestFacadeStrategyNames(t *testing.T) {
+	for _, s := range s3asim.Strategies {
+		got, err := s3asim.ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("%v: %v %v", s, got, err)
+		}
+	}
+}
+
+func TestFacadeHistogramsAndWorkload(t *testing.T) {
+	nt := s3asim.NTHistogram()
+	if nt.Min() != 6 {
+		t.Fatalf("NT min = %d", nt.Min())
+	}
+	wl := s3asim.DefaultWorkload()
+	if wl.NumQueries != 20 || wl.NumFragments != 128 {
+		t.Fatalf("default workload = %+v", wl)
+	}
+}
+
+func TestFacadeQuickSweep(t *testing.T) {
+	opts := s3asim.QuickOptions()
+	opts.Procs = []int{2, 4}
+	opts.Strategies = []s3asim.Strategy{s3asim.WWList, s3asim.MW}
+	sweep, err := s3asim.RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Cell(s3asim.WWList, false, 2) == nil {
+		t.Fatal("missing cell")
+	}
+	if sweep.OverallTable(false).NumRows() != 2 {
+		t.Fatal("overall table rows")
+	}
+}
