@@ -1,0 +1,31 @@
+# Build/test/race/vet targets for the S3aSim reproduction. `make check`
+# is the PR gate: the parallel sweep executor and the workload cache must
+# stay race-clean.
+
+GO ?= go
+
+.PHONY: build test short race vet bench bench-quick check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# The sweep executor, workload cache, and engine under concurrent cells.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/search/ ./internal/core/
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+bench-quick:
+	S3ASIM_BENCH_SCALE=quick $(GO) test -bench=. -benchmem -benchtime=1x
+
+check: build vet test race

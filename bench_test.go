@@ -10,7 +10,11 @@
 // benchmarks render and validate their views of the shared sweep (cached
 // after first use) and report the headline numbers as custom metrics.
 //
-// Set S3ASIM_BENCH_SCALE=quick to run the reduced suite.
+// Sweeps fan their cells out across GOMAXPROCS workers by default
+// (Options.Parallelism) and share each generated workload across cells;
+// BenchmarkSweepParallelSpeedup measures the executor's wall-clock speedup
+// against a sequential run of the same suite and verifies bit-identical
+// results. Set S3ASIM_BENCH_SCALE=quick to run the reduced suite.
 //
 //	go test -bench=. -benchmem
 package s3asim_test
@@ -18,6 +22,7 @@ package s3asim_test
 import (
 	"fmt"
 	"os"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -176,6 +181,39 @@ func BenchmarkFigure6PhaseBreakdownMWPosix(b *testing.B) {
 // decomposition for WW-List and WW-Coll across the speed sweep.
 func BenchmarkFigure7PhaseBreakdownListColl(b *testing.B) {
 	phaseFigure(b, sharedSpeedSweep, s3asim.WWList, s3asim.WWColl)
+}
+
+// BenchmarkSweepParallelSpeedup runs the Figure-2 suite with the parallel
+// executor (4 workers, the acceptance point) and once sequentially,
+// reporting the realized wall-clock speedup, the estimated speedup from
+// summed cell times, and the workload-cache hit rate — and failing if the
+// two executions are not bit-identical.
+func BenchmarkSweepParallelSpeedup(b *testing.B) {
+	var par *s3asim.SweepResult
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		opts.Parallelism = 4
+		sr, err := s3asim.RunProcessSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par = sr
+	}
+	seqOpts := benchOptions()
+	seqOpts.Parallelism = 1
+	seq, err := s3asim.RunProcessSweep(seqOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, ss := par.Perf, seq.Perf
+	par.Perf, seq.Perf = s3asim.SweepPerf{}, s3asim.SweepPerf{}
+	if !reflect.DeepEqual(par, seq) {
+		b.Fatal("parallel sweep diverged from sequential sweep")
+	}
+	b.ReportMetric(ss.Elapsed.Seconds()/ps.Elapsed.Seconds(), "speedup-x")
+	b.ReportMetric(ps.Speedup(), "est-speedup-x")
+	b.ReportMetric(float64(ps.Workload.Hits), "cache-hits")
+	b.ReportMetric(float64(ps.Workload.Misses), "workload-gens")
 }
 
 // BenchmarkHeadlineRatios regenerates the §4 text's headline comparisons:

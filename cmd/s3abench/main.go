@@ -6,36 +6,87 @@
 // Usage:
 //
 //	s3abench [-suite procs|speed|extensions|all] [-quick] [-csv] [-reps N]
+//	         [-parallel N] [-json dir]
 //
-// The full paper suite takes several minutes; -quick runs a scaled-down
-// version in seconds. The extensions suite covers the paper's §5 future
-// work: collective implementations, hybrid segmentation, the
-// write-frequency/failure trade-off, and file-system sensitivity.
+// The full paper suite takes several minutes sequentially; every cell of a
+// suite is an independent deterministic simulation, so -parallel N (default
+// GOMAXPROCS) fans cells out across N workers with bit-identical results,
+// and each distinct pseudo-random workload is generated once per suite and
+// shared. -quick runs a scaled-down version in seconds. The extensions
+// suite covers the paper's §5 future work: collective implementations,
+// hybrid segmentation, the write-frequency/failure trade-off, and
+// file-system sensitivity.
+//
+// Unless -json is empty, a machine-readable record of the run — per-suite
+// wall-clock, parallelism, estimated speedup over sequential execution, and
+// workload-cache hit/miss counts — is written to
+// <dir>/bench_<timestamp>.json, seeding the repo's performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"s3asim"
 )
 
+// suiteRecord is one suite's entry in the JSON output.
+type suiteRecord struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Parallelism int     `json:"parallelism"`
+	// CellSeconds sums per-cell wall time — the estimated sequential cost —
+	// and Speedup is CellSeconds/WallSeconds. Zero for the extensions suite,
+	// which is a bundle of heterogeneous studies.
+	CellSeconds float64 `json:"cell_seconds,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	Cells       int     `json:"cells,omitempty"`
+	CacheHits   uint64  `json:"workload_cache_hits"`
+	CacheMisses uint64  `json:"workload_cache_misses"`
+}
+
+// benchRecord is the top-level JSON document.
+type benchRecord struct {
+	Timestamp   string        `json:"timestamp"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Parallelism int           `json:"parallelism"`
+	Quick       bool          `json:"quick"`
+	Repetitions int           `json:"repetitions"`
+	Suites      []suiteRecord `json:"suites"`
+}
+
 func main() {
 	var (
-		suite = flag.String("suite", "all", "which suite to run: procs, speed, extensions, all")
-		quick = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		reps  = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
-		quiet = flag.Bool("quiet", false, "suppress per-cell progress")
-		chart = flag.Bool("chart", false, "render ASCII charts after the tables")
-		figs  = flag.String("figs", "", "write figure SVGs into this directory")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, extensions, all")
+		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress")
+		chart    = flag.Bool("chart", false, "render ASCII charts after the tables")
+		figs     = flag.String("figs", "", "write figure SVGs into this directory")
+		parallel = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
+		jsonDir  = flag.String("json", "results", "write bench_<timestamp>.json into this directory (empty disables)")
 	)
 	flag.Parse()
+	switch *suite {
+	case "procs", "speed", "extensions", "all":
+	default:
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, extensions, or all)", *suite))
+	}
 	if *figs != "" {
 		if err := os.MkdirAll(*figs, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonDir != "" {
+		// Validate up front: a bad -json path should not cost a full run.
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
@@ -45,8 +96,21 @@ func main() {
 		opts = s3asim.QuickOptions()
 	}
 	opts.Repetitions = *reps
+	opts.Parallelism = *parallel
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	effPar := *parallel
+	if effPar <= 0 {
+		effPar = runtime.GOMAXPROCS(0)
+	}
+
+	record := benchRecord{
+		Timestamp:   time.Now().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: effPar,
+		Quick:       *quick,
+		Repetitions: *reps,
 	}
 
 	emit := func(sr *s3asim.SweepResult) {
@@ -64,6 +128,21 @@ func main() {
 		if *figs != "" {
 			writeFigures(*figs, sr)
 		}
+		p := sr.Perf
+		fmt.Fprintf(os.Stderr,
+			"suite %s: %d cells in %.2fs wall at parallelism %d — %.2fx vs sequential (est.), workload cache %d hits / %d misses\n",
+			sr.Kind, len(sr.Cells), p.Elapsed.Seconds(), p.Parallelism,
+			p.Speedup(), p.Workload.Hits, p.Workload.Misses)
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:        sr.Kind,
+			WallSeconds: p.Elapsed.Seconds(),
+			Parallelism: p.Parallelism,
+			CellSeconds: p.CellTime.Seconds(),
+			Speedup:     p.Speedup(),
+			Cells:       len(sr.Cells),
+			CacheHits:   p.Workload.Hits,
+			CacheMisses: p.Workload.Misses,
+		})
 	}
 
 	if *suite == "procs" || *suite == "all" {
@@ -81,17 +160,41 @@ func main() {
 		emit(sr)
 	}
 	if *suite == "extensions" || *suite == "all" {
-		runExtensions(opts, *csv)
+		start := time.Now()
+		runExtensions(opts, *csv, effPar)
+		wall := time.Since(start)
+		fmt.Fprintf(os.Stderr, "suite extensions: %.2fs wall at parallelism %d\n",
+			wall.Seconds(), effPar)
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:        "extensions",
+			WallSeconds: wall.Seconds(),
+			Parallelism: effPar,
+		})
 	}
-	switch *suite {
-	case "procs", "speed", "extensions", "all":
-	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, extensions, or all)", *suite))
+	if *jsonDir != "" {
+		writeRecord(*jsonDir, record)
 	}
 }
 
+// writeRecord persists the machine-readable benchmark record.
+func writeRecord(dir string, record benchRecord) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir,
+		fmt.Sprintf("bench_%s.json", time.Now().Format("20060102T150405")))
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+}
+
 // runExtensions prints the §5 future-work studies.
-func runExtensions(opts s3asim.Options, csv bool) {
+func runExtensions(opts s3asim.Options, csv bool, parallel int) {
 	base := opts.Base
 	base.Procs = opts.SpeedProcs
 	show := func(tbl *s3asim.Table, err error) {
@@ -108,17 +211,17 @@ func runExtensions(opts s3asim.Options, csv bool) {
 	if procs[0] < 2 {
 		procs[0] = 2
 	}
-	show(s3asim.CollectiveComparison(base, procs))
+	show(s3asim.CollectiveComparison(base, procs, parallel))
 	hybrid := base
 	hybrid.Strategy = s3asim.MW
-	show(s3asim.HybridComparison(hybrid, []int{1, 2, 4}))
-	outcomes, err := s3asim.ResumeTradeoff(base, []int{1, 5, base.Workload.NumQueries}, 0.5)
+	show(s3asim.HybridComparison(hybrid, []int{1, 2, 4}, parallel))
+	outcomes, err := s3asim.ResumeTradeoff(base, []int{1, 5, base.Workload.NumQueries}, 0.5, parallel)
 	if err != nil {
 		fatal(err)
 	}
 	show(s3asim.ResumeTable(outcomes), nil)
-	show(s3asim.ServerSweep(base, []int{8, 16, 32, 64}))
-	show(s3asim.OutputScaleSweep(base, []float64{0.25, 1, 4}))
+	show(s3asim.ServerSweep(base, []int{8, 16, 32, 64}, parallel))
+	show(s3asim.OutputScaleSweep(base, []float64{0.25, 1, 4}, parallel))
 }
 
 // writeFigures renders the sweep as paper-style SVG figures: a line chart

@@ -2,6 +2,11 @@
 // first-class extensions: the improved collective, hybrid segmentation,
 // the write-frequency/failure-recovery trade-off, and file-system
 // sensitivity sweeps.
+//
+// Each study shares one workload cache across its runs and fans its
+// independent sweep points out across GOMAXPROCS workers (pass an explicit
+// trailing parallelism of 1 for sequential timings); tables are identical
+// either way.
 package s3asim_test
 
 import (

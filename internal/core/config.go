@@ -188,6 +188,18 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// EffectiveWorkload returns the workload spec a run of c actually
+// generates: under QuerySeg the fragment count is forced to 1 (a task is a
+// whole query against the whole replicated database). Workloads shared via
+// RunWithWorkload must be generated from this spec, not c.Workload.
+func (c *Config) EffectiveWorkload() search.Spec {
+	s := c.Workload
+	if c.Segmentation == QuerySeg {
+		s.NumFragments = 1
+	}
+	return s
+}
+
 // indMethod resolves the ADIO method for individual worker writes.
 func (c *Config) indMethod() romio.Method {
 	if c.OverrideIndMethod {

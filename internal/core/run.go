@@ -103,6 +103,16 @@ type Report struct {
 
 // Run executes one S3aSim simulation and returns its report.
 func Run(cfg Config) (*Report, error) {
+	return RunWithWorkload(cfg, nil)
+}
+
+// RunWithWorkload is Run with a caller-supplied pre-generated workload,
+// letting a sweep generate each distinct workload once (search.Cache) and
+// share it across cells. wl must have been generated from
+// cfg.EffectiveWorkload(); nil generates it here. Sharing one *Workload
+// across concurrent runs is safe: the engine and the report path only read
+// it (see search.Cache).
+func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,15 +122,16 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.QueryGroups < 1 {
 		cfg.QueryGroups = 1
 	}
-	if cfg.Segmentation == QuerySeg {
-		// A query-segmentation task is a whole query against the whole
-		// (replicated) database.
-		cfg.Workload.NumFragments = 1
-	}
+	cfg.Workload = cfg.EffectiveWorkload()
 	if cfg.WorkerMemoryBytes <= 0 {
 		cfg.WorkerMemoryBytes = 512 << 20
 	}
-	wl := search.Generate(cfg.Workload)
+	if wl == nil {
+		wl = search.Generate(cfg.Workload)
+	} else if wl.Spec.Key() != cfg.Workload.Key() {
+		return nil, fmt.Errorf("core: supplied workload was generated from a different spec (%s vs %s)",
+			wl.Spec.Key(), cfg.Workload.Key())
+	}
 	sim := des.New()
 	world := mpi.NewWorld(sim, cfg.Procs, cfg.Net)
 	fs := pvfs.New(sim, cfg.FS)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"s3asim/internal/search"
+	"s3asim/internal/stats"
+)
+
+func sharedWorkloadConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Procs = 4
+	cfg.Workload.NumQueries = 3
+	cfg.Workload.NumFragments = 8
+	cfg.Workload.MinResults = 20
+	cfg.Workload.MaxResults = 30
+	cfg.Workload.QueryHist = stats.Uniform(200, 2000)
+	cfg.Workload.DBSeqHist = stats.Uniform(200, 20000)
+	cfg.Workload.MinResultSize = 512
+	return cfg
+}
+
+// TestRunWithWorkloadMatchesRun checks the factored entry point: a run
+// against a pre-generated workload replays the self-generating path
+// exactly.
+func TestRunWithWorkloadMatchesRun(t *testing.T) {
+	cfg := sharedWorkloadConfig()
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := search.Generate(cfg.EffectiveWorkload())
+	shared, err := RunWithWorkload(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Overall != shared.Overall || direct.Events != shared.Events ||
+		direct.Messages != shared.Messages || direct.FileCoverage != shared.FileCoverage {
+		t.Fatalf("shared-workload run diverged: %+v vs %+v", direct, shared)
+	}
+}
+
+// TestRunWithWorkloadReuse runs two different strategies against one shared
+// workload and checks each matches its self-generating run — the sharing
+// pattern the sweep executor relies on.
+func TestRunWithWorkloadReuse(t *testing.T) {
+	cfg := sharedWorkloadConfig()
+	wl := search.Generate(cfg.EffectiveWorkload())
+	for _, s := range Strategies {
+		c := cfg
+		c.Strategy = s
+		direct, err := Run(c)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		shared, err := RunWithWorkload(c, wl)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if direct.Overall != shared.Overall || direct.Events != shared.Events {
+			t.Fatalf("%v: shared workload diverged (%v/%d vs %v/%d)",
+				s, direct.Overall, direct.Events, shared.Overall, shared.Events)
+		}
+	}
+}
+
+// TestRunWithWorkloadSpecMismatch checks the guard against passing a
+// workload generated from a different spec.
+func TestRunWithWorkloadSpecMismatch(t *testing.T) {
+	cfg := sharedWorkloadConfig()
+	other := cfg.Workload
+	other.Seed++
+	if _, err := RunWithWorkload(cfg, search.Generate(other)); err == nil {
+		t.Fatal("mismatched workload spec accepted")
+	}
+}
+
+// TestEffectiveWorkloadQuerySeg pins that query segmentation's forced
+// single-fragment spec flows through EffectiveWorkload, so cached
+// workloads match what the run generates.
+func TestEffectiveWorkloadQuerySeg(t *testing.T) {
+	cfg := sharedWorkloadConfig()
+	cfg.Segmentation = QuerySeg
+	eff := cfg.EffectiveWorkload()
+	if eff.NumFragments != 1 {
+		t.Fatalf("QuerySeg effective fragments = %d, want 1", eff.NumFragments)
+	}
+	if cfg.Workload.NumFragments == 1 {
+		t.Fatal("test premise broken: base spec already single-fragment")
+	}
+	// And the run accepts a workload generated from the effective spec.
+	if _, err := RunWithWorkload(cfg, search.Generate(eff)); err != nil {
+		t.Fatal(err)
+	}
+}

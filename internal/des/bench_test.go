@@ -2,6 +2,54 @@ package des
 
 import "testing"
 
+// BenchmarkEventHeap measures raw push/pop cost on the calendar heap at a
+// paper-scale working set, guarding the allocation behavior: with the
+// preallocated capacity of New, steady-state push/pop must not allocate.
+func BenchmarkEventHeap(b *testing.B) {
+	const depth = 2048 // pending events at peak in a paper-scale run
+	h := make(eventHeap, 0, initialHeapCap)
+	fn := func() {}
+	// Deterministic pseudo-random times exercise real sift paths.
+	x := uint64(2007029)
+	next := func() Time {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return Time(x % (1 << 30))
+	}
+	for i := 0; i < depth; i++ {
+		h.push(event{t: next(), seq: uint64(i), fn: fn})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.push(event{t: next(), seq: uint64(depth + i), fn: fn})
+		h.pop()
+	}
+}
+
+// TestEventHeapSteadyStateAllocs pins the property BenchmarkEventHeap
+// reports: once the working set fits the preallocated capacity, push/pop
+// cycles allocate nothing.
+func TestEventHeapSteadyStateAllocs(t *testing.T) {
+	h := make(eventHeap, 0, initialHeapCap)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		h.push(event{t: Time(i % 97), seq: uint64(i), fn: fn})
+	}
+	seq := uint64(1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h.push(event{t: Time(seq % 97), seq: seq, fn: fn})
+			seq++
+			h.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // BenchmarkEventThroughput measures raw calendar throughput: schedule-and-
 // fire of chained events.
 func BenchmarkEventThroughput(b *testing.B) {

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"s3asim/internal/core"
+	"s3asim/internal/search"
+)
+
+// This file is the sweep executor: every cell of a suite is an independent
+// deterministic simulation (a private des.Simulation per run), so the suite
+// fans cells out across a bounded pool of OS-level workers while each DES
+// kernel stays single-threaded. Results are keyed and collected independent
+// of completion order, so a parallel sweep is bit-identical to a sequential
+// one.
+
+// forEach runs job(0..n-1) across at most parallelism goroutines and
+// returns the lowest-index error. With parallelism <= 1 it degenerates to a
+// plain loop that stops at the first error, like the pre-parallel harness.
+// After any failure no new jobs start.
+func forEach(parallelism, n int, job func(i int) error) error {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   int
+		failed   bool
+		wg       sync.WaitGroup
+	)
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := job(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := failed
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// parallelism resolves the pool width for a suite: Options.Parallelism if
+// positive, else GOMAXPROCS. A shared Tracer in the base config is the one
+// piece of cross-cell mutable state, so tracing forces sequential runs.
+func (o *Options) parallelism() int {
+	if o.Base.Tracer != nil {
+		return 1
+	}
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SweepPerf records how a sweep executed in wall-clock (not virtual) time.
+type SweepPerf struct {
+	// Parallelism is the worker-pool width the sweep ran with.
+	Parallelism int
+	// Elapsed is the suite's wall-clock duration.
+	Elapsed time.Duration
+	// CellTime sums the per-run wall-clock durations — an estimate of the
+	// sequential cost of the same suite, so CellTime/Elapsed estimates the
+	// realized speedup. Individual cell durations include any time a cell
+	// spent descheduled, so when cells oversubscribe the available cores
+	// (Parallelism > core count) the estimate is optimistic; for an exact
+	// figure compare Elapsed between two sweeps at Parallelism 1 and N.
+	CellTime time.Duration
+	// Workload counts workload-cache outcomes: Misses is the number of
+	// distinct workloads generated for the whole sweep.
+	Workload search.CacheStats
+}
+
+// Speedup estimates the wall-clock speedup over a sequential execution of
+// the same cells (summed cell time over elapsed time).
+func (p SweepPerf) Speedup() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.CellTime) / float64(p.Elapsed)
+}
+
+// cellRun is one (cell, repetition) simulation: the flattened unit of
+// parallelism of a sweep.
+type cellRun struct {
+	cell int // index into the deterministic cell order
+	rep  int
+}
+
+// runAllCells executes every (cell, rep) of cfgs across the pool, sharing
+// workloads through cache, and returns per-cell per-rep reports in
+// deterministic order. onCell fires exactly once per completed cell, in
+// ascending cell order, serialized under a mutex — this is what makes
+// Options.Progress ordered and race-free regardless of completion order.
+func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
+	runErr func(cell, rep int, err error) error,
+	onCell func(cell int, reports []*core.Report)) ([][]*core.Report, time.Duration, error) {
+
+	reports := make([][]*core.Report, len(cfgs))
+	for i := range reports {
+		reports[i] = make([]*core.Report, reps)
+	}
+	var (
+		mu        sync.Mutex
+		cellTime  time.Duration
+		remaining = make([]int, len(cfgs))
+		done      = make([]bool, len(cfgs))
+		cursor    int
+	)
+	for i := range remaining {
+		remaining[i] = reps
+	}
+	jobs := make([]cellRun, 0, len(cfgs)*reps)
+	for c := range cfgs {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, cellRun{cell: c, rep: r})
+		}
+	}
+	err := forEach(par, len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := cfgs[j.cell]
+		// Repetitions vary the workload seed (seed+rep), the closest
+		// analogue of the paper's 3-run averaging.
+		cfg.Workload.Seed += int64(j.rep)
+		wl := cache.Get(cfg.EffectiveWorkload())
+		start := time.Now()
+		rep, err := core.RunWithWorkload(cfg, wl)
+		elapsed := time.Since(start)
+		if err != nil {
+			return runErr(j.cell, j.rep, err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		cellTime += elapsed
+		reports[j.cell][j.rep] = rep
+		remaining[j.cell]--
+		if remaining[j.cell] == 0 {
+			done[j.cell] = true
+			// Flush completed cells in deterministic ascending order: a cell
+			// is announced only once every earlier cell has been.
+			for cursor < len(done) && done[cursor] {
+				if onCell != nil {
+					onCell(cursor, reports[cursor])
+				}
+				cursor++
+			}
+		}
+		return nil
+	})
+	return reports, cellTime, err
+}

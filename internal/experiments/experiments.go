@@ -3,14 +3,22 @@
 // behind Figures 5–7, plus the headline speedup ratios quoted in the text.
 // Each suite runs the full strategy × {no-sync, sync} matrix and exposes the
 // same rows/series the paper plots.
+//
+// Every cell of a suite is an independent deterministic simulation, so the
+// harness fans cells out across a bounded pool of goroutines (see
+// Options.Parallelism) and shares each pseudo-randomly generated workload
+// across all cells that use it (search.Cache) — the results are
+// bit-identical to a sequential sweep.
 package experiments
 
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"s3asim/internal/core"
 	"s3asim/internal/des"
+	"s3asim/internal/search"
 	"s3asim/internal/stats"
 )
 
@@ -32,7 +40,18 @@ type Options struct {
 	Repetitions int
 	// Strategies defaults to all four.
 	Strategies []core.Strategy
-	// Progress, if non-nil, receives a line per completed cell.
+	// Parallelism bounds how many simulation cells run concurrently; each
+	// cell owns a private DES kernel, so outer parallelism never perturbs
+	// results. 0 means GOMAXPROCS; 1 runs sequentially. A sweep produces
+	// bit-identical SweepResults at every parallelism (cells are keyed and
+	// collected independent of completion order). Setting Base.Tracer forces
+	// sequential execution: the tracer is shared mutable state.
+	Parallelism int
+	// Progress, if non-nil, receives a line per completed cell. The sweep
+	// may run cells concurrently, but Progress calls are serialized through
+	// a mutex and always arrive in the deterministic sequential order
+	// (strategy, sync, x) — a cell is announced only after every earlier
+	// cell has been. Progress must still not block indefinitely.
 	Progress func(string)
 }
 
@@ -116,6 +135,10 @@ type SweepResult struct {
 	Syncs []bool
 	Strat []core.Strategy
 	Cells map[CellKey]*Cell
+	// Perf describes the execution itself (wall-clock, parallelism,
+	// workload-cache outcomes). It is the only part of a SweepResult that
+	// varies between runs of identical Options.
+	Perf SweepPerf
 }
 
 // Cell returns the cell for (strategy, sync, x), or nil.
@@ -123,18 +146,14 @@ func (sr *SweepResult) Cell(s core.Strategy, sync bool, x float64) *Cell {
 	return sr.Cells[CellKey{Strategy: s, QuerySync: sync, X: x}]
 }
 
-// runCell executes and averages the repetitions of one cell.
-func runCell(opts *Options, cfg core.Config, key CellKey) (*Cell, error) {
+// reduceCell folds one cell's per-repetition reports, in repetition order,
+// into the averaged Cell. Folding in a fixed order keeps floating-point
+// accumulation — and therefore the SweepResult — independent of which
+// goroutine finished first.
+func reduceCell(key CellKey, reports []*core.Report) *Cell {
 	cell := &Cell{Key: key}
 	var overall stats.Online
-	for rep := 0; rep < opts.reps(); rep++ {
-		c := cfg
-		c.Workload.Seed += int64(rep)
-		r, err := core.Run(c)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %v sync=%v x=%g rep=%d: %w",
-				key.Strategy, key.QuerySync, key.X, rep, err)
-		}
+	for _, r := range reports {
 		cell.Runs++
 		overall.Add(r.Overall.Seconds())
 		for p := 0; p < int(core.NumPhases); p++ {
@@ -149,10 +168,14 @@ func runCell(opts *Options, cfg core.Config, key CellKey) (*Cell, error) {
 		cell.WorkerPhases[p] /= n
 		cell.MasterPhases[p] /= n
 	}
-	return cell, nil
+	return cell
 }
 
-// runMatrix sweeps xs applying setX to the base config per point.
+// runMatrix sweeps xs applying setX to the base config per point. Every
+// (strategy, sync, x, rep) cell is an independent simulation, so the matrix
+// fans out across Options.Parallelism workers; each distinct workload spec
+// is generated once and shared (the paper's workloads are pseudo-random and
+// identical across strategies and process counts, §3.3).
 func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, float64)) (*SweepResult, error) {
 	sr := &SweepResult{
 		Kind:  kind,
@@ -161,6 +184,10 @@ func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, 
 		Strat: opts.strategies(),
 		Cells: make(map[CellKey]*Cell),
 	}
+	var (
+		keys []CellKey
+		cfgs []core.Config
+	)
 	for _, s := range sr.Strat {
 		for _, sync := range sr.Syncs {
 			for _, x := range xs {
@@ -168,16 +195,34 @@ func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, 
 				cfg.Strategy = s
 				cfg.QuerySync = sync
 				setX(&cfg, x)
-				key := CellKey{Strategy: s, QuerySync: sync, X: x}
-				cell, err := runCell(&opts, cfg, key)
-				if err != nil {
-					return nil, err
-				}
-				sr.Cells[key] = cell
-				opts.progress("%s %s sync=%v x=%g: %.2fs",
-					kind, s, sync, x, cell.Overall.Seconds())
+				keys = append(keys, CellKey{Strategy: s, QuerySync: sync, X: x})
+				cfgs = append(cfgs, cfg)
 			}
 		}
+	}
+	cache := search.NewCache()
+	start := time.Now()
+	_, cellTime, err := runAllCells(opts.parallelism(), opts.reps(), cache, cfgs,
+		func(cell, rep int, err error) error {
+			k := keys[cell]
+			return fmt.Errorf("experiments: %v sync=%v x=%g rep=%d: %w",
+				k.Strategy, k.QuerySync, k.X, rep, err)
+		},
+		func(cell int, reps []*core.Report) {
+			k := keys[cell]
+			c := reduceCell(k, reps)
+			sr.Cells[k] = c
+			opts.progress("%s %s sync=%v x=%g: %.2fs",
+				kind, k.Strategy, k.QuerySync, k.X, c.Overall.Seconds())
+		})
+	if err != nil {
+		return nil, err
+	}
+	sr.Perf = SweepPerf{
+		Parallelism: opts.parallelism(),
+		Elapsed:     time.Since(start),
+		CellTime:    cellTime,
+		Workload:    cache.Stats(),
 	}
 	return sr, nil
 }

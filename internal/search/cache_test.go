@@ -1,0 +1,131 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"s3asim/internal/stats"
+)
+
+func testSpec() Spec {
+	s := DefaultSpec()
+	s.NumQueries = 3
+	s.NumFragments = 8
+	s.MinResults = 10
+	s.MaxResults = 20
+	return s
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache()
+	spec := testSpec()
+	wl1 := c.Get(spec)
+	wl2 := c.Get(spec)
+	if wl1 != wl2 {
+		t.Fatal("same spec returned distinct workloads")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", s)
+	}
+	other := spec
+	other.Seed++
+	if c.Get(other) == wl1 {
+		t.Fatal("different seed shared a workload")
+	}
+	if s := c.Stats(); s.Misses != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 misses 1 hit", s)
+	}
+}
+
+func TestCacheMatchesGenerate(t *testing.T) {
+	spec := testSpec()
+	cached := NewCache().Get(spec)
+	fresh := Generate(spec)
+	if cached.TotalBytes != fresh.TotalBytes || len(cached.Queries) != len(fresh.Queries) {
+		t.Fatal("cached workload differs from direct generation")
+	}
+	for q := range fresh.Queries {
+		if len(cached.Queries[q].Results) != len(fresh.Queries[q].Results) {
+			t.Fatalf("query %d result count differs", q)
+		}
+		for i, r := range fresh.Queries[q].Results {
+			if cached.Queries[q].Results[i] != r {
+				t.Fatalf("query %d result %d differs", q, i)
+			}
+		}
+	}
+}
+
+// TestCacheConcurrentGet drives the cache from many goroutines (run under
+// -race): each distinct spec must be generated exactly once and every
+// caller must observe the same *Workload.
+func TestCacheConcurrentGet(t *testing.T) {
+	c := NewCache()
+	specs := make([]Spec, 4)
+	for i := range specs {
+		specs[i] = testSpec()
+		specs[i].Seed += int64(i)
+	}
+	const workers = 16
+	got := make([][]*Workload, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*Workload, len(specs))
+			for i, s := range specs {
+				got[w][i] = c.Get(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range specs {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d spec %d got a different workload", w, i)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.Misses != uint64(len(specs)) {
+		t.Fatalf("misses = %d, want %d (one generation per spec)", s.Misses, len(specs))
+	}
+	if s.Hits != uint64(workers*len(specs))-uint64(len(specs)) {
+		t.Fatalf("hits = %d, want %d", s.Hits, workers*len(specs)-len(specs))
+	}
+}
+
+// TestSpecKeyContent checks the key covers every generation-relevant field,
+// including histogram contents (not pointer identity).
+func TestSpecKeyContent(t *testing.T) {
+	base := testSpec()
+	if base.Key() != base.Key() {
+		t.Fatal("key not stable")
+	}
+	// Equal-content histograms under different pointers must collide.
+	alias := base
+	alias.QueryHist = stats.Uniform(6, 400)
+	same := base
+	same.QueryHist = stats.Uniform(6, 400)
+	if alias.Key() != same.Key() {
+		t.Fatal("equal-content histograms produced different keys")
+	}
+	mutate := []func(*Spec){
+		func(s *Spec) { s.NumQueries++ },
+		func(s *Spec) { s.NumFragments++ },
+		func(s *Spec) { s.MinResults++ },
+		func(s *Spec) { s.MaxResults++ },
+		func(s *Spec) { s.MinResultSize++ },
+		func(s *Spec) { s.Seed++ },
+		func(s *Spec) { s.QueryHist = stats.Uniform(1, 2) },
+		func(s *Spec) { s.DBSeqHist = stats.Uniform(1, 2) },
+	}
+	for i, m := range mutate {
+		s := base
+		m(&s)
+		if s.Key() == base.Key() {
+			t.Fatalf("mutation %d did not change the key", i)
+		}
+	}
+}

@@ -89,11 +89,28 @@ type (
 )
 
 // WorkloadSpec describes the simulated search workload (§3.3 input
-// parameters); ComputeModel is the search-time model.
+// parameters); ComputeModel is the search-time model; Workload is a fully
+// generated, immutable input.
 type (
 	WorkloadSpec = search.Spec
 	ComputeModel = search.ComputeModel
+	Workload     = search.Workload
 )
+
+// WorkloadCache memoizes generated workloads by spec content; CacheStats
+// reports its hit/miss counters. A sweep generates each distinct workload
+// once and shares the immutable result across all cells and goroutines.
+type (
+	WorkloadCache = search.Cache
+	CacheStats    = search.CacheStats
+)
+
+// NewWorkloadCache returns an empty concurrency-safe workload cache.
+func NewWorkloadCache() *WorkloadCache { return search.NewCache() }
+
+// GenerateWorkload materializes the workload for spec; the same spec always
+// yields the same workload.
+func GenerateWorkload(spec WorkloadSpec) *Workload { return search.Generate(spec) }
 
 // NetConfig and FSConfig are the interconnect and file-system cost models.
 type (
@@ -146,6 +163,13 @@ func UniformHistogram(min, max int64) *BoxHistogram { return stats.Uniform(min, 
 // Run executes one simulated S3aSim application run.
 func Run(cfg Config) (*Report, error) { return core.Run(cfg) }
 
+// RunWithWorkload executes a run against a pre-generated workload, letting
+// callers share one immutable workload across many runs (wl must come from
+// cfg.EffectiveWorkload(); see WorkloadCache).
+func RunWithWorkload(cfg Config, wl *Workload) (*Report, error) {
+	return core.RunWithWorkload(cfg, wl)
+}
+
 // IOStats aggregates a file-system request trace (Config.TraceIO).
 type IOStats = pvfs.IOStats
 
@@ -155,11 +179,16 @@ func AnalyzeIOTrace(rep *Report) IOStats {
 	return pvfs.AnalyzeTrace(rep.IOTrace, len(rep.FS.Servers))
 }
 
-// Experiment harness types (paper §4 evaluation suites).
+// Experiment harness types (paper §4 evaluation suites). Options.Parallelism
+// bounds how many sweep cells run concurrently (0 = GOMAXPROCS); the
+// resulting SweepResult is bit-identical at every parallelism, and
+// SweepResult.Perf (a SweepPerf) records wall-clock, realized speedup, and
+// workload-cache outcomes.
 type (
 	Options     = experiments.Options
 	SweepResult = experiments.SweepResult
 	Cell        = experiments.Cell
+	SweepPerf   = experiments.SweepPerf
 )
 
 // PaperOptions returns the full §4 experiment scale; QuickOptions a reduced
@@ -186,21 +215,22 @@ type ResumeOutcome = experiments.ResumeOutcome
 type Table = stats.Table
 
 // CollectiveComparison compares the two collective-write implementations
-// (§5 future work): ROMIO two-phase vs list I/O with forced sync.
-func CollectiveComparison(base Config, procs []int) (*Table, error) {
-	return experiments.CollectiveComparison(base, procs)
+// (§5 future work): ROMIO two-phase vs list I/O with forced sync. The §5
+// studies take an optional trailing parallelism (default GOMAXPROCS).
+func CollectiveComparison(base Config, procs []int, parallelism ...int) (*Table, error) {
+	return experiments.CollectiveComparison(base, procs, parallelism...)
 }
 
 // HybridComparison runs the §5 hybrid query/database segmentation
 // extension across group counts.
-func HybridComparison(base Config, groups []int) (*Table, error) {
-	return experiments.HybridComparison(base, groups)
+func HybridComparison(base Config, groups []int, parallelism ...int) (*Table, error) {
+	return experiments.HybridComparison(base, groups, parallelism...)
 }
 
 // ResumeTradeoff quantifies the §2 write-frequency/failure-recovery
 // trade-off: a failure at failFrac of the clean run loses undurable work.
-func ResumeTradeoff(base Config, granularities []int, failFrac float64) ([]ResumeOutcome, error) {
-	return experiments.ResumeTradeoff(base, granularities, failFrac)
+func ResumeTradeoff(base Config, granularities []int, failFrac float64, parallelism ...int) ([]ResumeOutcome, error) {
+	return experiments.ResumeTradeoff(base, granularities, failFrac, parallelism...)
 }
 
 // ResumeTable renders resume outcomes as a table.
@@ -210,18 +240,18 @@ func ResumeTable(outcomes []ResumeOutcome) *Table {
 
 // ServerSweep varies the PVFS2 server count (§4's "larger file system
 // configuration" discussion).
-func ServerSweep(base Config, servers []int) (*Table, error) {
-	return experiments.ServerSweep(base, servers)
+func ServerSweep(base Config, servers []int, parallelism ...int) (*Table, error) {
+	return experiments.ServerSweep(base, servers, parallelism...)
 }
 
 // OutputScaleSweep varies the result volume (§5's "amount of results").
-func OutputScaleSweep(base Config, multipliers []float64) (*Table, error) {
-	return experiments.OutputScaleSweep(base, multipliers)
+func OutputScaleSweep(base Config, multipliers []float64, parallelism ...int) (*Table, error) {
+	return experiments.OutputScaleSweep(base, multipliers, parallelism...)
 }
 
 // SegmentationComparison quantifies §1's motivation: database segmentation
 // versus the query-segmentation baseline as the database outgrows worker
 // memory.
-func SegmentationComparison(base Config, dbSizes []int64) (*Table, error) {
-	return experiments.SegmentationComparison(base, dbSizes)
+func SegmentationComparison(base Config, dbSizes []int64, parallelism ...int) (*Table, error) {
+	return experiments.SegmentationComparison(base, dbSizes, parallelism...)
 }
