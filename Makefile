@@ -15,9 +15,10 @@ test:
 short:
 	$(GO) test -short ./...
 
-# The sweep executor, workload cache, and engine under concurrent cells.
+# The sweep executor, workload cache, engine, and the shared observability
+# sinks/registry under concurrent cells.
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/search/ ./internal/core/
+	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/
 
 vet:
 	$(GO) vet ./...

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	s3abench [-suite procs|speed|extensions|all] [-quick] [-csv] [-reps N]
-//	         [-parallel N] [-json dir]
+//	         [-parallel N] [-json dir] [-trace-dir dir] [-metrics] [-pprof file]
 //
 // The full paper suite takes several minutes sequentially; every cell of a
 // suite is an independent deterministic simulation, so -parallel N (default
@@ -30,7 +30,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"s3asim"
@@ -47,8 +49,12 @@ type suiteRecord struct {
 	CellSeconds float64 `json:"cell_seconds,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
 	Cells       int     `json:"cells,omitempty"`
-	CacheHits   uint64  `json:"workload_cache_hits"`
-	CacheMisses uint64  `json:"workload_cache_misses"`
+	// MaxConcurrent and Occupancy are the executor's self-profile: the peak
+	// number of simulations in flight and the realized pool utilization.
+	MaxConcurrent int     `json:"max_concurrent,omitempty"`
+	Occupancy     float64 `json:"occupancy,omitempty"`
+	CacheHits     uint64  `json:"workload_cache_hits"`
+	CacheMisses   uint64  `json:"workload_cache_misses"`
 }
 
 // benchRecord is the top-level JSON document.
@@ -72,6 +78,9 @@ func main() {
 		figs     = flag.String("figs", "", "write figure SVGs into this directory")
 		parallel = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 		jsonDir  = flag.String("json", "results", "write bench_<timestamp>.json into this directory (empty disables)")
+		traceDir = flag.String("trace-dir", "", "write a per-cell phase-timeline JSONL into this directory")
+		metrics  = flag.Bool("metrics", false, "print the aggregated metrics snapshot per suite")
+		cpuProf  = flag.String("pprof", "", "write a CPU profile of the bench process to this file")
 	)
 	flag.Parse()
 	switch *suite {
@@ -89,6 +98,21 @@ func main() {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := s3asim.PaperOptions()
@@ -128,32 +152,43 @@ func main() {
 		if *figs != "" {
 			writeFigures(*figs, sr)
 		}
+		if *metrics {
+			fmt.Printf("# metrics (%s suite, all runs merged)\n%s\n", sr.Kind, sr.Metrics.Render())
+		}
 		p := sr.Perf
 		fmt.Fprintf(os.Stderr,
-			"suite %s: %d cells in %.2fs wall at parallelism %d — %.2fx vs sequential (est.), workload cache %d hits / %d misses\n",
+			"suite %s: %d cells in %.2fs wall at parallelism %d — %.2fx vs sequential (est.), peak %d in flight (occupancy %.0f%%), workload cache %d hits / %d misses\n",
 			sr.Kind, len(sr.Cells), p.Elapsed.Seconds(), p.Parallelism,
-			p.Speedup(), p.Workload.Hits, p.Workload.Misses)
+			p.Speedup(), p.MaxConcurrent, p.Occupancy()*100, p.Workload.Hits, p.Workload.Misses)
 		record.Suites = append(record.Suites, suiteRecord{
-			Name:        sr.Kind,
-			WallSeconds: p.Elapsed.Seconds(),
-			Parallelism: p.Parallelism,
-			CellSeconds: p.CellTime.Seconds(),
-			Speedup:     p.Speedup(),
-			Cells:       len(sr.Cells),
-			CacheHits:   p.Workload.Hits,
-			CacheMisses: p.Workload.Misses,
+			Name:          sr.Kind,
+			WallSeconds:   p.Elapsed.Seconds(),
+			Parallelism:   p.Parallelism,
+			CellSeconds:   p.CellTime.Seconds(),
+			Speedup:       p.Speedup(),
+			Cells:         len(sr.Cells),
+			MaxConcurrent: p.MaxConcurrent,
+			Occupancy:     p.Occupancy(),
+			CacheHits:     p.Workload.Hits,
+			CacheMisses:   p.Workload.Misses,
 		})
 	}
 
 	if *suite == "procs" || *suite == "all" {
+		spool := newTraceSpool(*traceDir, "procs")
+		opts.CellSink = spool.factory()
 		sr, err := s3asim.RunProcessSweep(opts)
+		spool.close()
 		if err != nil {
 			fatal(err)
 		}
 		emit(sr)
 	}
 	if *suite == "speed" || *suite == "all" {
+		spool := newTraceSpool(*traceDir, "speed")
+		opts.CellSink = spool.factory()
 		sr, err := s3asim.RunSpeedSweep(opts)
+		spool.close()
 		if err != nil {
 			fatal(err)
 		}
@@ -173,6 +208,63 @@ func main() {
 	}
 	if *jsonDir != "" {
 		writeRecord(*jsonDir, record)
+	}
+}
+
+// traceSpool opens one streaming JSONL sink per (cell, repetition) run of a
+// suite — the per-cell tracing path that, unlike a shared Config.Tracer,
+// leaves the sweep free to run cells in parallel. Files are named
+// <suite>_<strategy>_<sync|nosync>_x<X>_rep<N>.jsonl; render any of them
+// with s3atrace.
+type traceSpool struct {
+	dir, kind string
+	mu        sync.Mutex
+	sinks     []*s3asim.StreamSink
+	files     []*os.File
+}
+
+func newTraceSpool(dir, kind string) *traceSpool {
+	return &traceSpool{dir: dir, kind: kind}
+}
+
+// factory returns the Options.CellSink hook, or nil when spooling is off.
+// It may be invoked from several sweep goroutines at once.
+func (ts *traceSpool) factory() func(k s3asim.CellKey, rep int) s3asim.Sink {
+	if ts.dir == "" {
+		return nil
+	}
+	return func(k s3asim.CellKey, rep int) s3asim.Sink {
+		sync := "nosync"
+		if k.QuerySync {
+			sync = "sync"
+		}
+		name := fmt.Sprintf("%s_%s_%s_x%g_rep%d.jsonl",
+			ts.kind, slug(k.Strategy.String()), sync, k.X, rep)
+		f, err := os.Create(filepath.Join(ts.dir, name))
+		if err != nil {
+			fatal(err)
+		}
+		s := s3asim.NewStreamSink(f)
+		ts.mu.Lock()
+		ts.sinks = append(ts.sinks, s)
+		ts.files = append(ts.files, f)
+		ts.mu.Unlock()
+		return s
+	}
+}
+
+// close flushes and closes every spooled trace.
+func (ts *traceSpool) close() {
+	for i, s := range ts.sinks {
+		if err := s.Close(); err != nil {
+			fatal(err)
+		}
+		if err := ts.files[i].Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if len(ts.files) > 0 {
+		fmt.Fprintf(os.Stderr, "wrote %d cell traces to %s\n", len(ts.files), ts.dir)
 	}
 }
 

@@ -35,6 +35,8 @@ func main() {
 		servers    = flag.Int("servers", 16, "PVFS2 I/O servers")
 		seed       = flag.Int64("seed", 0, "workload seed (0 = paper default)")
 		tracePath  = flag.String("trace", "", "write a phase timeline (JSON lines) to this file")
+		perfetto   = flag.String("perfetto", "", "write the phase timeline as Chrome trace-event JSON (open in ui.perfetto.dev)")
+		metrics    = flag.Bool("metrics", false, "print the run's metrics snapshot (counters, histograms)")
 		csv        = flag.Bool("csv", false, "print the phase table as CSV")
 	)
 	flag.Parse()
@@ -57,7 +59,7 @@ func main() {
 		fatal(err)
 	}
 	var tr *trace.Tracer
-	if *tracePath != "" {
+	if *tracePath != "" || *perfetto != "" {
 		tr = trace.New()
 		cfg.Tracer = tr
 	}
@@ -81,7 +83,11 @@ func main() {
 		fmt.Print(rep.PhaseTable().String())
 	}
 
-	if tr != nil {
+	if *metrics {
+		fmt.Printf("\nmetrics:\n%s", rep.Metrics.Render())
+	}
+
+	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
@@ -93,6 +99,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\ntrace written to %s (render with s3atrace)\n", *tracePath)
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s3asim.WritePerfetto(f, tr.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nperfetto trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
 	}
 }
 

@@ -1,29 +1,45 @@
-// Command s3atrace renders a phase-timeline trace produced by
-// `s3asim -trace` as an ASCII Gantt chart — the stand-in for the
-// MPE/Jumpshot visualization the original S3aSim used (paper §3).
+// Command s3atrace converts a phase-timeline trace produced by
+// `s3asim -trace` or a sweep's -trace-dir between formats: the ASCII Gantt
+// chart (the stand-in for the MPE/Jumpshot visualization the original S3aSim
+// used, paper §3), an SVG timeline, Chrome trace-event JSON loadable in
+// Perfetto (ui.perfetto.dev), or normalized JSONL.
 //
 // Usage:
 //
 //	s3asim -procs 8 -strategy WW-Coll -trace t.jsonl
-//	s3atrace -width 120 t.jsonl
+//	s3atrace -width 120 t.jsonl                     # ASCII Gantt to stdout
+//	s3atrace -format svg -o t.svg t.jsonl
+//	s3atrace -format perfetto -o t.json t.jsonl     # open in Perfetto
+//	s3atrace -format jsonl t.jsonl                  # re-encode/normalize
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"s3asim/internal/obs"
 	"s3asim/internal/trace"
 )
 
 func main() {
 	width := flag.Int("width", 100, "chart width in columns (ASCII) or pixels (SVG)")
-	svgPath := flag.String("svg", "", "write an SVG timeline to this file instead of ASCII")
+	format := flag.String("format", "ascii", "output format: ascii, svg, perfetto, jsonl")
+	outPath := flag.String("o", "", "output file (default stdout)")
+	svgPath := flag.String("svg", "", "legacy: write an SVG timeline to this file (same as -format svg -o)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: s3atrace [-width N] [-svg out.svg] <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: s3atrace [-format ascii|svg|perfetto|jsonl] [-o out] [-width N] <trace.jsonl>")
 		os.Exit(2)
 	}
+	if *svgPath != "" {
+		*format = "svg"
+		*outPath = *svgPath
+	}
+
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -33,18 +49,48 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *svgPath != "" {
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := of.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", *outPath)
+		}()
+		out = of
+	}
+
+	switch *format {
+	case "ascii":
+		_, err = io.WriteString(out, trace.Gantt(events, *width))
+	case "svg":
 		w := *width
 		if w < 300 {
 			w = 900
 		}
-		if err := os.WriteFile(*svgPath, []byte(trace.GanttSVG(events, w, 0)), 0o644); err != nil {
-			fatal(err)
+		_, err = io.WriteString(out, trace.GanttSVG(events, w, 0))
+	case "perfetto":
+		err = obs.WritePerfetto(out, events)
+	case "jsonl":
+		bw := bufio.NewWriter(out)
+		enc := json.NewEncoder(bw)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				fatal(err)
+			}
 		}
-		fmt.Fprintln(os.Stderr, "wrote", *svgPath)
-		return
+		err = bw.Flush()
+	default:
+		fatal(fmt.Errorf("unknown format %q (want ascii, svg, perfetto, or jsonl)", *format))
 	}
-	fmt.Print(trace.Gantt(events, *width))
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 
 	"s3asim/internal/des"
 	"s3asim/internal/mpi"
+	"s3asim/internal/obs"
 	"s3asim/internal/pvfs"
 	"s3asim/internal/romio"
 	"s3asim/internal/search"
@@ -130,6 +131,18 @@ type Config struct {
 	// MPE/Jumpshot-style instrumentation of paper §3); render it with
 	// trace.Gantt or cmd/s3atrace.
 	Tracer *trace.Tracer
+	// Sink, if non-nil, additionally receives every phase-timeline event as
+	// it happens — a streaming alternative to (or companion of) Tracer. Use
+	// obs.NewStreamSink for JSONL spooling or obs.NewPerfettoSink for Chrome
+	// trace-event export. When both Tracer and Sink are set, events go to
+	// both.
+	Sink obs.Sink
+	// Metrics, if non-nil, is the registry the run populates with counters,
+	// gauges, and virtual-time histograms (engine phases, pvfs requests, MPI
+	// traffic). When nil the run uses a private registry; either way the
+	// final snapshot lands in Report.Metrics. Supply a registry to
+	// accumulate across several runs or to observe values mid-run.
+	Metrics *obs.Registry
 	// TraceIO records every file-system server request; the trace appears
 	// in Report.IOTrace for analysis (cmd/s3aiostat, pvfs.AnalyzeTrace).
 	TraceIO bool
@@ -198,6 +211,18 @@ func (c *Config) EffectiveWorkload() search.Spec {
 		s.NumFragments = 1
 	}
 	return s
+}
+
+// sink resolves the run's timeline destination: the legacy Tracer, the
+// streaming Sink, both, or nil. The explicit nil check on Tracer matters —
+// wrapping a nil *trace.Tracer in the obs.Sink interface would yield a
+// non-nil interface that panics on use.
+func (c *Config) sink() obs.Sink {
+	var tr obs.Sink
+	if c.Tracer != nil {
+		tr = c.Tracer
+	}
+	return obs.Multi(tr, c.Sink)
 }
 
 // indMethod resolves the ADIO method for individual worker writes.

@@ -29,7 +29,7 @@ type masterState struct {
 func (rt *runtime) master(r *mpi.Rank, g *group) {
 	cfg := rt.cfg
 	pt := NewPhaseTimer(rt.sim)
-	pt.Trace(cfg.Tracer, r.Proc().Name())
+	pt.Trace(cfg.sink(), r.Proc().Name())
 	rt.timers[r.Rank()] = pt
 
 	// Step 1: set up the output file and distribute input variables.

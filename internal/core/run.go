@@ -6,6 +6,7 @@ import (
 
 	"s3asim/internal/des"
 	"s3asim/internal/mpi"
+	"s3asim/internal/obs"
 	"s3asim/internal/pvfs"
 	"s3asim/internal/romio"
 	"s3asim/internal/search"
@@ -45,17 +46,18 @@ type group struct {
 
 // runtime carries everything the masters and workers share.
 type runtime struct {
-	cfg    *Config
-	wl     *search.Workload
-	sim    *des.Simulation
-	world  *mpi.World
-	fs     *pvfs.FileSystem
-	file   *romio.File
-	dbFile *romio.File  // input database (when DatabaseBytes > 0)
-	fileUp *des.Signal  // broadcast once rt.file is open
-	final  *mpi.Barrier // all processes, end of run
-	groups []*group
-	timers []*PhaseTimer
+	cfg     *Config
+	wl      *search.Workload
+	sim     *des.Simulation
+	world   *mpi.World
+	fs      *pvfs.FileSystem
+	file    *romio.File
+	dbFile  *romio.File  // input database (when DatabaseBytes > 0)
+	fileUp  *des.Signal  // broadcast once rt.file is open
+	final   *mpi.Barrier // all processes, end of run
+	groups  []*group
+	timers  []*PhaseTimer
+	metrics *obs.Registry
 
 	flushTimes []des.Time // per global batch: when its flush completed
 }
@@ -99,6 +101,12 @@ type Report struct {
 	// IOTrace holds per-request file-system records when Config.TraceIO
 	// was set (see pvfs.AnalyzeTrace).
 	IOTrace []pvfs.RequestRecord
+
+	// Metrics is the run's instrumentation snapshot: counters (des.events,
+	// mpi.messages, pvfs.requests, ...), gauges, and virtual-time histograms
+	// (per-rank phase durations, pvfs queue waits, per-server load). Always
+	// populated; deterministic for a given config and workload.
+	Metrics obs.Snapshot
 }
 
 // Run executes one S3aSim simulation and returns its report.
@@ -138,16 +146,22 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 	if cfg.TraceIO {
 		fs.EnableRequestTrace()
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	fs.SetMetrics(reg)
 
 	rt := &runtime{
-		cfg:    &cfg,
-		wl:     wl,
-		sim:    sim,
-		world:  world,
-		fs:     fs,
-		fileUp: sim.NewSignal(),
-		final:  world.NewBarrier(cfg.Procs),
-		timers: make([]*PhaseTimer, cfg.Procs),
+		cfg:     &cfg,
+		wl:      wl,
+		sim:     sim,
+		world:   world,
+		fs:      fs,
+		fileUp:  sim.NewSignal(),
+		final:   world.NewBarrier(cfg.Procs),
+		timers:  make([]*PhaseTimer, cfg.Procs),
+		metrics: reg,
 	}
 	rt.buildGroups()
 	if cfg.DisableMasterNICSerialization {
@@ -291,6 +305,7 @@ func (rt *runtime) report() (*Report, error) {
 			rep.Workers = append(rep.Workers, pb)
 		}
 	}
+	rt.recordMetrics(rep)
 	n := des.Time(len(rep.Workers))
 	for _, w := range rep.Workers {
 		for p := 0; p < int(NumPhases); p++ {
@@ -335,6 +350,33 @@ func (rt *runtime) report() (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// recordMetrics folds the run's end-of-run aggregates into the registry —
+// kernel/network totals, per-rank phase durations and message counts, and
+// per-server load — then snapshots the whole registry (including the pvfs
+// per-request streams recorded during the run) into the report. Iteration
+// is in fixed rank/server/phase order, so the snapshot is deterministic.
+func (rt *runtime) recordMetrics(rep *Report) {
+	m := rt.metrics
+	m.Add("des.events", int64(rep.Events))
+	m.Add("mpi.messages", int64(rep.Messages))
+	m.Add("mpi.bytes", int64(rep.NetBytes))
+	m.Set("run.overall_s", rep.Overall.Seconds())
+	for rank, t := range rt.timers {
+		b := t.Buckets()
+		for p := Phase(0); p < NumPhases; p++ {
+			m.ObserveTime("phase."+p.String(), b[p])
+		}
+		r := rt.world.Rank(rank)
+		m.Observe("mpi.rank_messages", float64(r.MessagesSent()))
+		m.Observe("mpi.rank_bytes", float64(r.BytesSent()))
+	}
+	for _, s := range rep.FS.Servers {
+		m.Observe("pvfs.server_bytes", float64(s.BytesWritten))
+		m.ObserveTime("pvfs.server_queue_wait", s.QueueWait)
+	}
+	rep.Metrics = m.Snapshot()
 }
 
 // verifyImage checks every result's bytes against the workload's

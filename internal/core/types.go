@@ -8,7 +8,7 @@ import (
 	"fmt"
 
 	"s3asim/internal/des"
-	"s3asim/internal/trace"
+	"s3asim/internal/obs"
 )
 
 // Strategy selects how result data reaches the output file (paper §2).
@@ -102,7 +102,7 @@ type PhaseTimer struct {
 	buckets [NumPhases]des.Time
 	closed  bool
 
-	tracer   *trace.Tracer // optional: phase transitions become trace states
+	sink     obs.Sink // optional: phase transitions become timeline states
 	procName string
 }
 
@@ -111,13 +111,14 @@ func NewPhaseTimer(sim *des.Simulation) *PhaseTimer {
 	return &PhaseTimer{sim: sim, current: PhaseOther, since: sim.Now()}
 }
 
-// Trace attaches a tracer: every phase switch is recorded as a state of the
-// named process (the MPE/Jumpshot-style timeline of paper §3).
-func (t *PhaseTimer) Trace(tr *trace.Tracer, procName string) {
-	t.tracer = tr
+// Trace attaches a timeline sink (a *trace.Tracer, an obs.StreamSink, or
+// any obs.Sink): every phase switch is recorded as a state of the named
+// process (the MPE/Jumpshot-style timeline of paper §3).
+func (t *PhaseTimer) Trace(sink obs.Sink, procName string) {
+	t.sink = sink
 	t.procName = procName
-	if tr != nil {
-		tr.BeginState(procName, t.current.String(), t.since)
+	if sink != nil {
+		sink.BeginState(procName, t.current.String(), t.since)
 	}
 }
 
@@ -131,8 +132,8 @@ func (t *PhaseTimer) Switch(p Phase) {
 	t.buckets[t.current] += now - t.since
 	t.since = now
 	t.current = p
-	if t.tracer != nil {
-		t.tracer.BeginState(t.procName, p.String(), now)
+	if t.sink != nil {
+		t.sink.BeginState(t.procName, p.String(), now)
 	}
 }
 
@@ -148,8 +149,8 @@ func (t *PhaseTimer) Finish() {
 	t.buckets[t.current] += now - t.since
 	t.since = now
 	t.closed = true
-	if t.tracer != nil {
-		t.tracer.EndState(t.procName, now)
+	if t.sink != nil {
+		t.sink.EndState(t.procName, now)
 	}
 }
 

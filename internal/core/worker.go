@@ -25,7 +25,7 @@ type workerState struct {
 func (rt *runtime) worker(r *mpi.Rank, g *group) {
 	cfg := rt.cfg
 	pt := NewPhaseTimer(rt.sim)
-	pt.Trace(cfg.Tracer, r.Proc().Name())
+	pt.Trace(cfg.sink(), r.Proc().Name())
 	rt.timers[r.Rank()] = pt
 	boss := g.masterRank
 

@@ -73,6 +73,8 @@ func forEach(parallelism, n int, job func(i int) error) error {
 // parallelism resolves the pool width for a suite: Options.Parallelism if
 // positive, else GOMAXPROCS. A shared Tracer in the base config is the one
 // piece of cross-cell mutable state, so tracing forces sequential runs.
+// Per-cell factories (CellSink/CellMetrics) hand every run private state
+// and therefore do not restrict parallelism.
 func (o *Options) parallelism() int {
 	if o.Base.Tracer != nil {
 		return 1
@@ -96,6 +98,14 @@ type SweepPerf struct {
 	// (Parallelism > core count) the estimate is optimistic; for an exact
 	// figure compare Elapsed between two sweeps at Parallelism 1 and N.
 	CellTime time.Duration
+	// CellWall holds every (cell, repetition) run's wall-clock duration in
+	// the deterministic job order (cell-major, repetition-minor); it sums to
+	// CellTime. Use it to find the sweep's slowest cells.
+	CellWall []time.Duration
+	// MaxConcurrent is the highest number of simulations observed in flight
+	// at once — at most Parallelism, lower when the pool was starved (fewer
+	// jobs than workers, or a failure stopped dispatch early).
+	MaxConcurrent int
 	// Workload counts workload-cache outcomes: Misses is the number of
 	// distinct workloads generated for the whole sweep.
 	Workload search.CacheStats
@@ -110,6 +120,16 @@ func (p SweepPerf) Speedup() float64 {
 	return float64(p.CellTime) / float64(p.Elapsed)
 }
 
+// Occupancy estimates pool utilization: realized speedup over pool width
+// (1.0 means every worker was busy for the whole sweep). Subject to the
+// same descheduling caveat as CellTime.
+func (p SweepPerf) Occupancy() float64 {
+	if p.Parallelism <= 0 {
+		return 0
+	}
+	return p.Speedup() / float64(p.Parallelism)
+}
+
 // cellRun is one (cell, repetition) simulation: the flattened unit of
 // parallelism of a sweep.
 type cellRun struct {
@@ -117,14 +137,25 @@ type cellRun struct {
 	rep  int
 }
 
+// execProfile is the executor's self-measurement: the wall-clock cost of
+// every (cell, rep) run and the pool occupancy it achieved.
+type execProfile struct {
+	cellTime      time.Duration   // sum over cellWall
+	cellWall      []time.Duration // per job, cell-major rep-minor order
+	maxConcurrent int             // peak simulations in flight
+}
+
 // runAllCells executes every (cell, rep) of cfgs across the pool, sharing
 // workloads through cache, and returns per-cell per-rep reports in
-// deterministic order. onCell fires exactly once per completed cell, in
-// ascending cell order, serialized under a mutex — this is what makes
-// Options.Progress ordered and race-free regardless of completion order.
+// deterministic order. prep, if non-nil, customizes each run's private
+// config copy (per-cell sinks and registries) before the simulation starts.
+// onCell fires exactly once per completed cell, in ascending cell order,
+// serialized under a mutex — this is what makes Options.Progress ordered
+// and race-free regardless of completion order.
 func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
+	prep func(cell, rep int, cfg *core.Config),
 	runErr func(cell, rep int, err error) error,
-	onCell func(cell int, reports []*core.Report)) ([][]*core.Report, time.Duration, error) {
+	onCell func(cell int, reports []*core.Report)) ([][]*core.Report, execProfile, error) {
 
 	reports := make([][]*core.Report, len(cfgs))
 	for i := range reports {
@@ -132,7 +163,8 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 	}
 	var (
 		mu        sync.Mutex
-		cellTime  time.Duration
+		prof      = execProfile{cellWall: make([]time.Duration, len(cfgs)*reps)}
+		inFlight  int
 		remaining = make([]int, len(cfgs))
 		done      = make([]bool, len(cfgs))
 		cursor    int
@@ -152,16 +184,27 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 		// Repetitions vary the workload seed (seed+rep), the closest
 		// analogue of the paper's 3-run averaging.
 		cfg.Workload.Seed += int64(j.rep)
+		if prep != nil {
+			prep(j.cell, j.rep, &cfg)
+		}
 		wl := cache.Get(cfg.EffectiveWorkload())
+		mu.Lock()
+		inFlight++
+		if inFlight > prof.maxConcurrent {
+			prof.maxConcurrent = inFlight
+		}
+		mu.Unlock()
 		start := time.Now()
 		rep, err := core.RunWithWorkload(cfg, wl)
 		elapsed := time.Since(start)
+		mu.Lock()
+		defer mu.Unlock()
+		inFlight--
+		prof.cellTime += elapsed
+		prof.cellWall[i] = elapsed
 		if err != nil {
 			return runErr(j.cell, j.rep, err)
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		cellTime += elapsed
 		reports[j.cell][j.rep] = rep
 		remaining[j.cell]--
 		if remaining[j.cell] == 0 {
@@ -177,5 +220,5 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 		}
 		return nil
 	})
-	return reports, cellTime, err
+	return reports, prof, err
 }

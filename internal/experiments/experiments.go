@@ -18,6 +18,7 @@ import (
 
 	"s3asim/internal/core"
 	"s3asim/internal/des"
+	"s3asim/internal/obs"
 	"s3asim/internal/search"
 	"s3asim/internal/stats"
 )
@@ -53,6 +54,18 @@ type Options struct {
 	// (strategy, sync, x) — a cell is announced only after every earlier
 	// cell has been. Progress must still not block indefinitely.
 	Progress func(string)
+	// CellSink, if non-nil, supplies a timeline sink for each (cell,
+	// repetition) run (return nil to skip a run). Every run receives
+	// private observer state, so — unlike the shared Base.Tracer — per-cell
+	// sinks do NOT force sequential execution: the sweep stays bit-identical
+	// at any Parallelism. The factory may be called from several goroutines
+	// at once; returning a distinct sink per call is all it takes to be safe.
+	CellSink func(key CellKey, rep int) obs.Sink
+	// CellMetrics, if non-nil, likewise supplies a per-run metrics registry.
+	// Each run's snapshot lands in its Report and is merged into
+	// SweepResult.Metrics either way; use CellMetrics to additionally keep
+	// every run's registry (per-cell reports, custom aggregation).
+	CellMetrics func(key CellKey, rep int) *obs.Registry
 }
 
 // PaperOptions returns the paper's full experiment scale.
@@ -135,6 +148,10 @@ type SweepResult struct {
 	Syncs []bool
 	Strat []core.Strategy
 	Cells map[CellKey]*Cell
+	// Metrics aggregates every run's instrumentation snapshot across the
+	// whole sweep (counters summed, histograms merged), folded in
+	// deterministic cell-then-repetition order.
+	Metrics obs.Snapshot
 	// Perf describes the execution itself (wall-clock, parallelism,
 	// workload-cache outcomes). It is the only part of a SweepResult that
 	// varies between runs of identical Options.
@@ -201,8 +218,16 @@ func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, 
 		}
 	}
 	cache := search.NewCache()
+	prep := func(cell, rep int, cfg *core.Config) {
+		if opts.CellSink != nil {
+			cfg.Sink = opts.CellSink(keys[cell], rep)
+		}
+		if opts.CellMetrics != nil {
+			cfg.Metrics = opts.CellMetrics(keys[cell], rep)
+		}
+	}
 	start := time.Now()
-	_, cellTime, err := runAllCells(opts.parallelism(), opts.reps(), cache, cfgs,
+	_, prof, err := runAllCells(opts.parallelism(), opts.reps(), cache, cfgs, prep,
 		func(cell, rep int, err error) error {
 			k := keys[cell]
 			return fmt.Errorf("experiments: %v sync=%v x=%g rep=%d: %w",
@@ -212,6 +237,9 @@ func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, 
 			k := keys[cell]
 			c := reduceCell(k, reps)
 			sr.Cells[k] = c
+			for _, r := range reps {
+				sr.Metrics = sr.Metrics.Merge(r.Metrics)
+			}
 			opts.progress("%s %s sync=%v x=%g: %.2fs",
 				kind, k.Strategy, k.QuerySync, k.X, c.Overall.Seconds())
 		})
@@ -219,10 +247,12 @@ func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, 
 		return nil, err
 	}
 	sr.Perf = SweepPerf{
-		Parallelism: opts.parallelism(),
-		Elapsed:     time.Since(start),
-		CellTime:    cellTime,
-		Workload:    cache.Stats(),
+		Parallelism:   opts.parallelism(),
+		Elapsed:       time.Since(start),
+		CellTime:      prof.cellTime,
+		CellWall:      prof.cellWall,
+		MaxConcurrent: prof.maxConcurrent,
+		Workload:      cache.Stats(),
 	}
 	return sr, nil
 }

@@ -13,6 +13,9 @@ type Rank struct {
 	inbox    []*Message    // arrived, not yet matched
 	posted   []*postedRecv // posted receives, not yet matched
 	activity *des.Signal   // broadcast whenever a request completes
+
+	msgsSent  uint64 // messages this rank pushed into the network
+	bytesSent uint64 // payload bytes this rank pushed into the network
 }
 
 type postedRecv struct {
@@ -39,6 +42,12 @@ func (r *Rank) Now() des.Time { return r.w.sim.Now() }
 
 // Compute advances this rank's virtual clock by d, modeling local work.
 func (r *Rank) Compute(d des.Time) { r.proc.Sleep(d) }
+
+// MessagesSent reports how many messages this rank has sent.
+func (r *Rank) MessagesSent() uint64 { return r.msgsSent }
+
+// BytesSent reports how many payload bytes this rank has sent.
+func (r *Rank) BytesSent() uint64 { return r.bytesSent }
 
 // Request tracks the completion of a nonblocking operation. A receive
 // request additionally carries the matched message once complete.
@@ -76,6 +85,8 @@ func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
 	req := &Request{owner: r}
 	w.msgsSent++
 	w.bytesSent += uint64(bytes)
+	r.msgsSent++
+	r.bytesSent += uint64(bytes)
 
 	eager := bytes <= cfg.EagerLimit
 	sendCost := cfg.PerMessageCPU + des.BytesOver(bytes, cfg.Bandwidth)

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+// The Perfetto exporter emits the Chrome trace-event JSON object format
+// (the "JSON Array Format" wrapped in {"traceEvents": ...}), which loads
+// directly in ui.perfetto.dev and chrome://tracing — the modern stand-in
+// for the Jumpshot timelines of paper §3. Each simulated process becomes a
+// named thread of one process; states become complete ("X") slices and
+// point markers become thread-scoped instant ("i") events. Timestamps are
+// microseconds of virtual time.
+
+// chromeEvent is one entry of the trace-event array. Field presence follows
+// the Chrome trace-event format spec: every event carries ph/ts/pid/tid;
+// "X" events add dur; "i" events add a scope; "M" metadata events add args.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// PerfettoEvents converts timeline events to the Chrome trace-event array:
+// thread-name metadata for every process (sorted, so tids are stable), then
+// the events in recorded order. Zero-length states (e.g. still-open states
+// flushed by a tracer) export as zero-duration slices.
+func PerfettoEvents(events []trace.Event) []chromeEvent {
+	procSet := map[string]bool{}
+	for _, e := range events {
+		procSet[e.Proc] = true
+	}
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	tid := make(map[string]int, len(procs))
+	out := make([]chromeEvent, 0, len(procs)+1+len(events))
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "s3asim"},
+	})
+	for i, p := range procs {
+		tid[p] = i
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]any{"name": p},
+		})
+	}
+	for _, e := range events {
+		ts := e.Start.Micros()
+		if e.Point {
+			out = append(out, chromeEvent{
+				Name: e.Name, Cat: "marker", Ph: "i", Ts: ts,
+				Pid: 0, Tid: tid[e.Proc], Scope: "t",
+			})
+			continue
+		}
+		dur := (e.End - e.Start).Micros()
+		if dur < 0 {
+			dur = 0
+		}
+		out = append(out, chromeEvent{
+			Name: e.Name, Cat: "phase", Ph: "X", Ts: ts, Dur: &dur,
+			Pid: 0, Tid: tid[e.Proc],
+		})
+	}
+	return out
+}
+
+// WritePerfetto writes events as a Chrome trace-event / Perfetto JSON
+// document. Output is deterministic for a given event sequence.
+func WritePerfetto(w io.Writer, events []trace.Event) error {
+	doc := chromeTrace{TraceEvents: PerfettoEvents(events), DisplayTimeUnit: "ms"}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// PerfettoSink collects a run's timeline in memory and writes the Perfetto
+// JSON document on Close. Safe for concurrent use.
+type PerfettoSink struct {
+	mu sync.Mutex
+	tr *trace.Tracer
+	w  io.Writer
+}
+
+// NewPerfettoSink returns a sink that exports to w when closed.
+func NewPerfettoSink(w io.Writer) *PerfettoSink {
+	return &PerfettoSink{tr: trace.New(), w: w}
+}
+
+// BeginState records a state transition.
+func (s *PerfettoSink) BeginState(proc, name string, at des.Time) {
+	s.mu.Lock()
+	s.tr.BeginState(proc, name, at)
+	s.mu.Unlock()
+}
+
+// EndState closes the process's open state.
+func (s *PerfettoSink) EndState(proc string, at des.Time) {
+	s.mu.Lock()
+	s.tr.EndState(proc, at)
+	s.mu.Unlock()
+}
+
+// Point records an instantaneous marker.
+func (s *PerfettoSink) Point(proc, name string, at des.Time) {
+	s.mu.Lock()
+	s.tr.Point(proc, name, at)
+	s.mu.Unlock()
+}
+
+// Close exports the collected timeline as Perfetto JSON.
+func (s *PerfettoSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WritePerfetto(s.w, s.tr.Events())
+}

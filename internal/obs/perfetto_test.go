@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a fixed timeline exercising every export path: states,
+// a point marker, an open state, and more than one process.
+func goldenEvents() []trace.Event {
+	tr := trace.New()
+	tr.BeginState("master0", "Data Distribution", 0)
+	tr.EndState("master0", 3*des.Second)
+	tr.BeginState("worker1", "Compute", 0)
+	tr.BeginState("worker1", "I/O", 2*des.Second)
+	tr.EndState("worker1", 2500*des.Millisecond)
+	tr.Point("worker1", "flush", 2200*des.Millisecond)
+	tr.BeginState("worker2", "Sync", des.Second) // left open
+	return tr.Events()
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("perfetto output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestPerfettoSchema validates the export against the Chrome trace-event
+// format contract Perfetto's legacy JSON importer relies on: a traceEvents
+// array whose entries all carry name/ph/ts/pid/tid, "X" slices with a
+// non-negative dur, thread-scoped "i" instants, and one thread_name
+// metadata record per simulated process.
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" && doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, spec allows ms or ns", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	threadNames := map[string]bool{}
+	var slices, instants int
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		switch ph {
+		case "M":
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
+				t.Fatalf("metadata event without args: %v", ev)
+			}
+			if ev["name"] == "thread_name" {
+				threadNames[args["name"].(string)] = true
+			}
+		case "X":
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("complete event needs dur >= 0: %v", ev)
+			}
+			if ev["ts"].(float64) < 0 {
+				t.Fatalf("negative timestamp: %v", ev)
+			}
+			slices++
+		case "i":
+			if ev["s"] != "t" {
+				t.Fatalf("instant should be thread-scoped: %v", ev)
+			}
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q in event %v", ph, ev)
+		}
+	}
+	for _, proc := range []string{"master0", "worker1", "worker2"} {
+		if !threadNames[proc] {
+			t.Fatalf("no thread_name metadata for %s (got %v)", proc, threadNames)
+		}
+	}
+	// 4 states (one open) and 1 marker in the fixture.
+	if slices != 4 || instants != 1 {
+		t.Fatalf("slices=%d instants=%d, want 4 and 1", slices, instants)
+	}
+}
+
+func TestPerfettoTimesInMicroseconds(t *testing.T) {
+	events := []trace.Event{{Proc: "p", Name: "S", Start: des.Second, End: 2 * des.Second}}
+	out := PerfettoEvents(events)
+	last := out[len(out)-1]
+	if last.Ts != 1e6 || last.Dur == nil || *last.Dur != 1e6 {
+		t.Fatalf("ts/dur should be microseconds: ts=%g dur=%v", last.Ts, last.Dur)
+	}
+}
+
+func TestPerfettoSinkExportsOnClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewPerfettoSink(&buf)
+	s.BeginState("p", "Compute", 0)
+	s.Point("p", "mark", des.Second)
+	s.EndState("p", 2*des.Second)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) < 3 {
+		t.Fatalf("export too small: %d events", len(doc.TraceEvents))
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"s3asim/internal/des"
+	"s3asim/internal/stats"
+)
+
+// Registry is a per-run metrics store: named counters, gauges, and
+// virtual-time histograms. All methods are safe for concurrent use, so one
+// registry may also aggregate across concurrently running simulations —
+// though per-cell registries (experiments.Options.CellMetrics) are the
+// deterministic way to do that.
+//
+// Histograms retain every observation (internal/stats.Online plus the raw
+// samples, for exact quantiles at snapshot time); a simulation run observes
+// at most a few values per process, server, and I/O request, so retention is
+// bounded by the run itself. Long-lived registries that observe unboundedly
+// should be snapshotted and replaced per run.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// histogram accumulates observations for one named series.
+type histogram struct {
+	online  stats.Online
+	samples []float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set stores the named gauge's current value.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe folds one observation into the named histogram.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.online.Add(v)
+	h.samples = append(h.samples, v)
+	r.mu.Unlock()
+}
+
+// ObserveTime folds a virtual-time duration into the named histogram, in
+// seconds — the unit every engine-populated histogram uses.
+func (r *Registry) ObserveTime(name string, t des.Time) {
+	r.Observe(name, t.Seconds())
+}
+
+// HistStat summarizes one histogram: exact count/sum/min/max/mean plus
+// quantiles over the retained samples.
+type HistStat struct {
+	Count               int64
+	Sum, Min, Max, Mean float64
+	P50, P95, P99       float64
+}
+
+// Snapshot is an immutable copy of a registry's state. The zero value is an
+// empty snapshot; see Merge for deterministic aggregation.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Hists    map[string]HistStat
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+		Hists:    make(map[string]HistStat, len(r.hists)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		qs := stats.Quantiles(h.samples, 0.5, 0.95, 0.99)
+		s.Hists[k] = HistStat{
+			Count: h.online.N(),
+			Sum:   h.online.Mean() * float64(h.online.N()),
+			Min:   h.online.Min(),
+			Max:   h.online.Max(),
+			Mean:  h.online.Mean(),
+			P50:   qs[0],
+			P95:   qs[1],
+			P99:   qs[2],
+		}
+	}
+	return s
+}
+
+// Merge folds o into a copy of s and returns it; neither input is modified.
+// Counters add; a gauge present in o overwrites s's value; histogram
+// count/sum/min/max merge exactly, mean is recomputed, and quantiles are
+// count-weighted averages of the inputs' quantiles (an approximation — the
+// raw samples are not retained across snapshots). Merging in a fixed order
+// is deterministic, which is how sweeps aggregate per-cell metrics while
+// staying bit-identical at any parallelism.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)+len(o.Counters)),
+		Gauges:   make(map[string]float64, len(s.Gauges)+len(o.Gauges)),
+		Hists:    make(map[string]HistStat, len(s.Hists)+len(o.Hists)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Hists {
+		out.Hists[k] = v
+	}
+	for k, b := range o.Hists {
+		a, ok := out.Hists[k]
+		if !ok || a.Count == 0 {
+			out.Hists[k] = b
+			continue
+		}
+		if b.Count == 0 {
+			continue
+		}
+		m := HistStat{Count: a.Count + b.Count, Sum: a.Sum + b.Sum, Min: a.Min, Max: a.Max}
+		if b.Min < m.Min {
+			m.Min = b.Min
+		}
+		if b.Max > m.Max {
+			m.Max = b.Max
+		}
+		m.Mean = m.Sum / float64(m.Count)
+		wa, wb := float64(a.Count), float64(b.Count)
+		m.P50 = (a.P50*wa + b.P50*wb) / (wa + wb)
+		m.P95 = (a.P95*wa + b.P95*wb) / (wa + wb)
+		m.P99 = (a.P99*wa + b.P99*wb) / (wa + wb)
+		out.Hists[k] = m
+	}
+	return out
+}
+
+// Empty reports whether the snapshot holds no series at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Hists) == 0
+}
+
+// Render formats the snapshot as aligned text, every section sorted by name.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	section := func(title string, n int) bool {
+		if n == 0 {
+			return false
+		}
+		fmt.Fprintf(&b, "%s:\n", title)
+		return true
+	}
+	if section("counters", len(s.Counters)) {
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-36s %d\n", k, s.Counters[k])
+		}
+	}
+	if section("gauges", len(s.Gauges)) {
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-36s %g\n", k, s.Gauges[k])
+		}
+	}
+	if section("histograms (n mean p50 p95 p99 max)", len(s.Hists)) {
+		for _, k := range sortedKeys(s.Hists) {
+			h := s.Hists[k]
+			fmt.Fprintf(&b, "  %-36s %d %.6g %.6g %.6g %.6g %.6g\n",
+				k, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

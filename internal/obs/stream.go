@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+// StreamSink writes timeline events to w as JSON-lines in the same record
+// format the in-memory tracer serializes (trace.Event), so its output feeds
+// trace.ReadJSON and every s3atrace format unchanged. Unlike the tracer it
+// never buffers the whole run: each state is emitted the moment it closes
+// (records therefore appear in completion order, not begin order — Gantt and
+// the exporters sort by time, not record order). Close flushes states still
+// open, with End == their begin time, matching the tracer's convention.
+//
+// All methods are safe for concurrent use, so one StreamSink may be shared
+// across concurrently running simulations.
+type StreamSink struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	open map[string]trace.Event
+	err  error
+}
+
+// NewStreamSink returns a sink streaming to w. Call Close to flush.
+func NewStreamSink(w io.Writer) *StreamSink {
+	bw := bufio.NewWriter(w)
+	return &StreamSink{bw: bw, enc: json.NewEncoder(bw), open: make(map[string]trace.Event)}
+}
+
+// BeginState closes proc's open state (emitting it) and opens a new one.
+func (s *StreamSink) BeginState(proc, name string, at des.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.open[proc]; ok {
+		e.End = at
+		s.emit(e)
+	}
+	s.open[proc] = trace.Event{Proc: proc, Name: name, Start: at, End: at}
+}
+
+// EndState closes and emits proc's open state.
+func (s *StreamSink) EndState(proc string, at des.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.open[proc]; ok {
+		e.End = at
+		s.emit(e)
+		delete(s.open, proc)
+	}
+}
+
+// Point emits an instantaneous marker immediately.
+func (s *StreamSink) Point(proc, name string, at des.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(trace.Event{Proc: proc, Name: name, Start: at, End: at, Point: true})
+}
+
+// emit encodes one record, retaining the first write error. Callers hold mu.
+func (s *StreamSink) emit(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Close emits still-open states (in sorted process order, for deterministic
+// output) and flushes the buffer. It returns the first error encountered
+// over the sink's lifetime.
+func (s *StreamSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	procs := make([]string, 0, len(s.open))
+	for p := range s.open {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	for _, p := range procs {
+		s.emit(s.open[p])
+		delete(s.open, p)
+	}
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

@@ -119,6 +119,7 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 							Done:     doneAt,
 						})
 					}
+					fs.recordRequest(r.kindName(), r.bytes, doneAt-cost-submitAt, cost)
 				})
 			})
 		})

@@ -29,11 +29,22 @@ func (r RequestRecord) QueueWait() des.Time { return r.Start - r.Submit }
 func (r RequestRecord) Service() des.Time { return r.Done - r.Start }
 
 // EnableRequestTrace turns on per-request recording. Call before issuing
-// I/O; the trace grows by one record per server request.
+// I/O; the trace grows by one record per server request and is retained for
+// the file system's whole lifetime — nothing is evicted. Long-lived file
+// systems (rolling workloads, repeated measurement windows) must call
+// ResetRequestTrace between windows to bound memory.
 func (fs *FileSystem) EnableRequestTrace() { fs.traceOn = true }
 
-// RequestTrace returns the recorded requests in completion-event order.
+// RequestTrace returns the recorded requests in completion-event order. The
+// returned slice aliases the live trace; copy it before ResetRequestTrace
+// if the records must outlive the reset.
 func (fs *FileSystem) RequestTrace() []RequestRecord { return fs.trace }
+
+// ResetRequestTrace drops every recorded request, releasing the backing
+// array, without changing whether tracing is enabled. It bounds the
+// otherwise-unbounded retention of EnableRequestTrace across measurement
+// windows.
+func (fs *FileSystem) ResetRequestTrace() { fs.trace = nil }
 
 func (r *serverRequest) kindName() string {
 	switch r.kind {

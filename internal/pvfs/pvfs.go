@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"s3asim/internal/des"
+	"s3asim/internal/obs"
 )
 
 // Config is the file-system cost model. The defaults in FeynmanLike are
@@ -101,6 +102,7 @@ type FileSystem struct {
 
 	traceOn bool
 	trace   []RequestRecord
+	metrics *obs.Registry
 }
 
 // New creates a file system with the given configuration.
@@ -123,6 +125,34 @@ func New(sim *des.Simulation, cfg Config) *FileSystem {
 
 // Config returns the cost model in use.
 func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetMetrics attaches a registry; every subsequent server-request completion
+// records pvfs.* counters (requests, bytes, syncs) and virtual-time
+// histograms (queue wait, service time, request size). Requests complete in
+// deterministic DES order, so the resulting snapshot is deterministic too.
+func (fs *FileSystem) SetMetrics(r *obs.Registry) { fs.metrics = r }
+
+// recordRequest streams one completed server request into the registry.
+func (fs *FileSystem) recordRequest(kind string, bytes int64, wait, service des.Time) {
+	m := fs.metrics
+	if m == nil {
+		return
+	}
+	m.Add("pvfs.requests", 1)
+	switch kind {
+	case "write":
+		m.Add("pvfs.bytes_written", bytes)
+	case "read":
+		m.Add("pvfs.bytes_read", bytes)
+	case "sync":
+		m.Add("pvfs.syncs", 1)
+	}
+	m.ObserveTime("pvfs.queue_wait", wait)
+	m.ObserveTime("pvfs.service", service)
+	if kind != "sync" {
+		m.Observe("pvfs.request_bytes", float64(bytes))
+	}
+}
 
 // File is a striped file. Writes may come from any client concurrently;
 // PVFS2 provides no overlap atomicity, and the extent map records any

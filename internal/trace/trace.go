@@ -120,6 +120,8 @@ func Gantt(events []Event, width int) string {
 		}
 	}
 
+	runes := StateRunes(events)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-*s |%s| 0 .. %v\n", nameW, "proc", strings.Repeat("-", width), tMax)
 	cellSpan := float64(tMax) / float64(width)
@@ -150,30 +152,28 @@ func Gantt(events []Event, width int) string {
 				}
 				if w := float64(ovHi - ovLo); w > weight[c] {
 					weight[c] = w
-					row[c] = stateRune(e.Name)
+					row[c] = runes[e.Name]
 				}
 			}
 		}
 		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, p, row)
 	}
-	b.WriteString(legend(events))
+	b.WriteString(legend(runes))
 	return b.String()
 }
 
-// stateRune picks a display character for a state name.
-func stateRune(name string) byte {
-	switch name {
-	case "Sync":
-		return 'Y' // distinguish from Setup
-	case "":
-		return '?'
-	default:
-		return name[0]
-	}
-}
+// fallbackRunes are handed out, in order, when none of a state name's own
+// letters is free.
+const fallbackRunes = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
 
-// legend lists the state-name/rune mapping actually used.
-func legend(events []Event) string {
+// StateRunes assigns each distinct state name in events a unique display
+// rune, fixing the historical collapse of states sharing a first letter.
+// Each name (in sorted order, so the assignment is deterministic) prefers
+// its own alphanumeric bytes in order — "Compute" is C, "Gather Results" is
+// G — then the first free fallback rune. "Sync" keeps its historical Y (the
+// engine's phase set always holds both Setup and Sync). Only past 62
+// distinct states do names share the '?' overflow rune.
+func StateRunes(events []Event) map[string]byte {
 	seen := map[string]bool{}
 	var names []string
 	for _, e := range events {
@@ -183,9 +183,46 @@ func legend(events []Event) string {
 		}
 	}
 	sort.Strings(names)
+	assigned := map[string]byte{}
+	used := map[byte]bool{}
+	for _, n := range names {
+		r := byte('?')
+		if n == "Sync" && !used['Y'] {
+			r = 'Y'
+		}
+		for i := 0; r == '?' && i < len(n); i++ {
+			if c := n[i]; isAlnum(c) && !used[c] {
+				r = c
+			}
+		}
+		if r == '?' {
+			for i := 0; i < len(fallbackRunes); i++ {
+				if c := fallbackRunes[i]; !used[c] {
+					r = c
+					break
+				}
+			}
+		}
+		assigned[n] = r
+		used[r] = true
+	}
+	return assigned
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}
+
+// legend lists the state-name/rune mapping in use, sorted by state name.
+func legend(runes map[string]byte) string {
+	names := make([]string, 0, len(runes))
+	for n := range runes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var parts []string
 	for _, n := range names {
-		parts = append(parts, fmt.Sprintf("%c=%s", stateRune(n), n))
+		parts = append(parts, fmt.Sprintf("%c=%s", runes[n], n))
 	}
 	if len(parts) == 0 {
 		return ""

@@ -89,6 +89,104 @@ func TestGanttRendering(t *testing.T) {
 	}
 }
 
+// TestStateRunesUnique pins the fix for the historical first-letter
+// collapse: states sharing an initial ("Compute"/"Cleanup", "Setup"/"Sync")
+// must get distinct display runes.
+func TestStateRunesUnique(t *testing.T) {
+	tr := New()
+	for _, n := range []string{"Compute", "Cleanup", "Copy", "Setup", "Sync"} {
+		tr.BeginState("p", n, 0)
+	}
+	tr.EndState("p", 10)
+	runes := StateRunes(tr.Events())
+	seen := map[byte]string{}
+	for name, r := range runes {
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("rune %q assigned to both %q and %q", r, prev, name)
+		}
+		seen[r] = name
+	}
+	if runes["Sync"] != 'Y' {
+		t.Fatalf("Sync = %q, want historical Y", runes["Sync"])
+	}
+	// Names are assigned in sorted order, each preferring its own letters:
+	// "Cleanup" claims C, so "Compute" falls through to its next free byte.
+	if runes["Cleanup"] != 'C' || runes["Compute"] != 'o' || runes["Copy"] != 'p' {
+		t.Fatalf("assignment = %v", runes)
+	}
+}
+
+func TestStateRunesFallback(t *testing.T) {
+	tr := New()
+	// A name with no free alphanumeric byte of its own forces the fallback.
+	tr.BeginState("p", "a", 0)
+	tr.BeginState("p", "aa", 1)
+	tr.BeginState("p", "---", 2)
+	tr.EndState("p", 3)
+	runes := StateRunes(tr.Events())
+	if runes["a"] == runes["aa"] {
+		t.Fatalf("collision: %v", runes)
+	}
+	if r := runes["---"]; !isAlnum(r) {
+		t.Fatalf("fallback rune %q not alphanumeric", r)
+	}
+}
+
+func TestGanttLegendDistinguishesCollidingStates(t *testing.T) {
+	tr := New()
+	tr.BeginState("p", "Compute", 0)
+	tr.BeginState("p", "Cleanup", 50*des.Second)
+	tr.EndState("p", 100*des.Second)
+	out := Gantt(tr.Events(), 20)
+	row := strings.Split(out, "\n")[1]
+	// Two different runes must appear in the row, one per state.
+	if !strings.Contains(row, "C") || strings.Count(strings.TrimSpace(strings.Trim(row, "|p ")), "C") == 20 {
+		t.Fatalf("row = %q", row)
+	}
+	legend := out[strings.Index(out, "legend:"):]
+	if !strings.Contains(legend, "=Compute") || !strings.Contains(legend, "=Cleanup") {
+		t.Fatalf("legend = %q", legend)
+	}
+	// The two states must not share a legend rune.
+	runes := StateRunes(tr.Events())
+	if runes["Compute"] == runes["Cleanup"] {
+		t.Fatalf("states share rune %q", runes["Compute"])
+	}
+}
+
+// TestJSONRoundTripOpenStates checks serialization of a tracer whose states
+// were never closed (End == last transition) plus point events — the shape a
+// crashed or truncated run leaves behind.
+func TestJSONRoundTripOpenStates(t *testing.T) {
+	tr := New()
+	tr.BeginState("a", "Compute", 0)
+	tr.BeginState("a", "I/O", 100) // closes Compute, stays open
+	tr.Point("a", "mark", 150)
+	tr.BeginState("b", "Sync", 50) // open, never touched again
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("events = %d, want 4", len(back))
+	}
+	for i, e := range tr.Events() {
+		if back[i] != e {
+			t.Fatalf("event %d: %+v vs %+v", i, back[i], e)
+		}
+	}
+	if back[1].Start != 100 || back[1].End != 100 {
+		t.Fatalf("open state should round-trip with End == Start: %+v", back[1])
+	}
+	if !back[2].Point {
+		t.Fatalf("point lost: %+v", back[2])
+	}
+}
+
 func TestGanttEmpty(t *testing.T) {
 	if out := Gantt(nil, 40); !strings.Contains(out, "empty") {
 		t.Fatalf("empty trace rendering: %q", out)

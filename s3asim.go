@@ -34,14 +34,18 @@
 package s3asim
 
 import (
+	"io"
+
 	"s3asim/internal/core"
 	"s3asim/internal/des"
 	"s3asim/internal/experiments"
 	"s3asim/internal/mpi"
+	"s3asim/internal/obs"
 	"s3asim/internal/pvfs"
 	"s3asim/internal/romio"
 	"s3asim/internal/search"
 	"s3asim/internal/stats"
+	"s3asim/internal/trace"
 )
 
 // Time is a virtual-time instant or duration in nanoseconds.
@@ -188,6 +192,7 @@ type (
 	Options     = experiments.Options
 	SweepResult = experiments.SweepResult
 	Cell        = experiments.Cell
+	CellKey     = experiments.CellKey
 	SweepPerf   = experiments.SweepPerf
 )
 
@@ -255,3 +260,48 @@ func OutputScaleSweep(base Config, multipliers []float64, parallelism ...int) (*
 func SegmentationComparison(base Config, dbSizes []int64, parallelism ...int) (*Table, error) {
 	return experiments.SegmentationComparison(base, dbSizes, parallelism...)
 }
+
+// Observability layer (internal/obs): Sink receives phase-timeline events as
+// they happen (Config.Sink, Options.CellSink); MetricsRegistry accumulates
+// counters, gauges, and virtual-time histograms (Config.Metrics); every
+// Report carries a MetricsSnapshot, and a SweepResult carries the merge
+// across all of its runs.
+type (
+	Sink            = obs.Sink
+	MetricsRegistry = obs.Registry
+	MetricsSnapshot = obs.Snapshot
+	HistStat        = obs.HistStat
+	StreamSink      = obs.StreamSink
+)
+
+// Tracer records a phase timeline in memory; TraceEvent is one interval or
+// marker of it. Attach via Config.Tracer, render with TraceGantt or export
+// with WritePerfetto.
+type (
+	Tracer     = trace.Tracer
+	TraceEvent = trace.Event
+)
+
+// NewTracer returns an empty in-memory timeline tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewMetricsRegistry returns an empty concurrency-safe metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStreamSink returns a sink that spools timeline events to w as JSON
+// lines compatible with ReadTrace/s3atrace; call Close to flush.
+func NewStreamSink(w io.Writer) *StreamSink { return obs.NewStreamSink(w) }
+
+// MultiSink fans events out to every non-nil sink.
+func MultiSink(sinks ...Sink) Sink { return obs.Multi(sinks...) }
+
+// ReadTrace parses a JSON-lines timeline (written by Tracer.WriteJSON or a
+// StreamSink).
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return trace.ReadJSON(r) }
+
+// TraceGantt renders timeline events as an ASCII Gantt chart.
+func TraceGantt(events []TraceEvent, width int) string { return trace.Gantt(events, width) }
+
+// WritePerfetto exports timeline events as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WritePerfetto(w io.Writer, events []TraceEvent) error { return obs.WritePerfetto(w, events) }
