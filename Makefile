@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test short race vet bench bench-quick check
+.PHONY: build test short race fuzz vet bench bench-quick check
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,14 @@ test:
 short:
 	$(GO) test -short ./...
 
-# The sweep executor, workload cache, engine, and the shared observability
-# sinks/registry under concurrent cells.
+# The sweep executor, workload cache, engine, fault layer, and the shared
+# observability sinks/registry under concurrent cells.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/
+	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/
+
+# A short fuzz pass over the chaos-spec parser (longer sessions: raise -fuzztime).
+fuzz:
+	$(GO) test -fuzz FuzzPlan -fuzztime 30s ./internal/fault/
 
 vet:
 	$(GO) vet ./...

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	s3abench [-suite procs|speed|extensions|all] [-quick] [-csv] [-reps N]
+//	s3abench [-suite procs|speed|extensions|chaos|all] [-quick] [-csv] [-reps N]
 //	         [-parallel N] [-json dir] [-trace-dir dir] [-metrics] [-pprof file]
 //
 // The full paper suite takes several minutes sequentially; every cell of a
@@ -15,7 +15,9 @@
 // shared. -quick runs a scaled-down version in seconds. The extensions
 // suite covers the paper's §5 future work: collective implementations,
 // hybrid segmentation, the write-frequency/failure trade-off, and
-// file-system sensitivity.
+// file-system sensitivity. The chaos suite sweeps injected worker crashes
+// over the resilient protocol and reports each strategy's recovery cost
+// (time inflation, re-executed tasks, failure-detection latency).
 //
 // Unless -json is empty, a machine-readable record of the run — per-suite
 // wall-clock, parallelism, estimated speedup over sequential execution, and
@@ -69,7 +71,7 @@ type benchRecord struct {
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "which suite to run: procs, speed, extensions, all")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, extensions, chaos, all")
 		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
@@ -84,9 +86,9 @@ func main() {
 	)
 	flag.Parse()
 	switch *suite {
-	case "procs", "speed", "extensions", "all":
+	case "procs", "speed", "extensions", "chaos", "all":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, extensions, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, extensions, chaos, or all)", *suite))
 	}
 	if *figs != "" {
 		if err := os.MkdirAll(*figs, 0o755); err != nil {
@@ -193,6 +195,43 @@ func main() {
 			fatal(err)
 		}
 		emit(sr)
+	}
+	if *suite == "chaos" || *suite == "all" {
+		copts := s3asim.PaperChaosOptions()
+		if *quick {
+			copts = s3asim.QuickChaosOptions()
+		}
+		copts.Repetitions = *reps
+		copts.Parallelism = *parallel
+		copts.Progress = opts.Progress
+		cr, err := s3asim.RunChaosSweep(copts)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", cr.Table().Title, cr.Table().CSV())
+		} else {
+			fmt.Println(cr.Table().String())
+		}
+		if *metrics {
+			fmt.Printf("# metrics (chaos suite, all runs merged)\n%s\n", cr.Metrics.Render())
+		}
+		p := cr.Perf
+		fmt.Fprintf(os.Stderr,
+			"suite chaos: %d cells in %.2fs wall at parallelism %d — %.2fx vs sequential (est.)\n",
+			len(cr.Cells), p.Elapsed.Seconds(), p.Parallelism, p.Speedup())
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:          "chaos",
+			WallSeconds:   p.Elapsed.Seconds(),
+			Parallelism:   p.Parallelism,
+			CellSeconds:   p.CellTime.Seconds(),
+			Speedup:       p.Speedup(),
+			Cells:         len(cr.Cells),
+			MaxConcurrent: p.MaxConcurrent,
+			Occupancy:     p.Occupancy(),
+			CacheHits:     p.Workload.Hits,
+			CacheMisses:   p.Workload.Misses,
+		})
 	}
 	if *suite == "extensions" || *suite == "all" {
 		start := time.Now()

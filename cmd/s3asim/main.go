@@ -11,6 +11,12 @@
 //	s3asim -procs 96 -strategy WW-List
 //	s3asim -procs 64 -strategy WW-Coll -sync -speed 3.2
 //	s3asim -procs 16 -strategy MW -trace trace.jsonl
+//	s3asim -procs 16 -fault "crash@200ms:rank=3,restart=1s; drop:prob=0.02" -metrics
+//
+// A non-empty -fault plan (grammar: "kind[@start][:key=value,...]; ...",
+// kinds crash, slow, outage, degrade, drop, delay) or -resilient switches
+// the run to the self-healing protocol; -lease, -detect and -retries tune
+// its recovery knobs. Invalid flags exit non-zero with a one-line error.
 package main
 
 import (
@@ -38,8 +44,16 @@ func main() {
 		perfetto   = flag.String("perfetto", "", "write the phase timeline as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics snapshot (counters, histograms)")
 		csv        = flag.Bool("csv", false, "print the phase table as CSV")
+		faultSpec  = flag.String("fault", "", `fault plan, e.g. "crash@200ms:rank=3,restart=1s; drop:prob=0.05"`)
+		resilient  = flag.Bool("resilient", false, "use the self-healing protocol even with no faults")
+		lease      = flag.Duration("lease", 0, "task/write-ack lease timeout (0 = default)")
+		detect     = flag.Duration("detect", 0, "failure-detector sweep period (0 = default)")
+		retries    = flag.Int("retries", 0, "per-task re-dispatch bound (0 = default)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
 
 	cfg := s3asim.DefaultConfig()
 	cfg.Procs = *procs
@@ -56,6 +70,21 @@ func main() {
 	var err error
 	cfg.Strategy, err = s3asim.ParseStrategy(*strategy)
 	if err != nil {
+		fatal(err)
+	}
+	cfg.Resilient = *resilient
+	cfg.LeaseTimeout = s3asim.Time(*lease)
+	cfg.DetectInterval = s3asim.Time(*detect)
+	cfg.MaxTaskRetries = *retries
+	if *faultSpec != "" {
+		cfg.FaultPlan, err = s3asim.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// Validate up front so every bad flag combination dies with one line
+	// before any simulation state is built (Run re-validates either way).
+	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 	var tr *trace.Tracer
@@ -76,6 +105,12 @@ func main() {
 		float64(rep.OutputBytes)/1e6, len(rep.FS.Servers),
 		rep.FS.TotalRequests, rep.FS.TotalSegments, rep.FS.TotalSyncs)
 	fmt.Printf("network: %d messages, %.1f MB\n", rep.Messages, float64(rep.NetBytes)/1e6)
+	if *resilient || *faultSpec != "" {
+		mc := rep.Metrics.Counters
+		fmt.Printf("faults: %d crashes (%d restarts), %d workers declared dead, %d tasks re-executed, %d collective fallbacks\n",
+			mc["fault.crashes"], mc["fault.restarts"], mc["fault.workers_detected"],
+			mc["fault.tasks_reexecuted"], mc["fault.coll_fallbacks"])
+	}
 	fmt.Println()
 	if *csv {
 		fmt.Print(rep.PhaseTable().CSV())

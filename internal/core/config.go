@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"s3asim/internal/des"
+	"s3asim/internal/fault"
 	"s3asim/internal/mpi"
 	"s3asim/internal/obs"
 	"s3asim/internal/pvfs"
@@ -146,6 +147,28 @@ type Config struct {
 	// TraceIO records every file-system server request; the trace appears
 	// in Report.IOTrace for analysis (cmd/s3aiostat, pvfs.AnalyzeTrace).
 	TraceIO bool
+
+	// FaultPlan, when non-empty, injects the scheduled faults (see
+	// internal/fault) and switches the engine to the resilient master/worker
+	// protocol of DESIGN.md §9. A nil or empty plan with Resilient unset
+	// runs the original protocol and is bit-identical to a run without any
+	// fault layer at all.
+	FaultPlan *fault.Plan
+	// Resilient forces the recovery protocol even with an empty plan — the
+	// chaos suite uses this for its fault-free baselines so inflation is
+	// measured against the same protocol.
+	Resilient bool
+	// LeaseTimeout bounds how long the master waits (virtual time) for a
+	// task's score, or for a sent batch's write acknowledgement, before
+	// assuming it lost and re-dispatching. 0 picks max(2s, 8×DetectInterval).
+	LeaseTimeout des.Time
+	// DetectInterval is the master failure-detector sweep period; detection
+	// latency for a crashed worker is bounded by it. 0 picks 250ms.
+	DetectInterval des.Time
+	// MaxTaskRetries bounds how many times one (query, fragment) task may be
+	// re-dispatched after losses before the run aborts as unrecoverable.
+	// 0 picks 3.
+	MaxTaskRetries int
 }
 
 // DefaultConfig reproduces the paper's §3.3 test setup at 64 processes with
@@ -198,7 +221,98 @@ func (c *Config) Validate() error {
 	if c.ScoreEntryBytes < 1 {
 		return errors.New("core: ScoreEntryBytes must be >= 1")
 	}
+	if c.FS.NumServers < 1 {
+		return errors.New("core: FS.NumServers must be >= 1")
+	}
+	if c.FS.StripSize < 1 {
+		return errors.New("core: FS.StripSize must be >= 1")
+	}
+	if c.LeaseTimeout < 0 || c.DetectInterval < 0 {
+		return errors.New("core: fault timeouts must be non-negative")
+	}
+	if c.MaxTaskRetries < 0 {
+		return errors.New("core: MaxTaskRetries must be non-negative")
+	}
+	if !c.FaultPlan.IsEmpty() {
+		if err := c.FaultPlan.Validate(); err != nil {
+			return err
+		}
+		if err := c.FaultPlan.ValidateFor(c.Procs, c.FS.NumServers, c.masterRanks()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// masterRanks lists the master rank of every group under the same block
+// layout buildGroups uses (first rank of each contiguous block).
+func (c *Config) masterRanks() []int {
+	G := c.QueryGroups
+	if G < 1 {
+		G = 1
+	}
+	out := make([]int, 0, G)
+	rank := 0
+	for gi := 0; gi < G; gi++ {
+		size := c.Procs / G
+		if gi < c.Procs%G {
+			size++
+		}
+		out = append(out, rank)
+		rank += size
+	}
+	return out
+}
+
+// WorkerRanks lists every worker (non-master) rank of the configuration,
+// in ascending order — the valid Rank targets for fault.Event crashes and
+// slowdowns (masters must not be crashed, see Plan.ValidateFor).
+func (c *Config) WorkerRanks() []int {
+	masters := c.masterRanks()
+	isMaster := make(map[int]bool, len(masters))
+	for _, m := range masters {
+		isMaster[m] = true
+	}
+	out := make([]int, 0, c.Procs-len(masters))
+	for r := 0; r < c.Procs; r++ {
+		if !isMaster[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// resilient reports whether the run uses the recovery protocol: explicitly
+// requested, or implied by a non-empty fault plan.
+func (c *Config) resilient() bool {
+	return c.Resilient || !c.FaultPlan.IsEmpty()
+}
+
+// effDetect resolves the failure-detector sweep period.
+func (c *Config) effDetect() des.Time {
+	if c.DetectInterval > 0 {
+		return c.DetectInterval
+	}
+	return 250 * des.Millisecond
+}
+
+// effLease resolves the task/write-ack lease timeout.
+func (c *Config) effLease() des.Time {
+	if c.LeaseTimeout > 0 {
+		return c.LeaseTimeout
+	}
+	if d := 8 * c.effDetect(); d > 2*des.Second {
+		return d
+	}
+	return 2 * des.Second
+}
+
+// effRetries resolves the per-task re-dispatch bound.
+func (c *Config) effRetries() int {
+	if c.MaxTaskRetries > 0 {
+		return c.MaxTaskRetries
+	}
+	return 3
 }
 
 // EffectiveWorkload returns the workload spec a run of c actually

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"s3asim/internal/des"
+	"s3asim/internal/fault"
 	"s3asim/internal/mpi"
 	"s3asim/internal/obs"
 	"s3asim/internal/pvfs"
@@ -60,6 +61,12 @@ type runtime struct {
 	metrics *obs.Registry
 
 	flushTimes []des.Time // per global batch: when its flush completed
+
+	// Resilient-protocol state (nil/zero for the original protocol).
+	faults        *fault.Injector // fault oracle; non-nil iff cfg.resilient()
+	runErr        error           // first unrecoverable failure (fail())
+	groupShutdown []bool          // per group: master entered shutdown
+	ended         int             // protocol actors that exited cleanly
 }
 
 // ProcBreakdown is one process's per-phase time decomposition.
@@ -170,8 +177,35 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		}
 	}
 
+	// The fault layer and the resilient protocol are wired only when
+	// requested: an empty plan without Resilient leaves every hook nil, so
+	// such runs are bit-identical to builds without any fault code at all.
+	resilient := cfg.resilient()
+	if resilient {
+		inj := fault.NewInjector(sim, cfg.FaultPlan, reg, cfg.sink())
+		inj.SetTagPolicy(droppableTag, delayableTag)
+		world.SetFaultModel(inj)
+		fs.SetFaults(inj)
+		for _, e := range inj.Outages() {
+			fs.ScheduleOutage(e.Server, e.At, e.For)
+		}
+		inj.Arm(world.WakeRank)
+		rt.faults = inj
+		rt.groupShutdown = make([]bool, len(rt.groups))
+	}
+
 	for _, g := range rt.groups {
 		g := g
+		if resilient {
+			world.Spawn(g.masterRank, fmt.Sprintf("master%d", g.index),
+				func(r *mpi.Rank) { rt.rmaster(r, g) })
+			for _, w := range g.workers {
+				w := w
+				world.Spawn(w, fmt.Sprintf("worker%d", w),
+					func(r *mpi.Rank) { rt.rworker(r, g, false) })
+			}
+			continue
+		}
 		world.Spawn(g.masterRank, fmt.Sprintf("master%d", g.index),
 			func(r *mpi.Rank) { rt.master(r, g) })
 		for _, w := range g.workers {
@@ -183,6 +217,9 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 	if err := sim.Run(); err != nil {
 		return nil, fmt.Errorf("core: %s sync=%v procs=%d groups=%d: %w",
 			cfg.Strategy, cfg.QuerySync, cfg.Procs, cfg.QueryGroups, err)
+	}
+	if rt.runErr != nil {
+		return nil, rt.runErr
 	}
 	return rt.report()
 }

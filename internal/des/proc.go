@@ -81,7 +81,16 @@ func (p *Proc) Sleep(d Time) {
 // Wakeups are edge-triggered; a Broadcast with no waiters is a no-op.
 type Signal struct {
 	sim     *Simulation
-	waiters []*Proc
+	waiters []*waiter
+}
+
+// waiter is one parked process's entry on a signal's wait list. The out
+// flag records that the entry has been removed (woken or timed out), so a
+// stale WaitUntil timer firing later is a no-op.
+type waiter struct {
+	p        *Proc
+	out      bool
+	timedOut bool
 }
 
 // NewSignal returns a condition signal bound to this simulation.
@@ -91,8 +100,40 @@ func (s *Simulation) NewSignal() *Signal { return &Signal{sim: s} }
 // occur, but the guarded predicate may have changed again by the time p
 // runs, so callers should re-check in a loop.
 func (sig *Signal) Wait(p *Proc) {
-	sig.waiters = append(sig.waiters, p)
+	sig.waiters = append(sig.waiters, &waiter{p: p})
 	p.park("waiting on signal")
+}
+
+// WaitUntil parks p until the next Signal/Broadcast or until the absolute
+// virtual time deadline, whichever comes first. It reports true if p was
+// woken by the signal, false on timeout. A deadline at or before the
+// present returns false without parking. The internal timer event remains
+// queued (as a no-op) after a signal wakeup; callers that schedule many
+// timed waits should derive end-of-run times from process completions, not
+// from the calendar draining.
+func (sig *Signal) WaitUntil(p *Proc, deadline Time) bool {
+	s := sig.sim
+	if deadline <= s.now {
+		return false
+	}
+	w := &waiter{p: p}
+	sig.waiters = append(sig.waiters, w)
+	s.At(deadline, func() {
+		if w.out {
+			return
+		}
+		w.out = true
+		w.timedOut = true
+		for i, x := range sig.waiters {
+			if x == w {
+				sig.waiters = append(sig.waiters[:i], sig.waiters[i+1:]...)
+				break
+			}
+		}
+		s.transferTo(w.p)
+	})
+	p.park("waiting on signal (timed)")
+	return !w.timedOut
 }
 
 // Broadcast wakes every current waiter at the present virtual time, in FIFO
@@ -101,9 +142,10 @@ func (sig *Signal) Broadcast() {
 	waiters := sig.waiters
 	sig.waiters = nil
 	s := sig.sim
-	for _, p := range waiters {
-		w := p
-		s.At(s.now, func() { s.transferTo(w) })
+	for _, w := range waiters {
+		w := w
+		w.out = true
+		s.At(s.now, func() { s.transferTo(w.p) })
 	}
 }
 
@@ -114,8 +156,9 @@ func (sig *Signal) Signal() {
 	}
 	w := sig.waiters[0]
 	sig.waiters = sig.waiters[1:]
+	w.out = true
 	s := sig.sim
-	s.At(s.now, func() { s.transferTo(w) })
+	s.At(s.now, func() { s.transferTo(w.p) })
 }
 
 // Waiters reports how many processes are currently parked on the signal.

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"s3asim/internal/core"
+	"s3asim/internal/fault"
+)
+
+// quickChaos shrinks the quick chaos suite further for the test matrix.
+func quickChaos() ChaosOptions {
+	opts := QuickChaosOptions()
+	opts.Base.Workload.NumQueries = 3
+	opts.Base.Workload.NumFragments = 8
+	return opts
+}
+
+// TestChaosSweepCompletes runs the quick chaos suite end to end: every
+// (strategy, crash count) cell must finish, crashes must actually land in
+// the faulted columns, and re-execution must show up where workers write.
+func TestChaosSweepCompletes(t *testing.T) {
+	opts := quickChaos()
+	cr, err := RunChaosSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Cells) != len(cr.Strat)*len(cr.Xs) {
+		t.Fatalf("got %d cells, want %d", len(cr.Cells), len(cr.Strat)*len(cr.Xs))
+	}
+	for _, s := range cr.Strat {
+		base := cr.Cell(s, 0)
+		if base == nil || base.Overall <= 0 {
+			t.Fatalf("%v: missing fault-free baseline", s)
+		}
+		if base.CrashesSeen != 0 {
+			t.Fatalf("%v: baseline saw %v crashes", s, base.CrashesSeen)
+		}
+		if base.Inflation != 1 {
+			t.Fatalf("%v: baseline inflation %v, want 1", s, base.Inflation)
+		}
+		for _, x := range cr.Xs[1:] {
+			c := cr.Cell(s, x)
+			if c.CrashesSeen < 1 {
+				t.Fatalf("%v crashes=%d: no crash landed", s, x)
+			}
+			if c.Inflation <= 0 {
+				t.Fatalf("%v crashes=%d: inflation not computed", s, x)
+			}
+		}
+	}
+	if cr.Metrics.Counters["fault.crashes"] < 1 {
+		t.Fatal("sweep metrics recorded no crashes")
+	}
+	if cr.Table().NumRows() != len(cr.Cells) {
+		t.Fatalf("table rows %d != cells %d", cr.Table().NumRows(), len(cr.Cells))
+	}
+}
+
+// TestChaosSweepDeterministicAcrossParallelism pins the acceptance
+// criterion: the same seed and plan produce identical results across runs
+// and across executor parallelism.
+func TestChaosSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) *ChaosResult {
+		opts := quickChaos()
+		opts.Strategies = []core.Strategy{core.MW, core.WWColl}
+		opts.Repetitions = 2
+		opts.Parallelism = parallelism
+		cr, err := RunChaosSweep(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr.Perf = SweepPerf{}
+		return cr
+	}
+	seq := run(1)
+	if !reflect.DeepEqual(seq, run(1)) {
+		t.Fatal("two sequential chaos sweeps differ")
+	}
+	if !reflect.DeepEqual(seq, run(4)) {
+		t.Fatal("parallel chaos sweep differs from sequential")
+	}
+}
+
+// TestEmptyPlanSweepBitIdentical is the suite-level no-fault regression: a
+// base config carrying an empty fault plan must leave the whole process
+// sweep bit-identical to one with no fault configuration, at parallelism 1
+// and 4.
+func TestEmptyPlanSweepBitIdentical(t *testing.T) {
+	run := func(plan *fault.Plan, parallelism int) *SweepResult {
+		opts := QuickOptions()
+		opts.Procs = []int{4, 8}
+		opts.Strategies = []core.Strategy{core.MW, core.WWList}
+		opts.Base.FaultPlan = plan
+		opts.Parallelism = parallelism
+		sr, err := RunProcessSweep(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripPerf(sr)
+	}
+	for _, par := range []int{1, 4} {
+		want := run(nil, par)
+		got := run(&fault.Plan{Seed: 7}, par)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: empty fault plan changed the sweep", par)
+		}
+	}
+}

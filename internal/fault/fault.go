@@ -1,0 +1,376 @@
+// Package fault is the deterministic fault-injection layer: a Plan of
+// scheduled or stochastic events (worker crashes with optional restart,
+// straggler slowdowns, PVFS server outages and degradation windows, message
+// drops and extra delays) driven entirely by the simulation clock and a
+// seeded RNG, so a given (plan, seed, workload) always produces the same
+// failure schedule — and therefore the same simulated run, bit for bit.
+//
+// The package knows nothing about the engine's protocol. The engine arms an
+// Injector against a des.Simulation; the mpi and pvfs layers consult it
+// through small local interfaces (message fate, per-server service factor),
+// and the core protocol consults it at its checkpoints (ShouldDie/Effect)
+// and in the master's failure-detector sweep (DeadAt).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"s3asim/internal/des"
+)
+
+// Kind discriminates fault events.
+type Kind int
+
+const (
+	// Crash kills a worker rank at virtual time At (taking effect at the
+	// rank's next protocol checkpoint); Restart > 0 respawns it that much
+	// later.
+	Crash Kind = iota
+	// Slow multiplies a rank's compute/format time by Factor during
+	// [At, At+For) (For == 0: until the end of the run) — a straggler.
+	Slow
+	// Outage takes one PVFS server offline for [At, At+For): the server's
+	// queue is occupied for the window and in-flight plus arriving requests
+	// wait it out.
+	Outage
+	// Degrade multiplies one PVFS server's request service time by Factor
+	// during [At, At+For) (For == 0: until the end of the run).
+	Degrade
+	// Drop loses each eligible message with probability Prob during
+	// [At, At+For) (For == 0: until the end of the run). Only the engine's
+	// retry-protected request/response tags are eligible; see mpi.FaultModel.
+	Drop
+	// Delay adds Extra wire latency to each message with probability Prob
+	// during its window.
+	Delay
+	numKinds
+)
+
+var kindNames = [numKinds]string{"crash", "slow", "outage", "degrade", "drop", "delay"}
+
+// String returns the spec keyword for the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one fault in a Plan. Unused fields are zero (Rank and Server are
+// -1 when not targeted).
+type Event struct {
+	Kind    Kind
+	At      des.Time // start of the event (or window)
+	For     des.Time // window length; 0 means "until the end of the run"
+	Rank    int      // Crash/Slow target (MPI rank), else -1
+	Server  int      // Outage/Degrade target (PVFS server index), else -1
+	Restart des.Time // Crash: respawn delay; 0 = the rank stays down
+	Factor  float64  // Slow/Degrade service-time multiplier (> 0)
+	Prob    float64  // Drop/Delay per-message probability in [0, 1]
+	Extra   des.Time // Delay: added latency per affected message
+}
+
+// active reports whether the event's window contains t.
+func (e Event) active(t des.Time) bool {
+	if t < e.At {
+		return false
+	}
+	return e.For == 0 || t < e.At+e.For
+}
+
+// String renders the event in spec syntax (parseable by Parse).
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.At > 0 || e.Kind == Crash || e.Kind == Slow || e.Kind == Outage || e.Kind == Degrade {
+		fmt.Fprintf(&b, "@%s", durStr(e.At))
+	}
+	var kv []string
+	add := func(k, v string) { kv = append(kv, k+"="+v) }
+	if e.Rank >= 0 {
+		add("rank", strconv.Itoa(e.Rank))
+	}
+	if e.Server >= 0 {
+		add("server", strconv.Itoa(e.Server))
+	}
+	if e.Factor != 0 {
+		add("factor", strconv.FormatFloat(e.Factor, 'g', -1, 64))
+	}
+	if e.Prob != 0 {
+		add("prob", strconv.FormatFloat(e.Prob, 'g', -1, 64))
+	}
+	if e.For != 0 {
+		add("for", durStr(e.For))
+	}
+	if e.Restart != 0 {
+		add("restart", durStr(e.Restart))
+	}
+	if e.Extra != 0 {
+		add("extra", durStr(e.Extra))
+	}
+	if len(kv) > 0 {
+		b.WriteString(":")
+		b.WriteString(strings.Join(kv, ","))
+	}
+	return b.String()
+}
+
+func durStr(t des.Time) string { return time.Duration(t).String() }
+
+// Plan is a complete failure schedule: a list of events plus the seed for
+// the stochastic ones (message fate). The zero Plan (and a nil *Plan) is
+// empty: injecting it changes nothing.
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// IsEmpty reports whether the plan injects no faults at all.
+func (p *Plan) IsEmpty() bool { return p == nil || len(p.Events) == 0 }
+
+// String renders the plan in spec syntax; Parse(p.String()) reproduces it.
+func (p *Plan) String() string {
+	if p.IsEmpty() {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Events)+1)
+	if p.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	for _, e := range p.Events {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse decodes a chaos spec string into a Plan. The grammar is a
+// semicolon-separated list of events
+//
+//	kind[@start][:key=value,...]
+//
+// with kinds crash, slow, outage, degrade, drop, delay, plus the special
+// item seed=N. Durations use Go syntax ("2s", "150ms"). Examples:
+//
+//	crash@2s:rank=3,restart=5s
+//	slow@1s:rank=2,factor=4,for=10s
+//	outage@3s:server=5,for=2s
+//	degrade@0s:server=1,factor=8,for=5s
+//	drop:prob=0.01;delay:prob=0.05,extra=10ms
+//
+// Parse validates structure (Plan.Validate); topology bounds (rank/server
+// ranges) are checked by the engine, which knows them.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(item, "seed="); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", rest)
+			}
+			p.Seed = n
+			continue
+		}
+		ev, err := parseEvent(item)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseEvent(item string) (Event, error) {
+	ev := Event{Rank: -1, Server: -1}
+	head, args, hasArgs := strings.Cut(item, ":")
+	name, at, hasAt := strings.Cut(head, "@")
+	name = strings.TrimSpace(name)
+	kind := -1
+	for k, kn := range kindNames {
+		if name == kn {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return ev, fmt.Errorf("fault: unknown event kind %q", name)
+	}
+	ev.Kind = Kind(kind)
+	if hasAt {
+		t, err := parseDur(at)
+		if err != nil {
+			return ev, fmt.Errorf("fault: bad start time in %q: %v", item, err)
+		}
+		ev.At = t
+	}
+	if hasArgs {
+		for _, kv := range strings.Split(args, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return ev, fmt.Errorf("fault: expected key=value, got %q", kv)
+			}
+			key = strings.TrimSpace(key)
+			val = strings.TrimSpace(val)
+			var err error
+			switch key {
+			case "rank":
+				ev.Rank, err = strconv.Atoi(val)
+			case "server":
+				ev.Server, err = strconv.Atoi(val)
+			case "factor":
+				ev.Factor, err = strconv.ParseFloat(val, 64)
+			case "prob":
+				ev.Prob, err = strconv.ParseFloat(val, 64)
+			case "for":
+				ev.For, err = parseDur(val)
+			case "restart":
+				ev.Restart, err = parseDur(val)
+			case "extra":
+				ev.Extra, err = parseDur(val)
+			default:
+				return ev, fmt.Errorf("fault: unknown key %q in %q", key, item)
+			}
+			if err != nil {
+				return ev, fmt.Errorf("fault: bad value for %s in %q: %v", key, item, err)
+			}
+		}
+	}
+	return ev, nil
+}
+
+func parseDur(s string) (des.Time, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	return des.Time(d), nil
+}
+
+// Validate checks structural consistency: required targets present, factors
+// positive, probabilities in range, times non-negative. Topology bounds are
+// checked separately by ValidateFor.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		prefix := fmt.Sprintf("fault: event %d (%s)", i, e.Kind)
+		if e.Kind < 0 || e.Kind >= numKinds {
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+		}
+		if e.At < 0 || e.For < 0 || e.Restart < 0 || e.Extra < 0 {
+			return fmt.Errorf("%s: negative duration", prefix)
+		}
+		switch e.Kind {
+		case Crash:
+			if e.Rank < 0 {
+				return fmt.Errorf("%s: needs rank=", prefix)
+			}
+		case Slow:
+			if e.Rank < 0 {
+				return fmt.Errorf("%s: needs rank=", prefix)
+			}
+			if e.Factor <= 0 {
+				return fmt.Errorf("%s: needs factor > 0", prefix)
+			}
+		case Outage:
+			if e.Server < 0 {
+				return fmt.Errorf("%s: needs server=", prefix)
+			}
+			if e.For <= 0 {
+				return fmt.Errorf("%s: needs for > 0", prefix)
+			}
+		case Degrade:
+			if e.Server < 0 {
+				return fmt.Errorf("%s: needs server=", prefix)
+			}
+			if e.Factor <= 0 {
+				return fmt.Errorf("%s: needs factor > 0", prefix)
+			}
+		case Drop, Delay:
+			if e.Prob < 0 || e.Prob > 1 {
+				return fmt.Errorf("%s: prob must be in [0,1]", prefix)
+			}
+			if e.Kind == Delay && e.Extra <= 0 {
+				return fmt.Errorf("%s: needs extra > 0", prefix)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateFor checks the plan against a concrete topology: ranks in
+// [0, procs), servers in [0, servers), and no crash/slow targeting a master
+// rank (the engine's recovery protocol assumes masters survive).
+func (p *Plan) ValidateFor(procs, servers int, masters []int) error {
+	if p.IsEmpty() {
+		return nil
+	}
+	isMaster := make(map[int]bool, len(masters))
+	for _, m := range masters {
+		isMaster[m] = true
+	}
+	for i, e := range p.Events {
+		switch e.Kind {
+		case Crash, Slow:
+			if e.Rank >= procs {
+				return fmt.Errorf("fault: event %d: rank %d out of range (procs=%d)", i, e.Rank, procs)
+			}
+			if e.Kind == Crash && isMaster[e.Rank] {
+				return fmt.Errorf("fault: event %d: cannot crash master rank %d", i, e.Rank)
+			}
+		case Outage, Degrade:
+			if e.Server >= servers {
+				return fmt.Errorf("fault: event %d: server %d out of range (servers=%d)", i, e.Server, servers)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomCrashes builds a plan of n worker crashes at deterministic
+// pseudo-random times uniform over [lo, hi), derived from seed. With
+// restart == 0 the targets are distinct ranks (a rank can only die once
+// without restarting), capping n at len(workers); with restart > 0 targets
+// may repeat. Events are sorted by time for readability; the schedule is a
+// pure function of the arguments.
+func RandomCrashes(seed int64, n int, workers []int, lo, hi des.Time, restart des.Time) *Plan {
+	if hi <= lo || n <= 0 || len(workers) == 0 {
+		return &Plan{Seed: seed}
+	}
+	rng := subRand(seed)
+	pool := append([]int(nil), workers...)
+	if restart == 0 {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		if n > len(pool) {
+			n = len(pool)
+		}
+	}
+	p := &Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		rank := pool[i%len(pool)]
+		if restart != 0 {
+			rank = pool[rng.Intn(len(pool))]
+		}
+		at := lo + des.Time(rng.Int63n(int64(hi-lo)))
+		p.Events = append(p.Events, Event{
+			Kind: Crash, At: at, Rank: rank, Server: -1, Restart: restart,
+		})
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}

@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlan fuzzes the chaos-spec parser: no input may panic, every accepted
+// plan must satisfy its own Validate, and rendering an accepted plan back to
+// spec syntax must reproduce it exactly (Parse ∘ String = identity on the
+// image of Parse).
+func FuzzPlan(f *testing.F) {
+	f.Add("crash@2s:rank=3,restart=5s")
+	f.Add("slow@1s:rank=2,factor=4,for=10s")
+	f.Add("outage@3s:server=5,for=2s")
+	f.Add("degrade@0s:server=1,factor=8,for=5s")
+	f.Add("drop:prob=0.01;delay:prob=0.05,extra=10ms")
+	f.Add("seed=42;crash@150ms:rank=1")
+	f.Add("  ; ;crash@1h2m3s:rank=0 , ")
+	f.Add("seed=-1;drop@9ms:prob=1,for=1ns")
+	f.Add("crash@1s:rank=00003,restart=0s")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted a plan its own Validate rejects: %v", err)
+		}
+		if p.IsEmpty() {
+			// An empty plan renders as "" regardless of seed; nothing to
+			// round-trip.
+			return
+		}
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", rendered, spec, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip changed the plan:\nspec %q\n in %+v\nout %+v", spec, p, q)
+		}
+	})
+}

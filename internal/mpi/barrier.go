@@ -20,9 +20,47 @@ type Barrier struct {
 // NewBarrier creates a barrier for groups of n participants.
 func (w *World) NewBarrier(n int) *Barrier {
 	if n < 1 {
-		panic("mpi: barrier size must be >= 1")
+		protoPanic("NewBarrier", -1, "barrier size must be >= 1")
 	}
 	return &Barrier{w: w, n: n, cond: w.sim.NewSignal()}
+}
+
+// Size returns the current participant count.
+func (b *Barrier) Size() int { return b.n }
+
+// Idle reports whether no participant is parked in the current epoch — the
+// safe moment to change membership without smearing epochs.
+func (b *Barrier) Idle() bool { return b.arrived == 0 }
+
+// Deregister permanently removes one participant (a dead rank) from the
+// barrier. If every remaining participant has already arrived, the epoch
+// releases immediately — this is what un-wedges survivors parked behind a
+// crashed peer. The removed rank must not be parked in the barrier (the
+// engine's checkpoint protocol guarantees a rank never dies mid-arrival).
+func (b *Barrier) Deregister() {
+	if b.n < 1 {
+		protoPanic("Barrier.Deregister", -1, "no participants left")
+	}
+	b.n--
+	if b.n > 0 && b.arrived == b.n {
+		b.release()
+	}
+}
+
+// Register adds one participant (a restarted rank). Callers should only
+// grow membership while the barrier is Idle; registering mid-epoch makes
+// the current epoch wait for the newcomer too.
+func (b *Barrier) Register() { b.n++ }
+
+// release completes the current epoch: resets arrivals, advances the
+// generation, and wakes the parked participants after the modeled
+// fan-in/fan-out delay.
+func (b *Barrier) release() {
+	b.arrived = 0
+	b.gen++
+	b.epochs++
+	delay := b.releaseDelay()
+	b.w.sim.After(delay, func() { b.cond.Broadcast() })
 }
 
 // releaseDelay is the modeled fan-in/fan-out cost once everyone arrived.
@@ -40,12 +78,8 @@ func (b *Barrier) Arrive(r *Rank) {
 	gen := b.gen
 	b.arrived++
 	if b.arrived == b.n {
-		b.arrived = 0
-		b.gen++
-		b.epochs++
 		delay := b.releaseDelay()
-		w := b.w
-		w.sim.After(delay, func() { b.cond.Broadcast() })
+		b.release()
 		// The completing rank also pays the release delay.
 		r.proc.Sleep(delay)
 		return

@@ -1,0 +1,29 @@
+package mpi
+
+import "fmt"
+
+// ProtocolError is the typed value every mpi-layer invariant violation
+// panics with. These panics are documented invariants, not recoverable I/O
+// errors: sending to a rank outside the world, waiting on an empty request
+// set, or misusing a collective team is a bug in the calling protocol, and
+// the simulation is deterministic, so such a bug reproduces on every run.
+// The typed value lets harnesses (and the engine's crash-unwind recovery
+// wrapper) distinguish these contract violations from unrelated panics and
+// pin them in tests.
+type ProtocolError struct {
+	Op     string // the operation that was misused, e.g. "Isend"
+	Rank   int    // offending rank where meaningful, else -1
+	Reason string
+}
+
+func (e *ProtocolError) Error() string {
+	if e.Rank >= 0 {
+		return fmt.Sprintf("mpi: %s: %s (rank %d)", e.Op, e.Reason, e.Rank)
+	}
+	return fmt.Sprintf("mpi: %s: %s", e.Op, e.Reason)
+}
+
+// protoPanic raises a typed invariant violation.
+func protoPanic(op string, rank int, reason string) {
+	panic(&ProtocolError{Op: op, Rank: rank, Reason: reason})
+}

@@ -69,21 +69,30 @@ type node struct {
 	recv *des.Resource
 }
 
+// FaultModel decides the fate of each message as it is sent: lost entirely
+// (drop) and/or delivered with extra wire latency. Implementations must be
+// deterministic given the DES-serialized call order (fault.Injector is).
+type FaultModel interface {
+	MessageFate(src, dst, tag int, bytes int64) (drop bool, extra des.Time)
+}
+
 // World is a communicator spanning n ranks.
 type World struct {
 	sim   *des.Simulation
 	cfg   NetConfig
 	nodes []*node
 	ranks []*Rank
+	fate  FaultModel
 
-	bytesSent uint64
-	msgsSent  uint64
+	bytesSent  uint64
+	msgsSent   uint64
+	msgsToDead uint64
 }
 
 // NewWorld creates a world of n ranks over ceil(n/ProcsPerNode) nodes.
 func NewWorld(sim *des.Simulation, n int, cfg NetConfig) *World {
 	if n < 1 {
-		panic("mpi: world needs at least one rank")
+		protoPanic("NewWorld", -1, "world needs at least one rank")
 	}
 	if cfg.ProcsPerNode < 1 {
 		cfg.ProcsPerNode = 1
@@ -144,13 +153,77 @@ func (w *World) UncontendNode(i, capacity int) {
 	nd.recv = w.sim.NewResource(fmt.Sprintf("node%d.recvNIC+", i), capacity)
 }
 
-// Spawn starts rank i's program in a new simulated process. It panics if
-// the rank was already started.
+// Spawn starts rank i's program in a new simulated process. Starting a rank
+// twice is a contract violation (*ProtocolError); see Respawn for reviving
+// a killed rank.
 func (w *World) Spawn(i int, name string, body func(r *Rank)) *des.Proc {
 	r := w.ranks[i]
 	if r.proc != nil {
-		panic(fmt.Sprintf("mpi: rank %d already spawned", i))
+		protoPanic("Spawn", i, "rank already spawned")
 	}
+	r.proc = w.sim.Spawn(name, func(p *des.Proc) {
+		body(r)
+	})
+	return r.proc
+}
+
+// SetFaultModel installs the message-fate hook consulted once per Isend.
+// Install it before any traffic flows; a nil model (the default) delivers
+// everything unchanged.
+func (w *World) SetFaultModel(fm FaultModel) { w.fate = fm }
+
+// MessagesToDead reports how many messages were discarded at dead ranks.
+func (w *World) MessagesToDead() uint64 { return w.msgsToDead }
+
+// Kill marks rank i dead: its inbox is discarded, its posted-but-unmatched
+// receives are cancelled, and subsequent deliveries to it are dropped
+// (counted in MessagesToDead). It must be called by the dying rank's own
+// process just before it unwinds — the engine's checkpoint protocol
+// guarantees the rank is not parked inside a barrier or collective when it
+// dies, so no other process is left waiting on state Kill tears down.
+func (w *World) Kill(i int) {
+	r := w.ranks[i]
+	if r.dead {
+		return
+	}
+	r.dead = true
+	r.inbox = nil
+	posted := r.posted
+	r.posted = nil
+	for _, pr := range posted {
+		pr.req.cancelled = true
+		pr.req.complete(nil)
+	}
+}
+
+// WakeRank broadcasts rank i's activity signal from kernel context, forcing
+// a rank blocked in WaitEvent/Wait loops to re-check its predicates — the
+// fault injector uses it so an idle-parked worker observes its crash at the
+// scheduled instant rather than at its next message.
+func (w *World) WakeRank(i int) {
+	w.ranks[i].activity.Broadcast()
+}
+
+// Respawn revives a killed rank with a fresh process running body — the
+// fault plan's "worker restart after d". The previous incarnation must have
+// been killed and finished unwinding; anything else is a contract violation
+// (*ProtocolError). The revived rank starts with an empty inbox, no posted
+// receives, and an incremented Incarnation.
+func (w *World) Respawn(i int, name string, body func(r *Rank)) *des.Proc {
+	r := w.ranks[i]
+	if r.proc == nil {
+		protoPanic("Respawn", i, "rank was never spawned")
+	}
+	if !r.dead {
+		protoPanic("Respawn", i, "rank is still alive")
+	}
+	if !r.proc.Done() {
+		protoPanic("Respawn", i, "previous incarnation still unwinding")
+	}
+	r.dead = false
+	r.inbox = nil
+	r.posted = nil
+	r.incarnation++
 	r.proc = w.sim.Spawn(name, func(p *des.Proc) {
 		body(r)
 	})

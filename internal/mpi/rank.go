@@ -14,6 +14,9 @@ type Rank struct {
 	posted   []*postedRecv // posted receives, not yet matched
 	activity *des.Signal   // broadcast whenever a request completes
 
+	dead        bool // killed by fault injection; deliveries are discarded
+	incarnation int  // respawn count (0 for the original process)
+
 	msgsSent  uint64 // messages this rank pushed into the network
 	bytesSent uint64 // payload bytes this rank pushed into the network
 }
@@ -43,6 +46,15 @@ func (r *Rank) Now() des.Time { return r.w.sim.Now() }
 // Compute advances this rank's virtual clock by d, modeling local work.
 func (r *Rank) Compute(d des.Time) { r.proc.Sleep(d) }
 
+// Alive reports whether the rank is running (not killed by fault
+// injection). A fresh rank is alive; Kill clears it, Respawn restores it.
+func (r *Rank) Alive() bool { return !r.dead }
+
+// Incarnation reports how many times this rank has been respawned (0 for
+// the original process). The engine's recovery protocol uses it to detect a
+// restarted worker whose death was never observed.
+func (r *Rank) Incarnation() int { return r.incarnation }
+
 // MessagesSent reports how many messages this rank has sent.
 func (r *Rank) MessagesSent() uint64 { return r.msgsSent }
 
@@ -52,9 +64,11 @@ func (r *Rank) BytesSent() uint64 { return r.bytesSent }
 // Request tracks the completion of a nonblocking operation. A receive
 // request additionally carries the matched message once complete.
 type Request struct {
-	owner *Rank
-	done  bool
-	msg   *Message // non-nil for completed receives
+	owner     *Rank
+	done      bool
+	msg       *Message // non-nil for completed receives
+	cancelled bool     // receive cancelled before matching
+	dropped   bool     // send whose message the network lost (fault injection)
 }
 
 // Done reports whether the operation has completed (MPI_Test without
@@ -64,6 +78,16 @@ func (q *Request) Done() bool { return q.done }
 
 // Message returns the received message, or nil if not a completed receive.
 func (q *Request) Message() *Message { return q.msg }
+
+// Cancelled reports whether the request was retired by Cancel (teardown)
+// rather than by matching a message.
+func (q *Request) Cancelled() bool { return q.cancelled }
+
+// Dropped reports whether a send's message was lost by fault injection (or
+// discarded at a dead destination). The request still completes — a lost
+// message must not wedge the sender — but the loss is observable here
+// instead of masquerading as success.
+func (q *Request) Dropped() bool { return q.dropped }
 
 func (q *Request) complete(m *Message) {
 	q.done = true
@@ -75,9 +99,14 @@ func (q *Request) complete(m *Message) {
 // size and real payload. The returned request completes when the sender-side
 // NIC finishes (bytes ≤ eager limit) or when the message is delivered to the
 // destination rank's matching engine (larger messages).
+//
+// Sending to a rank outside the world is a contract violation and panics
+// with *ProtocolError. Sending to a dead (killed) rank is legal — failure
+// detectors need exactly that — but the message is discarded on arrival and
+// the request reports Dropped.
 func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
 	if dest < 0 || dest >= len(r.w.ranks) {
-		panic("mpi: Isend to invalid rank")
+		protoPanic("Isend", dest, "destination outside world")
 	}
 	w := r.w
 	cfg := w.cfg
@@ -88,6 +117,12 @@ func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
 	r.msgsSent++
 	r.bytesSent += uint64(bytes)
 
+	var lost bool
+	var extra des.Time
+	if w.fate != nil {
+		lost, extra = w.fate.MessageFate(r.rank, dest, tag, bytes)
+	}
+
 	eager := bytes <= cfg.EagerLimit
 	sendCost := cfg.PerMessageCPU + des.BytesOver(bytes, cfg.Bandwidth)
 	dstRank := w.ranks[dest]
@@ -95,10 +130,25 @@ func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
 		if eager {
 			req.complete(nil) // send requests carry no message
 		}
-		w.sim.After(cfg.Latency, func() {
+		w.sim.After(cfg.Latency+extra, func() {
+			// A message lost on the wire never reaches the receiver NIC; a
+			// rendezvous send still completes (the transport gave up), with
+			// the loss surfaced via Dropped.
+			if lost {
+				req.dropped = true
+				if !eager {
+					req.complete(nil)
+				}
+				return
+			}
 			recvCost := cfg.PerMessageCPU + des.BytesOver(bytes, cfg.Bandwidth)
 			dstRank.node.recv.Submit(recvCost, func() {
-				dstRank.deliver(m)
+				if dstRank.dead {
+					req.dropped = true
+					r.w.msgsToDead++
+				} else {
+					dstRank.deliver(m)
+				}
 				if !eager {
 					req.complete(nil)
 				}
@@ -164,10 +214,12 @@ func (r *Rank) WaitAll(qs ...*Request) {
 }
 
 // WaitAny blocks until at least one of the requests has completed and
-// returns the index of the first completed one. Panics on an empty set.
+// returns the index of the first completed one. Waiting on an empty set can
+// never complete; it is a contract violation and panics with
+// *ProtocolError.
 func (r *Rank) WaitAny(qs []*Request) int {
 	if len(qs) == 0 {
-		panic("mpi: WaitAny on empty request set")
+		protoPanic("WaitAny", r.rank, "empty request set")
 	}
 	for {
 		for i, q := range qs {
@@ -177,6 +229,59 @@ func (r *Rank) WaitAny(qs []*Request) int {
 		}
 		r.activity.Wait(r.proc)
 	}
+}
+
+// WaitAnyUntil is WaitAny with an absolute virtual-time deadline: it
+// returns (index, true) when a request completes first, or (-1, false) if
+// the deadline passes with none complete. Nil entries are skipped, so
+// callers can keep fixed slots. An all-nil or empty set simply waits out
+// the deadline (the engine's resilient master uses that as its detector
+// sweep timer).
+func (r *Rank) WaitAnyUntil(qs []*Request, deadline des.Time) (int, bool) {
+	for {
+		for i, q := range qs {
+			if q != nil && q.done {
+				return i, true
+			}
+		}
+		if r.Now() >= deadline {
+			return -1, false
+		}
+		if !r.activity.WaitUntil(r.proc, deadline) {
+			return -1, false
+		}
+	}
+}
+
+// WaitEvent parks the rank until any of its requests completes (or the
+// rank is woken out-of-band via World.WakeRank). Callers re-check their
+// predicates in a loop, like Signal.Wait.
+func (r *Rank) WaitEvent() { r.activity.Wait(r.proc) }
+
+// WaitEventUntil is WaitEvent with an absolute deadline; it reports false
+// on timeout.
+func (r *Rank) WaitEventUntil(deadline des.Time) bool {
+	return r.activity.WaitUntil(r.proc, deadline)
+}
+
+// Cancel retires a posted receive that has not matched yet: the request
+// completes with Cancelled() true and a nil message, and its posted entry
+// is withdrawn so it can never match. Cancelling a completed (or already
+// cancelled) request is a no-op returning false. This is the teardown path
+// a dying rank uses for its posted-but-unmatched receives.
+func (r *Rank) Cancel(q *Request) bool {
+	if q.done {
+		return false
+	}
+	for i, pr := range r.posted {
+		if pr.req == q {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			break
+		}
+	}
+	q.cancelled = true
+	q.complete(nil)
+	return true
 }
 
 // Test reports whether the request has completed (MPI_Test).

@@ -23,13 +23,13 @@ type Team struct {
 // NewTeam creates a collective team over the given ranks.
 func (w *World) NewTeam(ranks []int) *Team {
 	if len(ranks) == 0 {
-		panic("mpi: empty team")
+		protoPanic("NewTeam", -1, "empty team")
 	}
 	t := &Team{w: w, ranks: append([]int(nil), ranks...), indexOf: map[int]int{}}
 	sort.Ints(t.ranks)
 	for i, rk := range t.ranks {
 		if _, dup := t.indexOf[rk]; dup {
-			panic("mpi: duplicate rank in team")
+			protoPanic("NewTeam", rk, "duplicate rank in team")
 		}
 		t.indexOf[rk] = i
 	}
@@ -44,7 +44,7 @@ func (t *Team) Size() int { return len(t.ranks) }
 func (t *Team) pos(r *Rank) int {
 	p, ok := t.indexOf[r.Rank()]
 	if !ok {
-		panic("mpi: rank not in team")
+		protoPanic("Team", r.Rank(), "rank not in team")
 	}
 	return p
 }
@@ -76,7 +76,7 @@ func (t *Team) Bcast(r *Rank, root int, bytes int64, payload any) any {
 	tag := t.opTag(r)
 	rootPos, ok := t.indexOf[root]
 	if !ok {
-		panic("mpi: bcast root not in team")
+		protoPanic("Bcast", root, "root not in team")
 	}
 	vr := t.vrank(t.pos(r), rootPos)
 
@@ -111,7 +111,7 @@ func (t *Team) Gather(r *Rank, root int, bytes int64, payload any) []any {
 	tag := t.opTag(r)
 	rootPos, ok := t.indexOf[root]
 	if !ok {
-		panic("mpi: gather root not in team")
+		protoPanic("Gather", root, "root not in team")
 	}
 	me := t.pos(r)
 	if me != rootPos {
@@ -141,7 +141,7 @@ func (t *Team) Reduce(r *Rank, root int, bytes int64, value float64, op func(a, 
 	tag := t.opTag(r)
 	rootPos, ok := t.indexOf[root]
 	if !ok {
-		panic("mpi: reduce root not in team")
+		protoPanic("Reduce", root, "root not in team")
 	}
 	vr := t.vrank(t.pos(r), rootPos)
 	acc := value

@@ -86,6 +86,12 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 		port.Send.Submit(des.BytesOver(wireBytes, port.Bandwidth), func() {
 			sim.After(cfg.NetLatency, func() {
 				submitAt := sim.Now()
+				// Degradation windows scale service time at submission.
+				if fs.faults != nil {
+					if f := fs.faults.ServiceFactor(r.server); f != 1 {
+						cost = des.Time(float64(cost) * f)
+					}
+				}
 				serveLocked(sim, locks, srv.res, cost, cfg.LockAcquireCost, func() {
 					doneAt := srv.res.Submit(cost, func() {
 						if r.kind == opWrite {

@@ -103,6 +103,14 @@ type FileSystem struct {
 	traceOn bool
 	trace   []RequestRecord
 	metrics *obs.Registry
+	faults  ServerFaults
+}
+
+// ServerFaults scales per-server request service time — the fault layer's
+// degraded-bandwidth window. ServiceFactor is consulted when a request is
+// submitted to a server queue (deterministic DES order); 1 means healthy.
+type ServerFaults interface {
+	ServiceFactor(server int) float64
 }
 
 // New creates a file system with the given configuration.
@@ -125,6 +133,32 @@ func New(sim *des.Simulation, cfg Config) *FileSystem {
 
 // Config returns the cost model in use.
 func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetFaults attaches a per-server fault model (degradation windows). Nil
+// (the default) means every server serves at full speed.
+func (fs *FileSystem) SetFaults(f ServerFaults) { fs.faults = f }
+
+// ScheduleOutage takes server offline for [at, at+dur): an opaque job
+// occupies its FCFS queue for the window, so requests in flight when the
+// outage begins finish first and everything arriving during the window
+// waits it out — a crashed-and-rebooting I/O daemon whose clients block
+// rather than error (PVFS2 retries transparently). Outages are counted in
+// the metrics registry under "pvfs.outages".
+func (fs *FileSystem) ScheduleOutage(server int, at, dur des.Time) {
+	if server < 0 || server >= len(fs.servers) {
+		panic(fmt.Sprintf("pvfs: outage for unknown server %d", server))
+	}
+	if dur <= 0 {
+		return
+	}
+	srv := fs.servers[server]
+	fs.sim.At(at, func() {
+		srv.res.Submit(dur, nil)
+		if fs.metrics != nil {
+			fs.metrics.Add("pvfs.outages", 1)
+		}
+	})
+}
 
 // SetMetrics attaches a registry; every subsequent server-request completion
 // records pvfs.* counters (requests, bytes, syncs) and virtual-time

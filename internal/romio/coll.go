@@ -65,6 +65,35 @@ func (f *File) NewGroup(ranks []int) *Group {
 // Size returns the number of participants.
 func (g *Group) Size() int { return len(g.ranks) }
 
+// Deregister permanently removes a dead rank from the collective group:
+// future rounds are planned over the survivors, and the entry/exit barriers
+// shrink — releasing survivors already parked behind the dead rank. The
+// engine's fail-stop-at-checkpoints rule guarantees the dead rank is not
+// mid-round (a rank that entered a round always completes it), so the
+// removal can never invalidate a live exchange plan: a built plan implies
+// the entry barrier released, which implies every then-member arrived.
+// Unknown ranks are ignored.
+func (g *Group) Deregister(rank int) {
+	i, ok := g.indexOf[rank]
+	if !ok {
+		return
+	}
+	// Copy on shrink: a retired plan may still alias the old backing array.
+	g.ranks = append(append([]int(nil), g.ranks[:i]...), g.ranks[i+1:]...)
+	delete(g.indexOf, rank)
+	for j, rk := range g.ranks {
+		g.indexOf[rk] = j
+	}
+	if g.cur != nil {
+		delete(g.cur.segs, rank)
+		if g.cur.departed >= len(g.ranks) {
+			g.cur = nil
+		}
+	}
+	g.entry.Deregister()
+	g.exit.Deregister()
+}
+
 // numAggregators resolves the cb_nodes hint against the group size.
 func (g *Group) numAggregators() int {
 	n := g.f.hints.CBNodes
@@ -122,9 +151,10 @@ func (g *Group) WriteAll(r *mpi.Rank, segs []pvfs.Segment) {
 		}
 	}
 
-	// Phase 3: exit synchronization; last one out retires the round.
+	// Phase 3: exit synchronization; last one out retires the round (>=
+	// absorbs membership shrinking under fault-driven deregistration).
 	round.departed++
-	if round.departed == len(g.ranks) {
+	if round.departed >= len(g.ranks) {
 		g.cur = nil
 	}
 	g.exit.Arrive(r)

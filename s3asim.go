@@ -39,6 +39,7 @@ import (
 	"s3asim/internal/core"
 	"s3asim/internal/des"
 	"s3asim/internal/experiments"
+	"s3asim/internal/fault"
 	"s3asim/internal/mpi"
 	"s3asim/internal/obs"
 	"s3asim/internal/pvfs"
@@ -259,6 +260,61 @@ func OutputScaleSweep(base Config, multipliers []float64, parallelism ...int) (*
 // memory.
 func SegmentationComparison(base Config, dbSizes []int64, parallelism ...int) (*Table, error) {
 	return experiments.SegmentationComparison(base, dbSizes, parallelism...)
+}
+
+// Fault-injection layer (internal/fault, DESIGN.md §9): a FaultPlan is a
+// deterministic schedule of FaultEvents — worker crashes (with optional
+// restart), straggler slowdowns, PVFS server outages and degradations, and
+// probabilistic message drops/delays on the retry-protected tags. Attach via
+// Config.FaultPlan; any non-empty plan (or Config.Resilient) switches the
+// run to the self-healing master/worker protocol, and an empty plan leaves
+// results bit-identical to the original protocol.
+type (
+	FaultPlan  = fault.Plan
+	FaultEvent = fault.Event
+	FaultKind  = fault.Kind
+)
+
+// The fault kinds.
+const (
+	FaultCrash   = fault.Crash
+	FaultSlow    = fault.Slow
+	FaultOutage  = fault.Outage
+	FaultDegrade = fault.Degrade
+	FaultDrop    = fault.Drop
+	FaultDelay   = fault.Delay
+)
+
+// ParseFaultPlan parses the CLI fault-plan grammar
+// ("kind[@start][:key=value,...]; ..."), e.g.
+// "crash@200ms:rank=3,restart=1s; drop:prob=0.05; outage@1s:server=0,for=500ms".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// RandomCrashes builds a plan of n seeded worker crashes uniformly over
+// [lo, hi); restart > 0 respawns each crashed worker after that delay.
+func RandomCrashes(seed int64, n int, workers []int, lo, hi, restart Time) *FaultPlan {
+	return fault.RandomCrashes(seed, n, workers, lo, hi, restart)
+}
+
+// Chaos suite: the crash-count sweep measuring each strategy's recovery
+// cost (time inflation, re-executed tasks, detection latency).
+type (
+	ChaosOptions = experiments.ChaosOptions
+	ChaosResult  = experiments.ChaosResult
+	ChaosCell    = experiments.ChaosCell
+)
+
+// PaperChaosOptions returns the chaos suite at the paper's evaluation
+// scale; QuickChaosOptions a scaled-down suite that runs in seconds.
+func PaperChaosOptions() ChaosOptions { return experiments.PaperChaosOptions() }
+
+// QuickChaosOptions returns the reduced chaos suite.
+func QuickChaosOptions() ChaosOptions { return experiments.QuickChaosOptions() }
+
+// RunChaosSweep executes the chaos suite: every strategy against the same
+// randomized crash schedules, with a fault-free resilient baseline.
+func RunChaosSweep(opts ChaosOptions) (*ChaosResult, error) {
+	return experiments.RunChaosSweep(opts)
 }
 
 // Observability layer (internal/obs): Sink receives phase-timeline events as
