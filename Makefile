@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test short race fuzz vet bench bench-quick check
+.PHONY: build test short race fuzz vet bench bench-quick bench-diff check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ short:
 # The sweep executor, workload cache, engine, fault layer, and the shared
 # observability sinks/registry under concurrent cells.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/
+	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/
 
 # A short fuzz pass over the chaos-spec parser (longer sessions: raise -fuzztime).
 fuzz:
@@ -32,5 +32,10 @@ bench:
 
 bench-quick:
 	S3ASIM_BENCH_SCALE=quick $(GO) test -bench=. -benchmem -benchtime=1x
+
+# Quick full-suite run compared against the committed baseline record
+# (execution performance only; virtual-time results are deterministic).
+bench-diff:
+	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0001.json
 
 check: build vet test race

@@ -5,24 +5,34 @@
 //
 // Usage:
 //
-//	s3abench [-suite procs|speed|extensions|chaos|all] [-quick] [-csv] [-reps N]
-//	         [-parallel N] [-json dir] [-trace-dir dir] [-metrics] [-pprof file]
+//	s3abench [-suite procs|speed|figures|extensions|chaos|all] [-quick] [-csv]
+//	         [-reps N] [-parallel N] [-json dir] [-diff baseline.json]
+//	         [-explain] [-trace-dir dir] [-metrics] [-pprof file]
 //
 // The full paper suite takes several minutes sequentially; every cell of a
 // suite is an independent deterministic simulation, so -parallel N (default
 // GOMAXPROCS) fans cells out across N workers with bit-identical results,
 // and each distinct pseudo-random workload is generated once per suite and
-// shared. -quick runs a scaled-down version in seconds. The extensions
-// suite covers the paper's §5 future work: collective implementations,
-// hybrid segmentation, the write-frequency/failure trade-off, and
-// file-system sensitivity. The chaos suite sweeps injected worker crashes
-// over the resilient protocol and reports each strategy's recovery cost
-// (time inflation, re-executed tasks, failure-detection latency).
+// shared. -quick runs a scaled-down version in seconds. -suite figures is
+// the paper's figure pair (procs + speed). The extensions suite covers the
+// paper's §5 future work: collective implementations, hybrid segmentation,
+// the write-frequency/failure trade-off, and file-system sensitivity. The
+// chaos suite sweeps injected worker crashes over the resilient protocol and
+// reports each strategy's recovery cost (time inflation, re-executed tasks,
+// failure-detection latency).
+//
+// -explain additionally runs the causal-tracing matrix (every strategy ×
+// sync mode at one process count) and prints critical-path attribution
+// tables: where every virtual nanosecond of each run's overall time goes
+// (compute, io-service, io-queue, sync-wait, merge, transit, recovery), with
+// an exact conservation check and a WW-Coll vs WW-List path diff.
 //
 // Unless -json is empty, a machine-readable record of the run — per-suite
 // wall-clock, parallelism, estimated speedup over sequential execution, and
-// workload-cache hit/miss counts — is written to
-// <dir>/bench_<timestamp>.json, seeding the repo's performance trajectory.
+// workload-cache hit/miss counts — is written to <dir>/BENCH_<n>.json
+// (n = highest existing index + 1), seeding the repo's performance
+// trajectory. -diff compares this run against a previously written record
+// (e.g. the committed results/BENCH_0001.json) and prints per-suite deltas.
 package main
 
 import (
@@ -59,19 +69,25 @@ type suiteRecord struct {
 	CacheMisses   uint64  `json:"workload_cache_misses"`
 }
 
-// benchRecord is the top-level JSON document.
+// benchRecord is the top-level JSON document. SchemaVersion guards the
+// committed-baseline diff (`make bench-diff`): bump it when a field changes
+// meaning, and regenerate the baseline.
 type benchRecord struct {
-	Timestamp   string        `json:"timestamp"`
-	GoMaxProcs  int           `json:"gomaxprocs"`
-	Parallelism int           `json:"parallelism"`
-	Quick       bool          `json:"quick"`
-	Repetitions int           `json:"repetitions"`
-	Suites      []suiteRecord `json:"suites"`
+	SchemaVersion int           `json:"schema_version"`
+	Timestamp     string        `json:"timestamp"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	Parallelism   int           `json:"parallelism"`
+	Quick         bool          `json:"quick"`
+	Repetitions   int           `json:"repetitions"`
+	Suites        []suiteRecord `json:"suites"`
 }
+
+// benchSchemaVersion is the current benchRecord schema.
+const benchSchemaVersion = 1
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "which suite to run: procs, speed, extensions, chaos, all")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, all")
 		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
@@ -79,16 +95,22 @@ func main() {
 		chart    = flag.Bool("chart", false, "render ASCII charts after the tables")
 		figs     = flag.String("figs", "", "write figure SVGs into this directory")
 		parallel = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
-		jsonDir  = flag.String("json", "results", "write bench_<timestamp>.json into this directory (empty disables)")
+		jsonDir  = flag.String("json", "results", "write BENCH_<n>.json into this directory (empty disables)")
+		diff     = flag.String("diff", "", "compare this run against a previous BENCH_<n>.json record")
+		explain  = flag.Bool("explain", false, "run the causal-tracing matrix and print critical-path attribution")
 		traceDir = flag.String("trace-dir", "", "write a per-cell phase-timeline JSONL into this directory")
 		metrics  = flag.Bool("metrics", false, "print the aggregated metrics snapshot per suite")
 		cpuProf  = flag.String("pprof", "", "write a CPU profile of the bench process to this file")
 	)
 	flag.Parse()
 	switch *suite {
-	case "procs", "speed", "extensions", "chaos", "all":
+	case "procs", "speed", "figures", "extensions", "chaos", "all":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, extensions, chaos, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, or all)", *suite))
+	}
+	// "figures" is the paper's figure pair: the process and speed sweeps.
+	wantSweep := func(kind string) bool {
+		return *suite == kind || *suite == "figures" || *suite == "all"
 	}
 	if *figs != "" {
 		if err := os.MkdirAll(*figs, 0o755); err != nil {
@@ -132,11 +154,12 @@ func main() {
 	}
 
 	record := benchRecord{
-		Timestamp:   time.Now().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Parallelism: effPar,
-		Quick:       *quick,
-		Repetitions: *reps,
+		SchemaVersion: benchSchemaVersion,
+		Timestamp:     time.Now().Format(time.RFC3339),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Parallelism:   effPar,
+		Quick:         *quick,
+		Repetitions:   *reps,
 	}
 
 	emit := func(sr *s3asim.SweepResult) {
@@ -176,7 +199,7 @@ func main() {
 		})
 	}
 
-	if *suite == "procs" || *suite == "all" {
+	if wantSweep("procs") {
 		spool := newTraceSpool(*traceDir, "procs")
 		opts.CellSink = spool.factory()
 		sr, err := s3asim.RunProcessSweep(opts)
@@ -186,7 +209,7 @@ func main() {
 		}
 		emit(sr)
 	}
-	if *suite == "speed" || *suite == "all" {
+	if wantSweep("speed") {
 		spool := newTraceSpool(*traceDir, "speed")
 		opts.CellSink = spool.factory()
 		sr, err := s3asim.RunSpeedSweep(opts)
@@ -245,8 +268,93 @@ func main() {
 			Parallelism: effPar,
 		})
 	}
+	if *explain {
+		start := time.Now()
+		runExplainMode(opts, *csv, *parallel)
+		wall := time.Since(start)
+		fmt.Fprintf(os.Stderr, "explain: %.2fs wall at parallelism %d\n", wall.Seconds(), effPar)
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:        "explain",
+			WallSeconds: wall.Seconds(),
+			Parallelism: effPar,
+		})
+	}
 	if *jsonDir != "" {
 		writeRecord(*jsonDir, record)
+	}
+	if *diff != "" {
+		diffRecord(*diff, record)
+	}
+}
+
+// runExplainMode runs the causal-tracing matrix at the suite's speed-sweep
+// process count and prints the critical-path attribution tables plus the
+// query-sync penalty summary (paper Figures 4–9, mechanically).
+func runExplainMode(opts s3asim.Options, csv bool, parallel int) {
+	er, err := s3asim.RunExplain(s3asim.ExplainOptions{
+		Base:        opts.Base,
+		Procs:       opts.SpeedProcs,
+		Parallelism: parallel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, tb := range er.Tables() {
+		if csv {
+			fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+	}
+	fmt.Printf("query-sync penalty (critical-path sync-wait, sync minus no-sync, %d procs):\n", er.Procs)
+	for _, s := range s3asim.Strategies {
+		fmt.Printf("  %-8s %+.3fms\n", s, 1e3*er.SyncWaitDelta(s).Seconds())
+	}
+	fmt.Println()
+}
+
+// diffRecord compares this run's record against a previously written
+// BENCH_<n>.json baseline and prints per-suite wall-clock deltas. Virtual-time
+// results are deterministic, so the only thing that legitimately moves here is
+// execution performance.
+func diffRecord(path string, cur benchRecord) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if base.SchemaVersion != cur.SchemaVersion {
+		fatal(fmt.Errorf("%s: schema version %d, this binary writes %d — regenerate the baseline",
+			path, base.SchemaVersion, cur.SchemaVersion))
+	}
+	if base.Quick != cur.Quick || base.Repetitions != cur.Repetitions {
+		fmt.Fprintf(os.Stderr, "bench-diff: warning: comparing quick=%v reps=%d against baseline quick=%v reps=%d\n",
+			cur.Quick, cur.Repetitions, base.Quick, base.Repetitions)
+	}
+	byName := map[string]suiteRecord{}
+	for _, s := range base.Suites {
+		byName[s.Name] = s
+	}
+	fmt.Printf("bench diff vs %s (recorded %s)\n", path, base.Timestamp)
+	fmt.Printf("%-12s  %12s  %12s  %8s\n", "suite", "base wall(s)", "this wall(s)", "ratio")
+	for _, s := range cur.Suites {
+		b, ok := byName[s.Name]
+		if !ok {
+			fmt.Printf("%-12s  %12s  %12.2f  %8s\n", s.Name, "-", s.WallSeconds, "new")
+			continue
+		}
+		ratio := "-"
+		if b.WallSeconds > 0 {
+			ratio = fmt.Sprintf("%.2fx", s.WallSeconds/b.WallSeconds)
+		}
+		fmt.Printf("%-12s  %12.2f  %12.2f  %8s\n", s.Name, b.WallSeconds, s.WallSeconds, ratio)
+		delete(byName, s.Name)
+	}
+	for name, b := range byName {
+		fmt.Printf("%-12s  %12.2f  %12s  %8s\n", name, b.WallSeconds, "-", "gone")
 	}
 }
 
@@ -307,13 +415,23 @@ func (ts *traceSpool) close() {
 	}
 }
 
-// writeRecord persists the machine-readable benchmark record.
+// writeRecord persists the machine-readable benchmark record as the next
+// BENCH_<n>.json in dir (highest existing index + 1, so records sort in run
+// order and the first one can serve as the committed baseline).
 func writeRecord(dir string, record benchRecord) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fatal(err)
 	}
-	path := filepath.Join(dir,
-		fmt.Sprintf("bench_%s.json", time.Now().Format("20060102T150405")))
+	next := 1
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			var n int
+			if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n >= next {
+				next = n + 1
+			}
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", next))
 	data, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
 		fatal(err)

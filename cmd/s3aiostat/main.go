@@ -2,7 +2,10 @@
 // tracing enabled and prints an I/O analysis: request counts and rates,
 // queueing and service times, request-size distribution, and per-server
 // load balance — the quantities behind the paper's "I/O ops/s" and "stress
-// on the file system" discussions.
+// on the file system" discussions. A per-kind attribution table splits every
+// request's lifetime into the causal-tracing categories io-queue and
+// io-service (the same names `s3abench -explain` attributes the critical
+// path to), so the aggregate view and the path view line up.
 //
 // Usage:
 //
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"s3asim"
 )
@@ -50,6 +54,53 @@ func main() {
 		rep.Strategy, syncWord(rep.QuerySync), rep.Procs,
 		rep.Overall.Seconds(), float64(rep.OutputBytes)/1e6)
 	fmt.Print(s3asim.AnalyzeIOTrace(rep).Render())
+	fmt.Print(attribution(rep))
+}
+
+// attribution renders the per-request time split per request kind, using the
+// causal categories io-queue (submit→service start) and io-service
+// (service start→done) so the totals compare directly with the critical-path
+// attribution from `s3abench -explain`.
+func attribution(rep *s3asim.Report) string {
+	type agg struct {
+		n              int
+		queue, service s3asim.Time
+	}
+	perKind := map[string]*agg{}
+	var total agg
+	for _, r := range rep.IOTrace {
+		a := perKind[r.Kind]
+		if a == nil {
+			a = &agg{}
+			perKind[r.Kind] = a
+		}
+		for _, x := range []*agg{a, &total} {
+			x.n++
+			x.queue += r.QueueWait()
+			x.service += r.Service()
+		}
+	}
+	if total.n == 0 {
+		return ""
+	}
+	kinds := make([]string, 0, len(perKind))
+	for k := range perKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	qName, sName := s3asim.CatIOQueue.String(), s3asim.CatIOService.String()
+	out := fmt.Sprintf("\nper-request attribution (causal categories):\n  %-6s  %8s  %12s  %12s  %12s  %12s\n",
+		"kind", "requests", qName+" (s)", "mean", sName+" (s)", "mean")
+	row := func(name string, a agg) string {
+		n := s3asim.Time(a.n)
+		return fmt.Sprintf("  %-6s  %8d  %12.3f  %12v  %12.3f  %12v\n",
+			name, a.n, a.queue.Seconds(), a.queue/n, a.service.Seconds(), a.service/n)
+	}
+	for _, k := range kinds {
+		out += row(k, *perKind[k])
+	}
+	out += row("total", total)
+	return out
 }
 
 func syncWord(b bool) string {

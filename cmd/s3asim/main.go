@@ -44,6 +44,7 @@ func main() {
 		perfetto   = flag.String("perfetto", "", "write the phase timeline as Chrome trace-event JSON (open in ui.perfetto.dev)")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics snapshot (counters, histograms)")
 		csv        = flag.Bool("csv", false, "print the phase table as CSV")
+		explain    = flag.Bool("explain", false, "record causal structure and print the critical-path attribution")
 		faultSpec  = flag.String("fault", "", `fault plan, e.g. "crash@200ms:rank=3,restart=1s; drop:prob=0.05"`)
 		resilient  = flag.Bool("resilient", false, "use the self-healing protocol even with no faults")
 		lease      = flag.Duration("lease", 0, "task/write-ack lease timeout (0 = default)")
@@ -92,6 +93,14 @@ func main() {
 		tr = trace.New()
 		cfg.Tracer = tr
 	}
+	var rec *s3asim.CausalRecorder
+	if *explain {
+		rec = s3asim.NewCausalRecorder()
+		// With a Perfetto export requested, also record message flows so the
+		// timeline gets sender→receiver arrows.
+		rec.SetCaptureFlows(*perfetto != "")
+		cfg.Causal = rec
+	}
 
 	rep, err := s3asim.Run(cfg)
 	if err != nil {
@@ -118,6 +127,10 @@ func main() {
 		fmt.Print(rep.PhaseTable().String())
 	}
 
+	if *explain {
+		printAttribution(rep)
+	}
+
 	if *metrics {
 		fmt.Printf("\nmetrics:\n%s", rep.Metrics.Render())
 	}
@@ -140,7 +153,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := s3asim.WritePerfetto(f, tr.Events()); err != nil {
+		events := tr.Events()
+		if rec != nil {
+			// Message arrows from the causal recorder, rendered as flow
+			// events between the phase slices.
+			events = append(events, rec.FlowEvents()...)
+		}
+		if err := s3asim.WritePerfetto(f, events); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -148,6 +167,29 @@ func main() {
 		}
 		fmt.Printf("\nperfetto trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
 	}
+}
+
+// printAttribution renders the run's critical-path attribution: where every
+// virtual nanosecond of the overall time went, by causal category, with the
+// conservation check made visible.
+func printAttribution(rep *s3asim.Report) {
+	att := rep.Attribution
+	if att == nil {
+		fatal(fmt.Errorf("run produced no attribution"))
+	}
+	if err := att.Check(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ncritical-path attribution (ends on %s, %d steps):\n", att.EndProc, len(att.Steps))
+	shares := att.Shares()
+	for c := s3asim.Category(0); c < s3asim.NumCategories; c++ {
+		if att.ByCat[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-11s %10.3fs  %5.1f%%\n", c, att.ByCat[c].Seconds(), 100*shares[c])
+	}
+	fmt.Printf("  %-11s %10.3fs  100.0%%  (= overall, conservation verified)\n",
+		"total", att.Total.Seconds())
 }
 
 func syncWord(b bool) string {

@@ -11,6 +11,11 @@
 //	s3atrace -format svg -o t.svg t.jsonl
 //	s3atrace -format perfetto -o t.json t.jsonl     # open in Perfetto
 //	s3atrace -format jsonl t.jsonl                  # re-encode/normalize
+//	s3atrace -format folded t.jsonl | flamegraph.pl # collapsed stacks
+//
+// The folded format aggregates state durations into one "proc;State <ns>"
+// line per (process, state) pair — the collapsed-stack input consumed by
+// flame-graph tooling, here over virtual nanoseconds instead of samples.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"s3asim/internal/obs"
 	"s3asim/internal/trace"
@@ -27,12 +34,12 @@ import (
 
 func main() {
 	width := flag.Int("width", 100, "chart width in columns (ASCII) or pixels (SVG)")
-	format := flag.String("format", "ascii", "output format: ascii, svg, perfetto, jsonl")
+	format := flag.String("format", "ascii", "output format: ascii, svg, perfetto, jsonl, folded")
 	outPath := flag.String("o", "", "output file (default stdout)")
 	svgPath := flag.String("svg", "", "legacy: write an SVG timeline to this file (same as -format svg -o)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: s3atrace [-format ascii|svg|perfetto|jsonl] [-o out] [-width N] <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: s3atrace [-format ascii|svg|perfetto|jsonl|folded] [-o out] [-width N] <trace.jsonl>")
 		os.Exit(2)
 	}
 	if *svgPath != "" {
@@ -85,12 +92,37 @@ func main() {
 			}
 		}
 		err = bw.Flush()
+	case "folded":
+		_, err = io.WriteString(out, folded(events))
 	default:
-		fatal(fmt.Errorf("unknown format %q (want ascii, svg, perfetto, or jsonl)", *format))
+		fatal(fmt.Errorf("unknown format %q (want ascii, svg, perfetto, jsonl, or folded)", *format))
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// folded renders events as collapsed stacks: total virtual nanoseconds per
+// (process, state), one "proc;State <ns>" line, sorted for stable output.
+// Point markers and flow arrows carry no duration and are skipped.
+func folded(events []trace.Event) string {
+	totals := map[string]int64{}
+	for _, e := range events {
+		if e.Point || e.Flow != "" || e.End <= e.Start {
+			continue
+		}
+		totals[e.Proc+";"+e.Name] += int64(e.End - e.Start)
+	}
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, totals[k])
+	}
+	return b.String()
 }
 
 func fatal(err error) {

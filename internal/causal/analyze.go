@@ -1,0 +1,231 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"s3asim/internal/des"
+)
+
+// Step is one attributed span on the critical path, in walk order (i.e.
+// reverse chronological). Steps tile [0, Total) exactly: each nanosecond of
+// elapsed virtual time belongs to exactly one step.
+type Step struct {
+	Proc       string
+	Start, End des.Time
+	Cat        Category
+}
+
+// Attribution is the result of a critical-path walk: the full elapsed
+// virtual time decomposed by category, with exact conservation
+// (ByCat.Total() == Total, always).
+type Attribution struct {
+	// Total is the elapsed virtual time that was attributed.
+	Total des.Time
+	// ByCat sums the critical-path time per category.
+	ByCat Breakdown
+	// Steps is the path itself, reverse chronological, tiling [0, Total).
+	Steps []Step
+	// EndProc is the process the walk started from (the one whose recorded
+	// timeline reaches furthest).
+	EndProc string
+	// Truncated is set if the walk hit its step safety bound and dumped the
+	// remainder into CatOther. Conservation still holds.
+	Truncated bool
+}
+
+// CriticalPath walks the recorded happens-before structure backward from
+// `end` (normally the run's overall virtual time) and attributes every
+// nanosecond of [0, end) to a category.
+//
+// The walk maintains a cursor (proc, t) and repeatedly asks: what was proc
+// doing just before t? A busy interval bills its category and moves t to its
+// start. A wait resolved by a remote edge bills its category from the causing
+// event's time and jumps the cursor to the causing process. A locally
+// decomposed wait bills its segments. Gaps (time no instrumentation covered:
+// setup, scheduling slack) bill CatOther. Every step strictly decreases t, so
+// the walk terminates and the step spans tile [0, end) exactly — that is the
+// conservation invariant the tests pin.
+func (r *Recorder) CriticalPath(end des.Time) *Attribution {
+	att := &Attribution{Total: end}
+	if r == nil || end <= 0 {
+		if att.Total < 0 {
+			att.Total = 0
+		}
+		if att.Total > 0 {
+			att.ByCat[CatOther] = att.Total
+			att.Steps = []Step{{Proc: "", Start: 0, End: att.Total, Cat: CatOther}}
+		}
+		return att
+	}
+
+	// Start from the process whose recorded timeline reaches furthest;
+	// ties break lexicographically for determinism.
+	var startProc string
+	var maxEnd des.Time = -1
+	for _, name := range r.Procs() {
+		tl := r.timelines[name]
+		if n := len(tl); n > 0 {
+			if e := tl[n-1].end; e > maxEnd {
+				maxEnd, startProc = e, name
+			}
+		}
+	}
+	att.EndProc = startProc
+
+	bill := func(proc string, lo, hi des.Time, cat Category) {
+		if hi <= lo {
+			return
+		}
+		att.ByCat[cat] += hi - lo
+		// Merge with the previous step when contiguous on the same proc+cat
+		// (keeps Steps compact for long uniform stretches).
+		if n := len(att.Steps); n > 0 {
+			last := &att.Steps[n-1]
+			if last.Proc == proc && last.Cat == cat && last.Start == hi {
+				last.Start = lo
+				return
+			}
+		}
+		att.Steps = append(att.Steps, Step{Proc: proc, Start: lo, End: hi, Cat: cat})
+	}
+
+	proc, t := startProc, end
+	if startProc == "" {
+		bill("", 0, end, CatOther)
+		return att
+	}
+	// Anything after the last recorded interval is uninstrumented tail
+	// (e.g. stale resilient-protocol timers draining the calendar).
+	if maxEnd < t {
+		bill(proc, maxEnd, t, CatOther)
+		t = maxEnd
+	}
+
+	// Safety bound: each recorded interval can be visited at most once per
+	// pass through a proc, and every step strictly decreases t; 4× total
+	// intervals plus slack is far beyond any legitimate walk.
+	maxSteps := 4*r.Intervals() + 64
+	for steps := 0; t > 0; steps++ {
+		if steps >= maxSteps {
+			bill(proc, 0, t, CatOther)
+			att.Truncated = true
+			break
+		}
+		tl := r.timelines[proc]
+		// Find the last interval on this timeline starting strictly before t.
+		idx := sort.Search(len(tl), func(i int) bool { return tl[i].start >= t }) - 1
+		if idx < 0 {
+			bill(proc, 0, t, CatOther)
+			break
+		}
+		iv := tl[idx]
+		if iv.end < t {
+			// Gap between instrumented intervals.
+			bill(proc, iv.end, t, CatOther)
+			t = iv.end
+			continue
+		}
+		switch iv.kind {
+		case kindBusy, kindPlain:
+			bill(proc, iv.start, t, iv.cat)
+			t = iv.start
+		case kindEdge:
+			if iv.edgeAt < t {
+				if _, ok := r.timelines[iv.edgeProc]; ok {
+					bill(proc, iv.edgeAt, t, iv.cat)
+					proc, t = iv.edgeProc, iv.edgeAt
+					continue
+				}
+			}
+			// Degenerate edge (cause at/after t, or unknown proc): treat as
+			// a plain wait so progress is still strict.
+			bill(proc, iv.start, t, iv.cat)
+			t = iv.start
+		case kindChain:
+			for k := len(iv.chain) - 1; k >= 0 && t > iv.start; k-- {
+				seg := iv.chain[k]
+				if seg.At >= t {
+					continue
+				}
+				bill(proc, seg.At, t, seg.Cat)
+				t = seg.At
+			}
+			if t > iv.start {
+				bill(proc, iv.start, t, CatOther)
+				t = iv.start
+			}
+		}
+	}
+	return att
+}
+
+// Between sums the path attribution restricted to the window [lo, hi):
+// the per-query/per-batch sub-path view. Summing Between over a partition
+// of [0, Total) reproduces ByCat exactly.
+func (a *Attribution) Between(lo, hi des.Time) Breakdown {
+	var b Breakdown
+	if a == nil {
+		return b
+	}
+	for _, s := range a.Steps {
+		l, h := s.Start, s.End
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if h > l {
+			b[s.Cat] += h - l
+		}
+	}
+	return b
+}
+
+// Check verifies the conservation invariant and returns a descriptive error
+// if it does not hold (it always should; this guards walker regressions).
+func (a *Attribution) Check() error {
+	if a == nil {
+		return fmt.Errorf("causal: nil attribution")
+	}
+	if got := a.ByCat.Total(); got != a.Total {
+		return fmt.Errorf("causal: conservation violated: categories sum to %s, elapsed %s", got, a.Total)
+	}
+	var steps des.Time
+	for _, s := range a.Steps {
+		steps += s.End - s.Start
+	}
+	if steps != a.Total {
+		return fmt.Errorf("causal: steps tile %s, elapsed %s", steps, a.Total)
+	}
+	return nil
+}
+
+// Shares returns each category's fraction of the total (0 when Total is 0).
+func (a *Attribution) Shares() [NumCategories]float64 {
+	var out [NumCategories]float64
+	if a == nil || a.Total == 0 {
+		return out
+	}
+	for i, v := range a.ByCat {
+		out[i] = float64(v) / float64(a.Total)
+	}
+	return out
+}
+
+// String renders a one-line summary: total plus non-zero categories.
+func (a *Attribution) String() string {
+	if a == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.3fs =", a.Total.Seconds())
+	for c := Category(0); c < NumCategories; c++ {
+		if v := a.ByCat[c]; v != 0 {
+			fmt.Fprintf(&sb, " %s %.3fs", c, v.Seconds())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"s3asim/internal/causal"
+	"s3asim/internal/fault"
+)
+
+// causalConfig is tinyConfig scaled up slightly so every phase (including
+// collective rounds and multiple flush batches) actually occurs.
+func causalConfig(s Strategy, sync bool) Config {
+	cfg := tinyConfig()
+	cfg.Procs = 8
+	cfg.Workload.NumQueries = 6
+	cfg.Workload.NumFragments = 24
+	cfg.Strategy = s
+	cfg.QuerySync = sync
+	return cfg
+}
+
+// TestAttributionConservation is the property test for the conservation
+// invariant: for every strategy, with and without query-sync, with and
+// without a non-empty fault plan, the critical-path categories sum exactly
+// to the elapsed virtual time and the path steps tile [0, Overall).
+func TestAttributionConservation(t *testing.T) {
+	plans := map[string]string{
+		"":      "",
+		"fault": "crash@40ms:rank=3,restart=200ms; slow@10ms:rank=5,factor=2,for=300ms; degrade@5ms:server=1,factor=3,for=100ms",
+	}
+	for planName, spec := range plans {
+		for _, s := range Strategies {
+			for _, sync := range []bool{false, true} {
+				name := fmt.Sprintf("%s/sync=%v/%s", s, sync, planName)
+				t.Run(name, func(t *testing.T) {
+					cfg := causalConfig(s, sync)
+					if spec != "" {
+						plan, err := fault.Parse(spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg.FaultPlan = plan
+					}
+					rec := causal.NewRecorder()
+					cfg.Causal = rec
+					rep := mustRun(t, cfg)
+					att := rep.Attribution
+					if att == nil {
+						t.Fatal("no attribution despite Config.Causal")
+					}
+					if err := att.Check(); err != nil {
+						t.Fatal(err)
+					}
+					if att.Total != rep.Overall {
+						t.Fatalf("attributed %v, overall %v", att.Total, rep.Overall)
+					}
+					if att.Truncated {
+						t.Fatal("walk hit the step safety bound")
+					}
+					if att.ByCat[causal.CatCompute] == 0 {
+						t.Fatalf("no compute on the critical path: %v", att)
+					}
+					// The per-window view must partition the whole path.
+					mid := rep.Overall / 3
+					var sum causal.Breakdown
+					sum.Add(att.Between(0, mid))
+					sum.Add(att.Between(mid, rep.Overall))
+					if sum != att.ByCat {
+						t.Fatalf("Between windows do not partition the path:\n%v\nvs\n%v", sum, att.ByCat)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCausalRecorderDoesNotPerturbRun pins the tentpole's safety property:
+// attaching a recorder changes nothing observable about the simulation —
+// same event count, same overall time, same traffic.
+func TestCausalRecorderDoesNotPerturbRun(t *testing.T) {
+	for _, s := range Strategies {
+		cfg := causalConfig(s, true)
+		base := mustRun(t, cfg)
+
+		cfg = causalConfig(s, true)
+		rec := causal.NewRecorder()
+		rec.SetCaptureFlows(true)
+		cfg.Causal = rec
+		traced := mustRun(t, cfg)
+
+		if base.Overall != traced.Overall || base.Events != traced.Events ||
+			base.Messages != traced.Messages || base.NetBytes != traced.NetBytes {
+			t.Fatalf("%s: recorder perturbed the run: overall %v vs %v, events %d vs %d, msgs %d vs %d",
+				s, base.Overall, traced.Overall, base.Events, traced.Events, base.Messages, traced.Messages)
+		}
+		if len(rec.Flows()) == 0 {
+			t.Fatalf("%s: no flows captured", s)
+		}
+	}
+}
+
+// TestWWCollSyncWaitDominates mechanically confirms the paper's explanation
+// of the query-sync penalty: under WW-Coll, enabling query synchronization
+// must attribute strictly more critical-path time to collective/sync wait
+// than the unsynchronized run.
+func TestWWCollSyncWaitDominates(t *testing.T) {
+	run := func(sync bool) *causal.Attribution {
+		cfg := causalConfig(WWColl, sync)
+		cfg.Causal = causal.NewRecorder()
+		return mustRun(t, cfg).Attribution
+	}
+	noSync := run(false)
+	withSync := run(true)
+	if withSync.ByCat[causal.CatSyncWait] <= noSync.ByCat[causal.CatSyncWait] {
+		t.Fatalf("query-sync did not increase critical-path sync wait: sync=%v nosync=%v",
+			withSync.ByCat[causal.CatSyncWait], noSync.ByCat[causal.CatSyncWait])
+	}
+}
+
+// TestAttributionDeterministic pins that two identical runs produce
+// identical attributions (category sums, path steps, end proc).
+func TestAttributionDeterministic(t *testing.T) {
+	run := func() *causal.Attribution {
+		cfg := causalConfig(WWList, true)
+		cfg.Causal = causal.NewRecorder()
+		return mustRun(t, cfg).Attribution
+	}
+	a, b := run(), run()
+	if a.Total != b.Total || a.ByCat != b.ByCat || a.EndProc != b.EndProc || len(a.Steps) != len(b.Steps) {
+		t.Fatalf("attribution not deterministic:\n%v\nvs\n%v", a, b)
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("step %d differs: %+v vs %+v", i, a.Steps[i], b.Steps[i])
+		}
+	}
+}

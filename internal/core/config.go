@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/des"
 	"s3asim/internal/fault"
 	"s3asim/internal/mpi"
@@ -144,6 +145,12 @@ type Config struct {
 	// final snapshot lands in Report.Metrics. Supply a registry to
 	// accumulate across several runs or to observe values mid-run.
 	Metrics *obs.Registry
+	// Causal, if non-nil, records happens-before structure (MPI waits and
+	// message edges, barrier fan-in, PVFS request pipelines, compute and
+	// merge intervals) for critical-path attribution; the result lands in
+	// Report.Attribution. The recorder is purely passive: a run with one
+	// attached is event-for-event identical to the same run without.
+	Causal *causal.Recorder
 	// TraceIO records every file-system server request; the trace appears
 	// in Report.IOTrace for analysis (cmd/s3aiostat, pvfs.AnalyzeTrace).
 	TraceIO bool

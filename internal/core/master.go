@@ -115,7 +115,7 @@ func (rt *runtime) masterDrain(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 		if cfg.Strategy == MW {
 			newBytes += sm.ResultBytes
 		}
-		r.Proc().Sleep(cfg.mergeTime(st.mergeAcc[q], newBytes))
+		rt.mergeSleep(r, cfg.mergeTime(st.mergeAcc[q], newBytes))
 		st.mergeAcc[q] += newBytes
 		st.assigned[q][sm.Task.F] = m.Source
 		st.remaining[q]--
@@ -150,7 +150,7 @@ func (rt *runtime) masterFlush(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 			// this stall — which is why the paper finds forced
 			// synchronization nearly free under MW.
 			pt.Switch(PhaseIO)
-			r.Proc().Sleep(des.BytesOver(b.Bytes, cfg.FormatBandwidth))
+			rt.mergeSleep(r, des.BytesOver(b.Bytes, cfg.FormatBandwidth))
 			var data []byte
 			if cfg.CaptureData {
 				data = rt.batchData(b)

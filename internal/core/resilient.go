@@ -354,7 +354,7 @@ func (rt *runtime) rmHandleScore(r *mpi.Rank, m *rmasterState, msg *mpi.Message)
 	if cfg.Strategy == MW {
 		newBytes += sm.ResultBytes
 	}
-	r.Proc().Sleep(cfg.mergeTime(m.mergeAcc[q], newBytes))
+	rt.mergeSleep(r, cfg.mergeTime(m.mergeAcc[q], newBytes))
 	m.mergeAcc[q] += newBytes
 	m.assigned[q][t.F] = w
 	m.remaining[q]--
@@ -651,7 +651,7 @@ func (rt *runtime) rmFlushInitial(r *mpi.Rank, m *rmasterState, bi int) {
 	}
 	if cfg.Strategy == MW {
 		pt.Switch(PhaseIO)
-		r.Proc().Sleep(des.BytesOver(b.Bytes, cfg.FormatBandwidth))
+		rt.mergeSleep(r, des.BytesOver(b.Bytes, cfg.FormatBandwidth))
 		var data []byte
 		if cfg.CaptureData {
 			data = rt.batchData(b)

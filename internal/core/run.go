@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/des"
 	"s3asim/internal/fault"
 	"s3asim/internal/mpi"
@@ -114,6 +115,15 @@ type Report struct {
 	// (per-rank phase durations, pvfs queue waits, per-server load). Always
 	// populated; deterministic for a given config and workload.
 	Metrics obs.Snapshot
+
+	// Attribution is the run's critical-path decomposition, present only
+	// when Config.Causal was set: every nanosecond of Overall assigned to a
+	// category (Attribution.Check() verifies the conservation invariant).
+	Attribution *causal.Attribution
+	// CausalTotals aggregates all recorded intervals across every process
+	// by category (parallel work counted multiply) — the companion
+	// "where did all processes spend time" view. Zero without Config.Causal.
+	CausalTotals causal.Breakdown
 }
 
 // Run executes one S3aSim simulation and returns its report.
@@ -158,6 +168,10 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		reg = obs.NewRegistry()
 	}
 	fs.SetMetrics(reg)
+	if cfg.Causal != nil {
+		world.SetCausal(cfg.Causal)
+		fs.SetCausal(cfg.Causal)
+	}
 
 	rt := &runtime{
 		cfg:     &cfg,
@@ -297,6 +311,19 @@ func (rt *runtime) openFile(r *mpi.Rank, g *group) {
 	}
 }
 
+// mergeSleep advances r's clock by d and bills the span as
+// merge/serialization work for causal attribution (result merging on master
+// or worker, batch formatting before a write).
+func (rt *runtime) mergeSleep(r *mpi.Rank, d des.Time) {
+	if c := rt.cfg.Causal; c != nil {
+		start := rt.sim.Now()
+		r.Proc().Sleep(d)
+		c.Busy(r.Proc().Name(), causal.CatMerge, start, rt.sim.Now())
+		return
+	}
+	r.Proc().Sleep(d)
+}
+
 // totalWorkers counts worker processes across all groups.
 func (rt *runtime) totalWorkers() int {
 	n := 0
@@ -323,6 +350,10 @@ func (rt *runtime) report() (*Report, error) {
 		NetBytes:        rt.world.BytesSent(),
 		Events:          rt.sim.Events(),
 		IOTrace:         rt.fs.RequestTrace(),
+	}
+	if c := cfg.Causal; c != nil {
+		rep.Attribution = c.CriticalPath(rep.Overall)
+		rep.CausalTotals = c.Totals()
 	}
 	masters := map[int]bool{}
 	for _, g := range rt.groups {

@@ -354,7 +354,7 @@ func (rt *runtime) rwTask(r *mpi.Rank, pt *PhaseTimer, st *rworkerState, t task)
 
 	if cfg.Strategy.WorkerWriting() {
 		pt.Switch(PhaseMerge)
-		r.Proc().Sleep(cfg.mergeTime(st.mergeAcc[t.Q], bytes))
+		rt.mergeSleep(r, cfg.mergeTime(st.mergeAcc[t.Q], bytes))
 		st.mergeAcc[t.Q] += bytes
 	}
 
@@ -411,7 +411,7 @@ func (rt *runtime) rwWrite(r *mpi.Rank, pt *PhaseTimer, st *rworkerState, om off
 	}
 	if segBytes > 0 {
 		pt.Switch(PhaseIO)
-		r.Proc().Sleep(des.BytesOver(segBytes, cfg.FormatBandwidth))
+		rt.mergeSleep(r, des.BytesOver(segBytes, cfg.FormatBandwidth))
 	}
 	if cfg.Strategy == WWColl && !om.Fallback {
 		if cfg.CollMethod == romio.TwoPhase {

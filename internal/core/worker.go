@@ -141,7 +141,7 @@ func (rt *runtime) workerTask(r *mpi.Rank, pt *PhaseTimer, st *workerState, t ta
 	// Step 8: merge with previous results for this query (parallel I/O).
 	if cfg.Strategy.WorkerWriting() {
 		pt.Switch(PhaseMerge)
-		r.Proc().Sleep(cfg.mergeTime(st.mergeAcc[t.Q], bytes))
+		rt.mergeSleep(r, cfg.mergeTime(st.mergeAcc[t.Q], bytes))
 		st.mergeAcc[t.Q] += bytes
 	}
 
@@ -256,7 +256,7 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 	}
 	if segBytes > 0 {
 		pt.Switch(PhaseIO)
-		r.Proc().Sleep(des.BytesOver(segBytes, cfg.FormatBandwidth))
+		rt.mergeSleep(r, des.BytesOver(segBytes, cfg.FormatBandwidth))
 	}
 	if cfg.Strategy == WWColl {
 		// Collective write: every group worker participates, with or

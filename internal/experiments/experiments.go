@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/core"
 	"s3asim/internal/des"
 	"s3asim/internal/obs"
@@ -66,6 +67,12 @@ type Options struct {
 	// SweepResult.Metrics either way; use CellMetrics to additionally keep
 	// every run's registry (per-cell reports, custom aggregation).
 	CellMetrics func(key CellKey, rep int) *obs.Registry
+	// CellCausal, if non-nil, supplies a per-run happens-before recorder
+	// (return nil to skip a run). Runs with a recorder land their
+	// critical-path attribution in the cell (Cell.Path/PathRuns) and in the
+	// sweep's AttributionTable. Like CellSink, each run gets private state,
+	// so the sweep stays bit-identical at any Parallelism.
+	CellCausal func(key CellKey, rep int) *causal.Recorder
 }
 
 // PaperOptions returns the paper's full experiment scale.
@@ -139,6 +146,11 @@ type Cell struct {
 	// per-phase decomposition (what Figures 3/4/6/7 plot).
 	WorkerPhases [core.NumPhases]des.Time
 	MasterPhases [core.NumPhases]des.Time
+	// Path is the mean critical-path attribution over the PathRuns
+	// repetitions that ran with a causal recorder (Options.CellCausal);
+	// zero when none did.
+	Path     causal.Breakdown
+	PathRuns int
 }
 
 // SweepResult is a completed suite.
@@ -176,6 +188,15 @@ func reduceCell(key CellKey, reports []*core.Report) *Cell {
 		for p := 0; p < int(core.NumPhases); p++ {
 			cell.WorkerPhases[p] += r.WorkerAvg.Phases[p]
 			cell.MasterPhases[p] += r.Master.Phases[p]
+		}
+		if r.Attribution != nil {
+			cell.Path.Add(r.Attribution.ByCat)
+			cell.PathRuns++
+		}
+	}
+	if cell.PathRuns > 0 {
+		for i := range cell.Path {
+			cell.Path[i] /= des.Time(cell.PathRuns)
 		}
 	}
 	n := des.Time(cell.Runs)
@@ -224,6 +245,9 @@ func runMatrix(opts Options, kind string, xs []float64, setX func(*core.Config, 
 		}
 		if opts.CellMetrics != nil {
 			cfg.Metrics = opts.CellMetrics(keys[cell], rep)
+		}
+		if opts.CellCausal != nil {
+			cfg.Causal = opts.CellCausal(keys[cell], rep)
 		}
 	}
 	start := time.Now()

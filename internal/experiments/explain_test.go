@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"s3asim/internal/causal"
+	"s3asim/internal/core"
+)
+
+func quickExplainOptions() ExplainOptions {
+	return ExplainOptions{
+		Base:  QuickOptions().Base,
+		Procs: 8,
+	}
+}
+
+// TestRunExplainSmoke runs the full explain matrix at quick scale and checks
+// the headline properties: every run has a conservation-checked attribution,
+// the tables render, and WW-Coll under query-sync pays more collective/sync
+// wait than without (the paper's Figures 4/7 claim, mechanically).
+func TestRunExplainSmoke(t *testing.T) {
+	er, err := RunExplain(quickExplainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Runs) != len(core.Strategies)*2 {
+		t.Fatalf("got %d runs, want %d", len(er.Runs), len(core.Strategies)*2)
+	}
+	for _, s := range core.Strategies {
+		for _, sync := range []bool{false, true} {
+			run := er.Run(s, sync)
+			if run == nil {
+				t.Fatalf("missing run %v sync=%v", s, sync)
+			}
+			if run.Attribution.Total != run.Report.Overall {
+				t.Fatalf("%v sync=%v: attributed %v != overall %v",
+					s, sync, run.Attribution.Total, run.Report.Overall)
+			}
+			if run.Totals.Total() == 0 {
+				t.Fatalf("%v sync=%v: empty totals", s, sync)
+			}
+		}
+	}
+	if d := er.SyncWaitDelta(core.WWColl); d <= 0 {
+		t.Fatalf("WW-Coll query-sync did not add critical-path sync wait (delta %v)", d)
+	}
+	tables := er.Tables()
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	var sawDiff bool
+	for _, tb := range tables {
+		if tb.String() == "" {
+			t.Fatalf("empty rendering for %q", tb.Title)
+		}
+		if strings.Contains(tb.Title, "diff") {
+			sawDiff = true
+			if tb.NumRows() != int(causal.NumCategories)+1 {
+				t.Fatalf("diff table has %d rows", tb.NumRows())
+			}
+		}
+	}
+	if !sawDiff {
+		t.Fatal("Tables() did not include the WW-Coll vs WW-List diff")
+	}
+}
+
+// TestExplainDeterministicAcrossParallelism pins the acceptance criterion:
+// recorder-attached runs produce identical attributions whether the matrix
+// runs sequentially or fanned out.
+func TestExplainDeterministicAcrossParallelism(t *testing.T) {
+	opts := quickExplainOptions()
+	opts.Parallelism = 1
+	seq, err := RunExplain(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	par, err := RunExplain(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, a := range seq.Runs {
+		b := par.Runs[k]
+		if b == nil {
+			t.Fatalf("parallel run missing %v", k)
+		}
+		if a.Attribution.ByCat != b.Attribution.ByCat ||
+			a.Attribution.Total != b.Attribution.Total ||
+			a.Attribution.EndProc != b.Attribution.EndProc ||
+			a.Totals != b.Totals {
+			t.Fatalf("%v: attribution differs across parallelism:\n%v\nvs\n%v",
+				k, a.Attribution, b.Attribution)
+		}
+		if len(a.Attribution.Steps) != len(b.Attribution.Steps) {
+			t.Fatalf("%v: step counts differ", k)
+		}
+		for i := range a.Attribution.Steps {
+			if a.Attribution.Steps[i] != b.Attribution.Steps[i] {
+				t.Fatalf("%v: step %d differs", k, i)
+			}
+		}
+	}
+}
+
+// TestSweepCellCausal pins the Options.CellCausal path: a quick sweep with
+// per-run recorders lands mean path attributions in every cell and the
+// AttributionTable renders one row per cell, with conserved totals.
+func TestSweepCellCausal(t *testing.T) {
+	opts := QuickOptions()
+	opts.Procs = []int{2, 4}
+	opts.Parallelism = 4
+	opts.CellCausal = func(key CellKey, rep int) *causal.Recorder {
+		return causal.NewRecorder()
+	}
+	sr, err := RunProcessSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, c := range sr.Cells {
+		if c.PathRuns != 1 {
+			t.Fatalf("cell %v: PathRuns %d", c.Key, c.PathRuns)
+		}
+		// Cell.Overall round-trips through float seconds, so compare with a
+		// nanosecond of slack; the path itself is exact (see core tests).
+		if d := c.Path.Total() - c.Overall; d < -2 || d > 2 {
+			t.Fatalf("cell %v: path total %v != overall %v", c.Key, c.Path.Total(), c.Overall)
+		}
+		rows++
+	}
+	tb := sr.AttributionTable()
+	if tb.NumRows() != rows {
+		t.Fatalf("attribution table has %d rows, want %d", tb.NumRows(), rows)
+	}
+}

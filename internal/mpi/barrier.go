@@ -1,6 +1,9 @@
 package mpi
 
-import "s3asim/internal/des"
+import (
+	"s3asim/internal/causal"
+	"s3asim/internal/des"
+)
 
 // Barrier is a reusable synchronization point for a fixed group size. The
 // release cost models a tree barrier: ceil(log2(n)) network latencies after
@@ -15,6 +18,20 @@ type Barrier struct {
 	// Accounting: total arrivals and the summed wait time across members,
 	// useful when attributing synchronization cost.
 	epochs uint64
+
+	// Ring of recent epochs' last arrivers (causal recording only): waiters
+	// of generation g resolve their wait to an edge at lastArriver[g%len]
+	// when that slot still holds g. Old epochs fall off the ring, which is
+	// fine — by then no waiter of that generation is still unparked.
+	lastArriver [8]barrierEpoch
+}
+
+// barrierEpoch remembers who completed a barrier generation and when.
+type barrierEpoch struct {
+	gen  uint64
+	proc string
+	at   des.Time
+	set  bool
 }
 
 // NewBarrier creates a barrier for groups of n participants.
@@ -75,17 +92,37 @@ func (b *Barrier) releaseDelay() des.Time {
 // Arrive blocks the calling rank until all n participants of the current
 // generation have arrived, plus the modeled release delay.
 func (b *Barrier) Arrive(r *Rank) {
+	c := b.w.causal
 	gen := b.gen
 	b.arrived++
 	if b.arrived == b.n {
+		if c != nil {
+			b.lastArriver[gen%uint64(len(b.lastArriver))] =
+				barrierEpoch{gen: gen, proc: r.proc.Name(), at: b.w.sim.Now(), set: true}
+		}
 		delay := b.releaseDelay()
 		b.release()
 		// The completing rank also pays the release delay.
+		start := r.Now()
 		r.proc.Sleep(delay)
+		if c != nil {
+			c.Busy(r.proc.Name(), causal.CatSyncWait, start, r.Now())
+		}
 		return
 	}
+	start := r.Now()
 	for gen == b.gen {
 		b.cond.Wait(r.proc)
+	}
+	if c != nil && r.Now() > start {
+		// Fan-in: the wait was released by the last arriver; the walk jumps
+		// to that process at its arrival instant. An epoch released by
+		// Deregister (a dead peer's teardown) has no recorded arriver.
+		if e := b.lastArriver[gen%uint64(len(b.lastArriver))]; e.set && e.gen == gen {
+			c.WaitEdge(r.proc.Name(), start, r.Now(), causal.CatSyncWait, e.proc, e.at)
+		} else {
+			c.WaitPlain(r.proc.Name(), start, r.Now(), causal.CatSyncWait)
+		}
 	}
 }
 

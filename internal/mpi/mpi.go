@@ -22,6 +22,7 @@ package mpi
 import (
 	"fmt"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/des"
 )
 
@@ -60,6 +61,13 @@ type Message struct {
 	Tag     int
 	Bytes   int64
 	Payload any
+
+	// Causal stamps, populated only when a recorder is installed: who pushed
+	// the message into the network, when, and a world-unique flow id. They
+	// let a blocked receiver resolve its wait to the sending process.
+	sentBy string
+	sentAt des.Time
+	id     uint64
 }
 
 // node is one physical machine: a pair of directional NIC resources shared
@@ -78,11 +86,12 @@ type FaultModel interface {
 
 // World is a communicator spanning n ranks.
 type World struct {
-	sim   *des.Simulation
-	cfg   NetConfig
-	nodes []*node
-	ranks []*Rank
-	fate  FaultModel
+	sim    *des.Simulation
+	cfg    NetConfig
+	nodes  []*node
+	ranks  []*Rank
+	fate   FaultModel
+	causal *causal.Recorder
 
 	bytesSent  uint64
 	msgsSent   uint64
@@ -171,6 +180,16 @@ func (w *World) Spawn(i int, name string, body func(r *Rank)) *des.Proc {
 // Install it before any traffic flows; a nil model (the default) delivers
 // everything unchanged.
 func (w *World) SetFaultModel(fm FaultModel) { w.fate = fm }
+
+// SetCausal installs a happens-before recorder. The recorder is purely
+// passive — it consumes no virtual time and posts no events — so a run with
+// one installed is event-for-event identical to a run without. Install it
+// before any traffic flows; nil (the default) disables recording.
+func (w *World) SetCausal(c *causal.Recorder) { w.causal = c }
+
+// Causal returns the installed recorder, or nil. Layers built on top of the
+// world (ROMIO collectives) use it to bill their own work intervals.
+func (w *World) Causal() *causal.Recorder { return w.causal }
 
 // MessagesToDead reports how many messages were discarded at dead ranks.
 func (w *World) MessagesToDead() uint64 { return w.msgsToDead }

@@ -1,6 +1,11 @@
 package mpi
 
-import "s3asim/internal/des"
+import (
+	"fmt"
+
+	"s3asim/internal/causal"
+	"s3asim/internal/des"
+)
 
 // Rank is one MPI process. All of its operations must be invoked from
 // inside the des.Proc that Spawn started for it.
@@ -19,6 +24,12 @@ type Rank struct {
 
 	msgsSent  uint64 // messages this rank pushed into the network
 	bytesSent uint64 // payload bytes this rank pushed into the network
+
+	// Last message to arrive at this rank (causal recording only): lets a
+	// generic WaitEvent wake distinguish "a message arrived just now" (a
+	// transit edge to its sender) from an out-of-band or timeout wake.
+	lastMsg   *Message
+	lastMsgAt des.Time
 }
 
 type postedRecv struct {
@@ -44,7 +55,15 @@ func (r *Rank) Proc() *des.Proc { return r.proc }
 func (r *Rank) Now() des.Time { return r.w.sim.Now() }
 
 // Compute advances this rank's virtual clock by d, modeling local work.
-func (r *Rank) Compute(d des.Time) { r.proc.Sleep(d) }
+func (r *Rank) Compute(d des.Time) {
+	if c := r.w.causal; c != nil {
+		start := r.Now()
+		r.proc.Sleep(d)
+		c.Busy(r.proc.Name(), causal.CatCompute, start, r.Now())
+		return
+	}
+	r.proc.Sleep(d)
+}
 
 // Alive reports whether the rank is running (not killed by fault
 // injection). A fresh rank is alive; Kill clears it, Respawn restores it.
@@ -116,6 +135,11 @@ func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
 	w.bytesSent += uint64(bytes)
 	r.msgsSent++
 	r.bytesSent += uint64(bytes)
+	if w.causal != nil {
+		m.sentBy = r.proc.Name()
+		m.sentAt = w.sim.Now()
+		m.id = w.msgsSent
+	}
 
 	var lost bool
 	var extra des.Time
@@ -147,6 +171,10 @@ func (r *Rank) Isend(dest, tag int, bytes int64, payload any) *Request {
 					req.dropped = true
 					r.w.msgsToDead++
 				} else {
+					if c := w.causal; c != nil && c.CapturesFlows() && dstRank.proc != nil {
+						c.Flow(m.id, fmt.Sprintf("msg.%d", m.Tag), m.sentBy,
+							dstRank.proc.Name(), m.sentAt, w.sim.Now())
+					}
 					dstRank.deliver(m)
 				}
 				if !eager {
@@ -166,6 +194,9 @@ func (r *Rank) Send(dest, tag int, bytes int64, payload any) {
 // deliver runs in kernel context when a message clears the receiver NIC:
 // match the oldest satisfiable posted receive, else queue in arrival order.
 func (r *Rank) deliver(m *Message) {
+	if r.w.causal != nil {
+		r.lastMsg, r.lastMsgAt = m, r.w.sim.Now()
+	}
 	for i, pr := range r.posted {
 		if pr.matches(m) {
 			r.posted = append(r.posted[:i], r.posted[i+1:]...)
@@ -200,10 +231,33 @@ func (r *Rank) Recv(source, tag int) *Message {
 // Wait blocks this rank until the request completes, returning the matched
 // message for receives (nil for sends). Corresponds to MPI_Wait.
 func (r *Rank) Wait(q *Request) *Message {
+	start := r.Now()
 	for !q.done {
 		r.activity.Wait(r.proc)
 	}
+	if c := r.w.causal; c != nil {
+		r.recordWait(c, start, q)
+	}
 	return q.msg
+}
+
+// recordWait classifies a completed blocking wait: a received message makes
+// a transit edge back to its sender; a cancelled request is recovery
+// teardown; anything else (waiting out one's own send) is plain transit.
+func (r *Rank) recordWait(c *causal.Recorder, start des.Time, q *Request) {
+	end := r.Now()
+	if end <= start {
+		return
+	}
+	name := r.proc.Name()
+	switch {
+	case q.msg != nil && q.msg.sentBy != "":
+		c.WaitEdge(name, start, end, causal.CatTransit, q.msg.sentBy, q.msg.sentAt)
+	case q.cancelled:
+		c.WaitPlain(name, start, end, causal.CatRecovery)
+	default:
+		c.WaitPlain(name, start, end, causal.CatTransit)
+	}
 }
 
 // WaitAll blocks until every request has completed.
@@ -221,9 +275,13 @@ func (r *Rank) WaitAny(qs []*Request) int {
 	if len(qs) == 0 {
 		protoPanic("WaitAny", r.rank, "empty request set")
 	}
+	start := r.Now()
 	for {
 		for i, q := range qs {
 			if q.done {
+				if c := r.w.causal; c != nil {
+					r.recordWait(c, start, q)
+				}
 				return i
 			}
 		}
@@ -238,17 +296,29 @@ func (r *Rank) WaitAny(qs []*Request) int {
 // the deadline (the engine's resilient master uses that as its detector
 // sweep timer).
 func (r *Rank) WaitAnyUntil(qs []*Request, deadline des.Time) (int, bool) {
+	c := r.w.causal
+	start := r.Now()
+	timeout := func() (int, bool) {
+		if c != nil && r.Now() > start {
+			// Timed-out waits are the resilient protocol's detection arm.
+			c.WaitPlain(r.proc.Name(), start, r.Now(), causal.CatRecovery)
+		}
+		return -1, false
+	}
 	for {
 		for i, q := range qs {
 			if q != nil && q.done {
+				if c != nil {
+					r.recordWait(c, start, q)
+				}
 				return i, true
 			}
 		}
 		if r.Now() >= deadline {
-			return -1, false
+			return timeout()
 		}
 		if !r.activity.WaitUntil(r.proc, deadline) {
-			return -1, false
+			return timeout()
 		}
 	}
 }
@@ -256,12 +326,49 @@ func (r *Rank) WaitAnyUntil(qs []*Request, deadline des.Time) (int, bool) {
 // WaitEvent parks the rank until any of its requests completes (or the
 // rank is woken out-of-band via World.WakeRank). Callers re-check their
 // predicates in a loop, like Signal.Wait.
-func (r *Rank) WaitEvent() { r.activity.Wait(r.proc) }
+func (r *Rank) WaitEvent() {
+	c := r.w.causal
+	if c == nil {
+		r.activity.Wait(r.proc)
+		return
+	}
+	start := r.Now()
+	r.activity.Wait(r.proc)
+	r.recordEventWake(c, start)
+}
 
 // WaitEventUntil is WaitEvent with an absolute deadline; it reports false
 // on timeout.
 func (r *Rank) WaitEventUntil(deadline des.Time) bool {
-	return r.activity.WaitUntil(r.proc, deadline)
+	c := r.w.causal
+	if c == nil {
+		return r.activity.WaitUntil(r.proc, deadline)
+	}
+	start := r.Now()
+	ok := r.activity.WaitUntil(r.proc, deadline)
+	if ok {
+		r.recordEventWake(c, start)
+	} else if end := r.Now(); end > start {
+		c.WaitPlain(r.proc.Name(), start, end, causal.CatRecovery)
+	}
+	return ok
+}
+
+// recordEventWake classifies a generic event-wait wake: if a message arrived
+// at this very instant, credit a transit edge to its sender; otherwise the
+// park belongs to the resilient protocol's idle/recovery machinery (the only
+// user of WaitEvent).
+func (r *Rank) recordEventWake(c *causal.Recorder, start des.Time) {
+	end := r.Now()
+	if end <= start {
+		return
+	}
+	name := r.proc.Name()
+	if r.lastMsg != nil && r.lastMsgAt == end && r.lastMsg.sentBy != "" {
+		c.WaitEdge(name, start, end, causal.CatTransit, r.lastMsg.sentBy, r.lastMsg.sentAt)
+		return
+	}
+	c.WaitPlain(name, start, end, causal.CatRecovery)
 }
 
 // Cancel retires a posted receive that has not matched yet: the request

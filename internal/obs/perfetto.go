@@ -30,6 +30,8 @@ type chromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    *uint64        `json:"id,omitempty"` // flow events: pairing id
+	BP    string         `json:"bp,omitempty"` // flow finish binding point
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -68,6 +70,22 @@ func PerfettoEvents(events []trace.Event) []chromeEvent {
 	}
 	for _, e := range events {
 		ts := e.Start.Micros()
+		if e.Flow != "" {
+			// Message arrows: a "s" event on the sender thread at send time
+			// paired (by id) with a "f" event on the receiver at arrival.
+			// bp:"e" binds the finish to the enclosing slice so the arrow
+			// lands on the receiver's active state.
+			id := e.FlowID
+			ev := chromeEvent{
+				Name: e.Name, Cat: "flow", Ph: e.Flow, Ts: ts,
+				Pid: 0, Tid: tid[e.Proc], ID: &id,
+			}
+			if e.Flow == trace.FlowFinish {
+				ev.BP = "e"
+			}
+			out = append(out, ev)
+			continue
+		}
 		if e.Point {
 			out = append(out, chromeEvent{
 				Name: e.Name, Cat: "marker", Ph: "i", Ts: ts,

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+// flowEvents is the flow-event fixture: two processes exchanging two
+// messages, with phase slices for the arrows to bind to.
+func flowEvents() []trace.Event {
+	tr := trace.New()
+	tr.BeginState("master0", "Gather Results", 0)
+	tr.EndState("master0", 3*des.Second)
+	tr.BeginState("worker1", "Compute", 0)
+	tr.EndState("worker1", 3*des.Second)
+	evs := tr.Events()
+	evs = append(evs,
+		trace.Event{Proc: "worker1", Name: "msg.2", Start: des.Second, End: des.Second,
+			Point: true, Flow: trace.FlowStart, FlowID: 7},
+		trace.Event{Proc: "master0", Name: "msg.2", Start: 1200 * des.Millisecond, End: 1200 * des.Millisecond,
+			Point: true, Flow: trace.FlowFinish, FlowID: 7},
+		trace.Event{Proc: "master0", Name: "msg.3", Start: 2 * des.Second, End: 2 * des.Second,
+			Point: true, Flow: trace.FlowStart, FlowID: 8},
+		trace.Event{Proc: "worker1", Name: "msg.3", Start: 2100 * des.Millisecond, End: 2100 * des.Millisecond,
+			Point: true, Flow: trace.FlowFinish, FlowID: 8},
+	)
+	return evs
+}
+
+func TestWritePerfettoFlowGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, flowEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_flow_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("perfetto flow output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestPerfettoFlowSchema checks the flow-event contract: every "s" has "f"
+// with the same id and no earlier timestamp, finishes bind to the enclosing
+// slice (bp:"e"), and ids are unique per arrow.
+func TestPerfettoFlowSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, flowEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	type end struct {
+		ts   float64
+		seen bool
+	}
+	starts := map[float64]end{}
+	finishes := map[float64]end{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph != "s" && ph != "f" {
+			continue
+		}
+		if ev["cat"] != "flow" {
+			t.Fatalf("flow event should carry cat=flow: %v", ev)
+		}
+		id, ok := ev["id"].(float64)
+		if !ok {
+			t.Fatalf("flow event without id: %v", ev)
+		}
+		ts := ev["ts"].(float64)
+		if ph == "s" {
+			if starts[id].seen {
+				t.Fatalf("duplicate flow start id %v", id)
+			}
+			starts[id] = end{ts: ts, seen: true}
+		} else {
+			if ev["bp"] != "e" {
+				t.Fatalf("flow finish must bind to enclosing slice: %v", ev)
+			}
+			if finishes[id].seen {
+				t.Fatalf("duplicate flow finish id %v", id)
+			}
+			finishes[id] = end{ts: ts, seen: true}
+		}
+	}
+	if len(starts) == 0 {
+		t.Fatal("fixture produced no flow events")
+	}
+	if len(starts) != len(finishes) {
+		t.Fatalf("unpaired flows: %d starts, %d finishes", len(starts), len(finishes))
+	}
+	for id, s := range starts {
+		f, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow %v has no finish", id)
+		}
+		if f.ts < s.ts {
+			t.Fatalf("flow %v arrives before it is sent: %g < %g", id, f.ts, s.ts)
+		}
+	}
+}
+
+// TestFlowEventsRoundTripJSONL pins that flow events survive the JSONL
+// trace format unchanged, so spooled traces can be re-exported with arrows.
+func TestFlowEventsRoundTripJSONL(t *testing.T) {
+	evs := flowEvents()
+	var buf bytes.Buffer
+	tr := trace.New()
+	_ = tr
+	enc := json.NewEncoder(&buf)
+	for _, e := range evs {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d drifted: %+v vs %+v", i, got[i], evs[i])
+		}
+	}
+}

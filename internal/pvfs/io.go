@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/des"
 )
 
@@ -62,7 +63,18 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 	fs := f.fs
 	cfg := fs.cfg
 	sim := fs.sim
+	issueStart := sim.Now()
 	p.Sleep(cfg.IssueOverhead + des.Time(len(reqs))*cfg.PerServerIssue)
+	if c := fs.causal; c != nil {
+		// Request marshaling is part of delivering I/O service.
+		c.Busy(p.Name(), causal.CatIOService, issueStart, sim.Now())
+	}
+	// For causal recording, remember the request whose ack landed last: the
+	// client's wait below is decomposed along that request's pipeline.
+	var last struct {
+		ok                      bool
+		at, submit, start, done des.Time
+	}
 	gate := sim.NewGate(len(reqs))
 	for _, r := range reqs {
 		r := r
@@ -93,7 +105,8 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 					}
 				}
 				serveLocked(sim, locks, srv.res, cost, cfg.LockAcquireCost, func() {
-					doneAt := srv.res.Submit(cost, func() {
+					var doneAt des.Time
+					doneAt = srv.res.Submit(cost, func() {
 						if r.kind == opWrite {
 							srv.dirty += r.bytes
 							srv.written += r.bytes
@@ -111,7 +124,15 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 							if r.kind == opRead {
 								back += des.BytesOver(r.bytes, port.Bandwidth)
 							}
-							port.Recv.Submit(back, func() { gate.Done() })
+							port.Recv.Submit(back, func() {
+								if fs.causal != nil {
+									if now := sim.Now(); !last.ok || now >= last.at {
+										last.ok, last.at = true, now
+										last.submit, last.start, last.done = submitAt, doneAt-cost, doneAt
+									}
+								}
+								gate.Done()
+							})
 						})
 					})
 					if fs.traceOn {
@@ -130,7 +151,22 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 			})
 		})
 	}
+	waitStart := sim.Now()
 	gate.Wait(p)
+	if c := fs.causal; c != nil && sim.Now() > waitStart {
+		if last.ok {
+			// The wait ended when the slowest request's ack cleared the
+			// client NIC; bill its pipeline stages.
+			c.WaitChain(p.Name(), waitStart, sim.Now(), []causal.Segment{
+				{At: waitStart, Cat: causal.CatTransit},
+				{At: last.submit, Cat: causal.CatIOQueue},
+				{At: last.start, Cat: causal.CatIOService},
+				{At: last.done, Cat: causal.CatTransit},
+			})
+		} else {
+			c.WaitPlain(p.Name(), waitStart, sim.Now(), causal.CatTransit)
+		}
+	}
 }
 
 // Write performs a contiguous write of n bytes at off. data may be nil

@@ -3,6 +3,7 @@ package pvfs
 import (
 	"fmt"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/des"
 	"s3asim/internal/obs"
 )
@@ -104,6 +105,7 @@ type FileSystem struct {
 	trace   []RequestRecord
 	metrics *obs.Registry
 	faults  ServerFaults
+	causal  *causal.Recorder
 }
 
 // ServerFaults scales per-server request service time — the fault layer's
@@ -165,6 +167,11 @@ func (fs *FileSystem) ScheduleOutage(server int, at, dur des.Time) {
 // histograms (queue wait, service time, request size). Requests complete in
 // deterministic DES order, so the resulting snapshot is deterministic too.
 func (fs *FileSystem) SetMetrics(r *obs.Registry) { fs.metrics = r }
+
+// SetCausal attaches a happens-before recorder: every client wait inside
+// issue() is decomposed into transit → io-queue → io-service → transit along
+// the request that finished last. Purely passive; nil disables recording.
+func (fs *FileSystem) SetCausal(c *causal.Recorder) { fs.causal = c }
 
 // recordRequest streams one completed server request into the registry.
 func (fs *FileSystem) recordRequest(kind string, bytes int64, wait, service des.Time) {

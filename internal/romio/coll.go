@@ -3,6 +3,7 @@ package romio
 import (
 	"sort"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/des"
 	"s3asim/internal/mpi"
 	"s3asim/internal/pvfs"
@@ -145,7 +146,12 @@ func (g *Group) WriteAll(r *mpi.Rank, segs []pvfs.Segment) {
 			for _, rsegs := range round.segs {
 				totalSegs += len(rsegs)
 			}
+			planStart := r.Now()
 			r.Proc().Sleep(des.Time(totalSegs) * perSeg)
+			if c := r.World().Causal(); c != nil {
+				// Flattening the union pattern is I/O software overhead.
+				c.Busy(r.Proc().Name(), causal.CatIOService, planStart, r.Now())
+			}
 			// Phase 2: redistribute to aggregators and write the domains.
 			g.exchangeAndWrite(r, plan, round.id)
 		}

@@ -16,14 +16,28 @@ import (
 )
 
 // Event is one interval of a process timeline ("state", as MPE calls it) or
-// an instantaneous marker.
+// an instantaneous marker. Flow events (message arrows for the Perfetto
+// exporter) are point events carrying a Flow phase plus a pairing FlowID;
+// they render as arrows in Perfetto and are skipped by the text renderers
+// like any other point.
 type Event struct {
 	Proc  string   `json:"proc"`
 	Name  string   `json:"name"`
 	Start des.Time `json:"start"`
 	End   des.Time `json:"end"` // == Start for point events
 	Point bool     `json:"point,omitempty"`
+	// Flow marks this event as one end of a message arrow: FlowStart on the
+	// sending process at send time, FlowFinish on the receiver at arrival.
+	// Events sharing a FlowID form one arrow.
+	Flow   string `json:"flow,omitempty"`
+	FlowID uint64 `json:"flow_id,omitempty"`
 }
+
+// Flow phases, matching the Chrome trace-event "ph" values for flow events.
+const (
+	FlowStart  = "s"
+	FlowFinish = "f"
+)
 
 // Tracer collects events. It is designed for the single-threaded DES
 // kernel: no locking, deterministic order.

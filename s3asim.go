@@ -36,6 +36,7 @@ package s3asim
 import (
 	"io"
 
+	"s3asim/internal/causal"
 	"s3asim/internal/core"
 	"s3asim/internal/des"
 	"s3asim/internal/experiments"
@@ -361,3 +362,51 @@ func TraceGantt(events []TraceEvent, width int) string { return trace.Gantt(even
 // WritePerfetto exports timeline events as Chrome trace-event JSON, loadable
 // in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WritePerfetto(w io.Writer, events []TraceEvent) error { return obs.WritePerfetto(w, events) }
+
+// Causal-tracing layer (internal/causal, DESIGN.md §10): a CausalRecorder
+// passively records happens-before structure alongside a run (Config.Causal,
+// Options.CellCausal); the Report then carries an Attribution — the run's
+// critical path with every virtual nanosecond attributed to a Category, under
+// an exact conservation invariant (categories sum to the overall time).
+type (
+	CausalRecorder = causal.Recorder
+	Attribution    = causal.Attribution
+	Breakdown      = causal.Breakdown
+	Category       = causal.Category
+)
+
+// The attribution categories.
+const (
+	CatCompute   = causal.CatCompute
+	CatMerge     = causal.CatMerge
+	CatIOQueue   = causal.CatIOQueue
+	CatIOService = causal.CatIOService
+	CatTransit   = causal.CatTransit
+	CatSyncWait  = causal.CatSyncWait
+	CatRecovery  = causal.CatRecovery
+	CatOther     = causal.CatOther
+)
+
+// NumCategories is the number of attribution categories.
+const NumCategories = causal.NumCategories
+
+// CategoryNames returns the stable attribution table headers.
+func CategoryNames() []string { return causal.CategoryNames() }
+
+// NewCausalRecorder returns an empty happens-before recorder.
+func NewCausalRecorder() *CausalRecorder { return causal.NewRecorder() }
+
+// Explain harness: the strategy × {no-sync, sync} matrix at one process
+// count, every run causally traced and critical-path attributed — the data
+// behind `s3abench -explain` and `s3asim -explain`.
+type (
+	ExplainOptions = experiments.ExplainOptions
+	ExplainResult  = experiments.ExplainResult
+	ExplainRun     = experiments.ExplainRun
+)
+
+// RunExplain runs the explain matrix; every attribution returned is
+// conservation-checked.
+func RunExplain(opts ExplainOptions) (*ExplainResult, error) {
+	return experiments.RunExplain(opts)
+}
