@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test short race fuzz vet bench bench-quick bench-diff check
+.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-diff check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ bench:
 
 bench-quick:
 	S3ASIM_BENCH_SCALE=quick $(GO) test -bench=. -benchmem -benchtime=1x
+
+# Kernel fast-path micro-benchmarks (DESIGN.md §11): calendar throughput,
+# process switches, Signal wake/broadcast, timed-wait re-arm, and the MPI
+# layer riding on them. The steady-state paths must stay 0 allocs/op.
+bench-kernel:
+	$(GO) test -bench=. -benchmem -benchtime=1s ./internal/des/ ./internal/mpi/
 
 # Quick full-suite run compared against the committed baseline record
 # (execution performance only; virtual-time results are deterministic).

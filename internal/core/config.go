@@ -155,6 +155,15 @@ type Config struct {
 	// in Report.IOTrace for analysis (cmd/s3aiostat, pvfs.AnalyzeTrace).
 	TraceIO bool
 
+	// Sim, if non-nil, is the simulation kernel to run on: it is Reset()
+	// before use, so its calendar storage and process/waiter pools carry
+	// over from earlier runs. Sweeps reuse one kernel per executor slot this
+	// way instead of reallocating per cell; a reset kernel is observably
+	// identical to a fresh one, so results do not depend on whether (or
+	// which) kernel is supplied. When nil the run builds its own. The caller
+	// must not share one kernel across concurrent runs.
+	Sim *des.Simulation
+
 	// FaultPlan, when non-empty, injects the scheduled faults (see
 	// internal/fault) and switches the engine to the resilient master/worker
 	// protocol of DESIGN.md §9. A nil or empty plan with Resilient unset

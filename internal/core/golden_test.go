@@ -1,0 +1,165 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/fault"
+	"s3asim/internal/stats"
+)
+
+// This file pins the kernel fast path's strongest invariant: the virtual-time
+// behavior of the engine — every phase duration, message count, flush time,
+// and file-system counter — must be byte-identical before and after the
+// internal/des tagged-event/parker rewrite. The hashes below were captured
+// from the pre-rewrite (closure-event, two-rendezvous) kernel and must never
+// change; any drift means the kernel reordered or retimed real work.
+//
+// Simulation.Events() is pinned separately because the rewrite changes the
+// calendar-entry count deterministically without changing behavior:
+// Signal.Broadcast now wakes its whole FIFO in ONE tagged calendar event
+// (the old kernel queued one closure event per waiter), and a WaitUntil
+// re-armed at an identical deadline revives its tombstoned timer instead of
+// queueing another. Both transformations preserve the wake order and the
+// virtual times exactly — hence same hashes — while executing fewer calendar
+// entries.
+
+// goldenConfig is the mid-scale configuration the golden hashes were
+// captured with: big enough to exercise batching, contention, barriers, and
+// collective I/O, small enough to run all eight cells in a few seconds.
+func goldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Procs = 12
+	cfg.Workload.NumQueries = 10
+	cfg.Workload.NumFragments = 24
+	cfg.Workload.QueryHist = stats.Uniform(200, 2000)
+	cfg.Workload.DBSeqHist = stats.Uniform(200, 20000)
+	cfg.Workload.MinResults = 100
+	cfg.Workload.MaxResults = 200
+	cfg.Workload.MinResultSize = 256
+	cfg.Workload.Seed = 42
+	return cfg
+}
+
+// goldenFaultPlan injects a crash-with-restart, a straggler window, and
+// probabilistic message drops — the resilient protocol's full surface,
+// including the WaitUntil/lease-timeout machinery the timer tombstoning
+// changed.
+func goldenFaultPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed: 7,
+		Events: []fault.Event{
+			{Kind: fault.Crash, At: 20 * des.Millisecond, Rank: 5, Server: -1,
+				Restart: 60 * des.Millisecond},
+			{Kind: fault.Slow, At: 0, For: 200 * des.Millisecond, Rank: 3,
+				Server: -1, Factor: 1.5},
+			{Kind: fault.Drop, At: 0, For: 100 * des.Millisecond, Rank: -1,
+				Server: -1, Prob: 0.2},
+		},
+	}
+}
+
+// fingerprint renders every virtual-time observable of a report into a
+// stable string and hashes it. Simulation.Events() is deliberately excluded
+// (see the file comment); everything else a run can observe is in.
+func fingerprint(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "overall=%d\n", rep.Overall)
+	pb := func(tag string, p ProcBreakdown) {
+		fmt.Fprintf(&b, "%s rank=%d total=%d phases=%v\n", tag, p.Rank, p.Total, p.Phases)
+	}
+	for _, m := range rep.Masters {
+		pb("master", m)
+	}
+	for _, w := range rep.Workers {
+		pb("worker", w)
+	}
+	fmt.Fprintf(&b, "msgs=%d bytes=%d\n", rep.Messages, rep.NetBytes)
+	fmt.Fprintf(&b, "coverage=%d overlap=%d out=%d\n",
+		rep.FileCoverage, rep.OverlappedBytes, rep.OutputBytes)
+	fmt.Fprintf(&b, "flush=%v\n", rep.BatchFlushTimes)
+	fmt.Fprintf(&b, "fs req=%d segs=%d bytes=%d syncs=%d busy=%d\n",
+		rep.FS.TotalRequests, rep.FS.TotalSegments, rep.FS.TotalBytes,
+		rep.FS.TotalSyncs, rep.FS.TotalBusy)
+	for i, s := range rep.FS.Servers {
+		fmt.Fprintf(&b, "srv%d req=%d segs=%d bytes=%d busy=%d qw=%d\n",
+			i, s.Requests, s.Segments, s.BytesWritten, s.Busy, s.QueueWait)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(b.String())))
+}
+
+// goldenCase is one pinned run: the virtual-time fingerprint is from the
+// pre-rewrite kernel; events is the calendar-entry count of the CURRENT
+// kernel (pinned so count changes are always deliberate), with the
+// pre-rewrite count kept alongside to document the delta.
+type goldenCase struct {
+	strategy  Strategy
+	sync      bool
+	faulted   bool
+	hash      string
+	events    uint64 // current kernel (batched broadcast, revived timers)
+	oldEvents uint64 // pre-rewrite kernel (one event per broadcast waiter)
+}
+
+var goldenCases = []goldenCase{
+	{strategy: MW, sync: false,
+		hash:   "2bfb32678e085d125c04285047832c2c9b0f445fe7e6aeb9a0897d880f26f04a",
+		events: 5629, oldEvents: 5639},
+	{strategy: MW, sync: true,
+		hash:   "e25ec2d7228e0e445e6a1cbce579eb3299129ee435f619c8759bc271be154737",
+		events: 6200, oldEvents: 6300},
+	{strategy: WWPosix, sync: false,
+		hash:   "957a5b7b42d5b69b6bfbe08f438614d99eb4f030d6cd8c46ca11caca27dc89f3",
+		events: 26406, oldEvents: 26416},
+	{strategy: WWPosix, sync: true,
+		hash:   "410f9de04efe10270aba7c9f86c8b559cf9c1ebb775ce72d5a1d6d270984b7c1",
+		events: 26401, oldEvents: 26501},
+	{strategy: WWList, sync: false,
+		hash:   "6a96f1755ebb098595097948df8b5730d75caac632c75956ad43256056993ddf",
+		events: 20086, oldEvents: 20096},
+	{strategy: WWList, sync: true,
+		hash:   "0fc6eedc777656b68774f857cdfcbdc03fe1e462df54ae6411206efef1e08e32",
+		events: 19897, oldEvents: 19997},
+	{strategy: WWColl, sync: false,
+		hash:   "1c072fd527ced4dc6f8b5573f3e0d8cb1483e469f26e8c6bb3455acd5d909279",
+		events: 21307, oldEvents: 21587},
+	{strategy: WWColl, sync: true,
+		hash:   "65bffb1170410c59c6a99b314e5ffb2d87d99dbaa5ab8b4271778d5963e100f4",
+		events: 21305, oldEvents: 21675},
+	{strategy: WWList, sync: false, faulted: true,
+		hash:   "9813d53a3456195aca4f103bcd4204e48fe4006a3e642b7a3333948adb4c394f",
+		events: 20672, oldEvents: 22014},
+}
+
+// TestKernelGoldenBehavior runs the mid-scale matrix (all four strategies ×
+// both sync modes, plus one faulted resilient run) and checks every
+// virtual-time observable against the pre-rewrite kernel, plus the pinned
+// calendar-entry counts.
+func TestKernelGoldenBehavior(t *testing.T) {
+	for _, gc := range goldenCases {
+		name := fmt.Sprintf("%s_sync=%v_faulted=%v", gc.strategy, gc.sync, gc.faulted)
+		t.Run(name, func(t *testing.T) {
+			cfg := goldenConfig()
+			cfg.Strategy = gc.strategy
+			cfg.QuerySync = gc.sync
+			if gc.faulted {
+				cfg.FaultPlan = goldenFaultPlan()
+			}
+			rep := mustRun(t, cfg)
+			got := fingerprint(rep)
+			if got != gc.hash {
+				t.Errorf("virtual-time fingerprint drifted:\n got %s\nwant %s", got, gc.hash)
+			}
+			if gc.events == 0 {
+				t.Fatalf("calendar event count not yet pinned; capture events: %d", rep.Events)
+			}
+			if rep.Events != gc.events {
+				t.Errorf("calendar events = %d, pinned %d (pre-rewrite kernel: %d)",
+					rep.Events, gc.events, gc.oldEvents)
+			}
+		})
+	}
+}

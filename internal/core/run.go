@@ -157,7 +157,11 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		return nil, fmt.Errorf("core: supplied workload was generated from a different spec (%s vs %s)",
 			wl.Spec.Key(), cfg.Workload.Key())
 	}
-	sim := des.New()
+	sim := cfg.Sim
+	if sim == nil {
+		sim = des.New()
+	}
+	sim.Reset()
 	world := mpi.NewWorld(sim, cfg.Procs, cfg.Net)
 	fs := pvfs.New(sim, cfg.FS)
 	if cfg.TraceIO {

@@ -1,38 +1,48 @@
 package des
 
+import "unsafe"
+
 // Proc is a simulated process: a goroutine scheduled cooperatively by the
 // kernel. Exactly one Proc (or the kernel) runs at a time; a Proc gives up
 // control only by blocking in Sleep, Signal.Wait, Gate.Wait, or
 // Resource.Use, so code inside a Proc body needs no locking.
 type Proc struct {
-	sim         *Simulation
-	name        string
-	id          int
-	resume      chan struct{}
+	sim    *Simulation
+	name   string
+	id     int
+	resume chan struct{} // single-slot parker this process blocks on
+	body   func(p *Proc) // pending body between Spawn and the evStart event
+
+	// timer caches this process's most recent timed waiter so a WaitUntil
+	// re-armed at the same deadline on the same signal can revive the
+	// already-queued evTimer entry instead of pushing another (see
+	// Signal.WaitUntil). Non-nil only while that entry is still queued.
+	timer *waiter
+
 	done        bool
 	blockReason string
 }
 
 // Spawn creates a process that starts executing body at the current virtual
 // time (after already-queued events at this time). The body runs to
-// completion unless the simulation deadlocks or is abandoned.
+// completion unless the simulation deadlocks or is abandoned. Finished
+// processes recycled by Reset are reused here, parker channel and all.
 func (s *Simulation) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{
-		sim:    s,
-		name:   name,
-		id:     len(s.procs),
-		resume: make(chan struct{}),
+	var p *Proc
+	if n := len(s.procPool); n > 0 {
+		p = s.procPool[n-1]
+		s.procPool = s.procPool[:n-1]
+		p.timer = nil
+		p.done = false
+		p.blockReason = ""
+	} else {
+		p = &Proc{sim: s, resume: make(chan struct{}, 1)}
 	}
+	p.name = name
+	p.id = len(s.procs)
+	p.body = body
 	s.procs = append(s.procs, p)
-	s.At(s.now, func() {
-		go func() {
-			<-p.resume
-			body(p)
-			p.done = true
-			s.yielded <- struct{}{}
-		}()
-		s.transferTo(p)
-	})
+	s.push(s.now, evStart, unsafe.Pointer(p))
 	return p
 }
 
@@ -67,7 +77,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	s := p.sim
-	s.At(s.now+d, func() { s.transferTo(p) })
+	s.push(s.now+d, evResume, unsafe.Pointer(p))
 	p.park("sleeping")
 }
 
@@ -79,90 +89,157 @@ func (p *Proc) Sleep(d Time) {
 //	}
 //
 // Wakeups are edge-triggered; a Broadcast with no waiters is a no-op.
+// The wait list is an intrusive FIFO of pooled waiter entries, so the
+// steady-state Wait/Signal/Broadcast cycle allocates nothing.
 type Signal struct {
-	sim     *Simulation
-	waiters []*waiter
+	sim  *Simulation
+	head *waiter
+	tail *waiter
+	n    int
 }
 
-// waiter is one parked process's entry on a signal's wait list. The out
-// flag records that the entry has been removed (woken or timed out), so a
-// stale WaitUntil timer firing later is a no-op.
+// waiter is one parked process's entry on a signal's wait list.
+//
+// Ownership protocol: a waiter may be referenced by up to two calendar
+// entries at once — a wake (evWake or an evBroadcast chain link, tracked by
+// queued) and a deadline (evTimer, tracked by timer). Whichever event
+// clears its own flag last returns the waiter to the pool; until both flags
+// are down the waiter must not be recycled, or a still-queued entry would
+// dangle. The out flag records that the entry has left the wait list
+// (woken or timed out), making a later deadline pop a tombstone.
 type waiter struct {
 	p        *Proc
+	sig      *Signal
+	next     *waiter
+	deadline Time
 	out      bool
 	timedOut bool
+	timer    bool // a queued evTimer entry references this waiter
+	queued   bool // a queued evWake/evBroadcast entry references this waiter
 }
 
 // NewSignal returns a condition signal bound to this simulation.
 func (s *Simulation) NewSignal() *Signal { return &Signal{sim: s} }
 
+// enqueue appends w to the FIFO wait list.
+func (sig *Signal) enqueue(w *waiter) {
+	w.sig = sig
+	w.next = nil
+	if sig.tail == nil {
+		sig.head = w
+	} else {
+		sig.tail.next = w
+	}
+	sig.tail = w
+	sig.n++
+}
+
+// unlink removes w from the wait list (deadline expiry path).
+func (sig *Signal) unlink(w *waiter) {
+	var prev *waiter
+	for x := sig.head; x != nil; x = x.next {
+		if x == w {
+			if prev == nil {
+				sig.head = x.next
+			} else {
+				prev.next = x.next
+			}
+			if sig.tail == x {
+				sig.tail = prev
+			}
+			x.next = nil
+			sig.n--
+			return
+		}
+		prev = x
+	}
+}
+
 // Wait parks p until the next Signal or Broadcast. Spurious wakeups do not
 // occur, but the guarded predicate may have changed again by the time p
 // runs, so callers should re-check in a loop.
 func (sig *Signal) Wait(p *Proc) {
-	sig.waiters = append(sig.waiters, &waiter{p: p})
+	sig.enqueue(p.sim.getWaiter(p))
 	p.park("waiting on signal")
 }
 
 // WaitUntil parks p until the next Signal/Broadcast or until the absolute
 // virtual time deadline, whichever comes first. It reports true if p was
 // woken by the signal, false on timeout. A deadline at or before the
-// present returns false without parking. The internal timer event remains
-// queued (as a no-op) after a signal wakeup; callers that schedule many
-// timed waits should derive end-of-run times from process completions, not
-// from the calendar draining.
+// present returns false without parking.
+//
+// A signal wakeup leaves the deadline entry queued as a tombstone, but the
+// calendar cannot grow under the re-arm pattern of predicate loops (wake by
+// signal, re-check, wait again with the same deadline): re-arming while the
+// tombstone is still queued revives it in place instead of pushing a new
+// entry, and a tombstone that does reach its deadline is skipped and
+// reclaimed.
 func (sig *Signal) WaitUntil(p *Proc, deadline Time) bool {
 	s := sig.sim
 	if deadline <= s.now {
 		return false
 	}
-	w := &waiter{p: p}
-	sig.waiters = append(sig.waiters, w)
-	s.At(deadline, func() {
-		if w.out {
-			return
-		}
-		w.out = true
-		w.timedOut = true
-		for i, x := range sig.waiters {
-			if x == w {
-				sig.waiters = append(sig.waiters[:i], sig.waiters[i+1:]...)
-				break
-			}
-		}
-		s.transferTo(w.p)
-	})
+	w := p.timer
+	if w != nil && w.timer && w.out && !w.queued && w.sig == sig && w.deadline == deadline {
+		// Revive the tombstoned timer from this process's previous timed
+		// wait: same signal, same deadline, entry still queued.
+		w.out = false
+		w.timedOut = false
+	} else {
+		w = s.getWaiter(p)
+		w.deadline = deadline
+		w.timer = true
+		p.timer = w
+		s.push(deadline, evTimer, unsafe.Pointer(w))
+	}
+	sig.enqueue(w)
 	p.park("waiting on signal (timed)")
-	return !w.timedOut
+	if w.timedOut {
+		// The deadline entry fired and is consumed; the kernel already
+		// unlinked the waiter and cleared p.timer.
+		s.putWaiter(w)
+		return false
+	}
+	return true
 }
 
 // Broadcast wakes every current waiter at the present virtual time, in FIFO
-// order. Processes that start waiting after the call are not woken.
+// order. Processes that start waiting after the call are not woken. The
+// whole chain is scheduled as one calendar event; because the per-waiter
+// events the old kernel queued held consecutive sequence numbers, resuming
+// the chain within a single event preserves execution order exactly.
 func (sig *Signal) Broadcast() {
-	waiters := sig.waiters
-	sig.waiters = nil
-	s := sig.sim
-	for _, w := range waiters {
-		w := w
-		w.out = true
-		s.At(s.now, func() { s.transferTo(w.p) })
+	head := sig.head
+	if head == nil {
+		return
 	}
+	for w := head; w != nil; w = w.next {
+		w.out = true
+		w.queued = true
+	}
+	sig.head, sig.tail, sig.n = nil, nil, 0
+	sig.sim.push(sig.sim.now, evBroadcast, unsafe.Pointer(head))
 }
 
 // Signal wakes the longest-waiting process, if any.
 func (sig *Signal) Signal() {
-	if len(sig.waiters) == 0 {
+	w := sig.head
+	if w == nil {
 		return
 	}
-	w := sig.waiters[0]
-	sig.waiters = sig.waiters[1:]
+	sig.head = w.next
+	if sig.head == nil {
+		sig.tail = nil
+	}
+	sig.n--
+	w.next = nil
 	w.out = true
-	s := sig.sim
-	s.At(s.now, func() { s.transferTo(w.p) })
+	w.queued = true
+	sig.sim.push(sig.sim.now, evWake, unsafe.Pointer(w))
 }
 
 // Waiters reports how many processes are currently parked on the signal.
-func (sig *Signal) Waiters() int { return len(sig.waiters) }
+func (sig *Signal) Waiters() int { return sig.n }
 
 // Gate is a join counter (a WaitGroup for simulated processes): Add
 // registers pending work, Done retires it, and Wait blocks until the count

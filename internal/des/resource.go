@@ -1,5 +1,7 @@
 package des
 
+import "unsafe"
+
 // Resource is a FCFS service station with a fixed number of identical
 // servers (capacity). It models contended hardware: a NIC, a disk, a file
 // server's request processor. Service is non-preemptive: a request entering
@@ -16,9 +18,10 @@ package des
 // completion times can be computed immediately and the queue never needs to
 // be materialized; per-slot free times are sufficient.
 type Resource struct {
-	sim    *Simulation
-	name   string
-	freeAt []Time // per-slot earliest availability
+	sim       *Simulation
+	name      string
+	useReason string // "using <name>", precomputed so Use never allocates
+	freeAt    []Time // per-slot earliest availability
 
 	// Utilization accounting.
 	busy     Time   // total service time delivered
@@ -32,7 +35,12 @@ func (s *Simulation) NewResource(name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("des: resource capacity must be >= 1")
 	}
-	return &Resource{sim: s, name: name, freeAt: make([]Time, capacity)}
+	return &Resource{
+		sim:       s,
+		name:      name,
+		useReason: "using " + name,
+		freeAt:    make([]Time, capacity),
+	}
 }
 
 // Name returns the resource's diagnostic name.
@@ -80,12 +88,13 @@ func (r *Resource) Submit(d Time, fn func()) Time {
 	return done
 }
 
-// Use blocks p through queueing plus service time d.
+// Use blocks p through queueing plus service time d. The wakeup is a tagged
+// resume event: no closure, no allocation.
 func (r *Resource) Use(p *Proc, d Time) {
 	s := r.sim
 	done := r.reserve(d)
-	s.At(done, func() { s.transferTo(p) })
-	p.park("using " + r.name)
+	s.push(done, evResume, unsafe.Pointer(p))
+	p.park(r.useReason)
 }
 
 // FreeAt reports when the resource next has a free slot (≥ now means busy).

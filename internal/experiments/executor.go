@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"s3asim/internal/core"
+	"s3asim/internal/des"
 	"s3asim/internal/search"
 )
 
@@ -137,6 +138,34 @@ type cellRun struct {
 	rep  int
 }
 
+// simPool hands out reset-and-reused des kernels so a thousand-cell sweep
+// pays for calendar storage and process/waiter pools once per executor slot
+// instead of once per run. Reset makes a reused kernel observably identical
+// to a fresh one, so sweeps stay bit-identical at any parallelism. Kernels
+// are only returned after successful runs; a run that errored (e.g. a
+// deadlock diagnosis) keeps its kernel out of circulation.
+type simPool struct {
+	mu   sync.Mutex
+	sims []*des.Simulation
+}
+
+func (p *simPool) get() *des.Simulation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.sims); n > 0 {
+		s := p.sims[n-1]
+		p.sims = p.sims[:n-1]
+		return s
+	}
+	return des.New()
+}
+
+func (p *simPool) put(s *des.Simulation) {
+	p.mu.Lock()
+	p.sims = append(p.sims, s)
+	p.mu.Unlock()
+}
+
 // execProfile is the executor's self-measurement: the wall-clock cost of
 // every (cell, rep) run and the pool occupancy it achieved.
 type execProfile struct {
@@ -178,6 +207,7 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 			jobs = append(jobs, cellRun{cell: c, rep: r})
 		}
 	}
+	var sims simPool
 	err := forEach(par, len(jobs), func(i int) error {
 		j := jobs[i]
 		cfg := cfgs[j.cell]
@@ -187,6 +217,7 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 		if prep != nil {
 			prep(j.cell, j.rep, &cfg)
 		}
+		cfg.Sim = sims.get()
 		wl := cache.Get(cfg.EffectiveWorkload())
 		mu.Lock()
 		inFlight++
@@ -197,6 +228,9 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 		start := time.Now()
 		rep, err := core.RunWithWorkload(cfg, wl)
 		elapsed := time.Since(start)
+		if err == nil {
+			sims.put(cfg.Sim)
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		inFlight--

@@ -40,6 +40,14 @@ type extentMap struct {
 }
 
 // write records [off, off+n) with optional data, replacing any overlap.
+//
+// The extents intersecting the write form one contiguous run exts[i:j], and
+// because stored extents are sorted and non-overlapping, at most the first
+// can leave a remnant on the left and at most the last a remnant on the
+// right. The run is therefore replaced by at most three already-ordered
+// entries, spliced in place — the slice is never reallocated (beyond
+// amortized append growth), which keeps a W-write file at O(W) total
+// allocation instead of the O(W²) bytes a copy-per-write rebuild costs.
 func (m *extentMap) write(off, n int64, data []byte) {
 	if n <= 0 {
 		return
@@ -50,14 +58,19 @@ func (m *extentMap) write(off, n int64, data []byte) {
 	m.writes++
 	end := off + n
 
-	// Find all extents intersecting [off, end).
+	// Find the run of extents intersecting [off, end).
 	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].end() > off })
-	var replaced []extent
 	j := i
 	for j < len(m.exts) && m.exts[j].off < end {
-		replaced = append(replaced, m.exts[j])
+		e := m.exts[j]
+		ovLo, ovHi := max64(e.off, off), min64(e.end(), end)
+		if ovHi > ovLo {
+			m.overlapped += ovHi - ovLo
+			m.bytesStored -= ovHi - ovLo
+		}
 		j++
 	}
+	m.bytesStored += n
 
 	newExt := extent{off: off, n: n}
 	if m.capture {
@@ -67,39 +80,55 @@ func (m *extentMap) write(off, n int64, data []byte) {
 		}
 	}
 
-	var keep []extent
-	for _, e := range replaced {
-		lo, hi := e.off, e.end()
-		if lo < off {
-			left := extent{off: lo, n: off - lo}
+	var left, right extent
+	haveLeft, haveRight := false, false
+	if j > i {
+		if e := m.exts[i]; e.off < off {
+			left = extent{off: e.off, n: off - e.off}
 			if m.capture {
-				left.data = e.data[:off-lo]
+				left.data = e.data[:off-e.off]
 			}
-			keep = append(keep, left)
+			haveLeft = true
 		}
-		if hi > end {
-			right := extent{off: end, n: hi - end}
+		if e := m.exts[j-1]; e.end() > end {
+			right = extent{off: end, n: e.end() - end}
 			if m.capture {
-				right.data = e.data[end-lo:]
+				right.data = e.data[end-e.off:]
 			}
-			keep = append(keep, right)
-		}
-		// Overlapping span of this extent with the new write:
-		ovLo, ovHi := max64(lo, off), min64(hi, end)
-		if ovHi > ovLo {
-			m.overlapped += ovHi - ovLo
-			m.bytesStored -= ovHi - ovLo
+			haveRight = true
 		}
 	}
-	m.bytesStored += n
 
-	out := make([]extent, 0, len(m.exts)-len(replaced)+len(keep)+1)
-	out = append(out, m.exts[:i]...)
-	merged := append(keep, newExt)
-	sort.Slice(merged, func(a, b int) bool { return merged[a].off < merged[b].off })
-	out = append(out, merged...)
-	out = append(out, m.exts[j:]...)
-	m.exts = out
+	repl := 1
+	if haveLeft {
+		repl++
+	}
+	if haveRight {
+		repl++
+	}
+
+	// Splice: resize the replaced run exts[i:j] to repl slots.
+	oldLen := len(m.exts)
+	switch delta := repl - (j - i); {
+	case delta > 0:
+		var pad [2]extent
+		m.exts = append(m.exts, pad[:delta]...)
+		copy(m.exts[j+delta:], m.exts[j:oldLen])
+	case delta < 0:
+		copy(m.exts[j+delta:], m.exts[j:])
+		for k := oldLen + delta; k < oldLen; k++ {
+			m.exts[k] = extent{} // release captured data to the GC
+		}
+		m.exts = m.exts[:oldLen+delta]
+	}
+	if haveLeft {
+		m.exts[i] = left
+		i++
+	}
+	m.exts[i] = newExt
+	if haveRight {
+		m.exts[i+1] = right
+	}
 }
 
 // coverage returns the number of distinct bytes ever written.
