@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-diff check
+.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-scale bench-diff check
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,15 @@ bench-quick:
 bench-kernel:
 	$(GO) test -bench=. -benchmem -benchtime=1s ./internal/des/ ./internal/mpi/
 
+# Rank-scaling benchmark (DESIGN.md §12): 1k/10k/100k-rank cells on the
+# FSM worker engine, reporting events/sec and peak memory per rank. The
+# 100k cell holds a ~1.3 GB heap and takes about a minute.
+bench-scale:
+	$(GO) test -bench BenchmarkScaleWorkers -benchmem -benchtime=1x -run xxx ./internal/core/
+
 # Quick full-suite run compared against the committed baseline record
 # (execution performance only; virtual-time results are deterministic).
 bench-diff:
-	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0001.json
+	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0003.json
 
 check: build vet test race

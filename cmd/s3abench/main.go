@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	s3abench [-suite procs|speed|figures|extensions|chaos|all] [-quick] [-csv]
+//	s3abench [-suite procs|speed|figures|extensions|chaos|scale|all] [-quick] [-csv]
 //	         [-reps N] [-parallel N] [-json dir] [-diff baseline.json]
 //	         [-explain] [-trace-dir dir] [-metrics] [-pprof file]
 //
@@ -19,7 +19,10 @@
 // the write-frequency/failure trade-off, and file-system sensitivity. The
 // chaos suite sweeps injected worker crashes over the resilient protocol and
 // reports each strategy's recovery cost (time inflation, re-executed tasks,
-// failure-detection latency).
+// failure-detection latency). The scale suite runs the rank-scaling study
+// (bounded task count, FSM worker engine) at 1k/10k/100k ranks — 1k/10k
+// under -quick — reporting wall time, event throughput, and peak memory
+// per rank; its cells run sequentially regardless of -parallel.
 //
 // -explain additionally runs the causal-tracing matrix (every strategy ×
 // sync mode at one process count) and prints critical-path attribution
@@ -87,7 +90,7 @@ const benchSchemaVersion = 1
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, all")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, scale, all")
 		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
@@ -104,9 +107,9 @@ func main() {
 	)
 	flag.Parse()
 	switch *suite {
-	case "procs", "speed", "figures", "extensions", "chaos", "all":
+	case "procs", "speed", "figures", "extensions", "chaos", "scale", "all":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, scale, or all)", *suite))
 	}
 	// "figures" is the paper's figure pair: the process and speed sweeps.
 	wantSweep := func(kind string) bool {
@@ -266,6 +269,42 @@ func main() {
 			Name:        "extensions",
 			WallSeconds: wall.Seconds(),
 			Parallelism: effPar,
+		})
+	}
+	if *suite == "scale" || *suite == "all" {
+		// 100k ranks is a gigabyte-class cell; -quick stops at 10k, which
+		// still exercises the same protocol-dominated regime.
+		ranks := []int{1_000, 10_000, 100_000}
+		if *quick {
+			ranks = []int{1_000, 10_000}
+		}
+		start := time.Now()
+		points, err := s3asim.ScaleSweep(ranks)
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		tbl := s3asim.ScaleTable(points)
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+		// Host performance goes to stderr, like every suite summary, so
+		// stdout stays bit-identical across hosts and -parallel levels.
+		for _, p := range points {
+			fmt.Fprintf(os.Stderr,
+				"suite scale: %d ranks: %d events in %.2fs wall (%.0f events/sec), peak mem %.1f MB (%.0f B/rank)\n",
+				p.Ranks, p.Events, p.Wall.Seconds(), p.EventsPerSecond(),
+				float64(p.PeakMem)/1e6, p.MemPerRank())
+		}
+		fmt.Fprintf(os.Stderr, "suite scale: %d cells in %.2fs wall (sequential by design)\n",
+			len(ranks), wall.Seconds())
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:        "scale",
+			WallSeconds: wall.Seconds(),
+			Parallelism: 1,
+			Cells:       len(ranks),
 		})
 	}
 	if *explain {

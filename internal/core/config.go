@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"s3asim/internal/causal"
 	"s3asim/internal/des"
@@ -185,6 +186,48 @@ type Config struct {
 	// re-dispatched after losses before the run aborts as unrecoverable.
 	// 0 picks 3.
 	MaxTaskRetries int
+
+	// ProcModel selects how worker processes are backed by the kernel (see
+	// DESIGN.md §12). The default ProcAuto runs the steady-state worker loop
+	// as a pooled resumable state machine (des.SpawnFSM) on non-resilient
+	// runs — the scale path that makes 100k-rank configurations affordable —
+	// and keeps goroutine processes everywhere else. Both models execute the
+	// identical event sequence, so reports and fingerprints do not depend on
+	// the choice.
+	ProcModel ProcModel
+}
+
+// ProcModel selects the kernel backing for worker processes.
+type ProcModel int
+
+const (
+	// ProcAuto picks FSM workers for non-resilient runs, goroutines
+	// otherwise.
+	ProcAuto ProcModel = iota
+	// ProcGoroutine forces goroutine-coroutine workers everywhere.
+	ProcGoroutine
+	// ProcFSM forces FSM workers; invalid for resilient runs (the recovery
+	// protocol's control flow needs goroutine stacks).
+	ProcFSM
+)
+
+// String names the process model.
+func (m ProcModel) String() string {
+	switch m {
+	case ProcAuto:
+		return "auto"
+	case ProcGoroutine:
+		return "goroutine"
+	case ProcFSM:
+		return "fsm"
+	default:
+		return fmt.Sprintf("ProcModel(%d)", int(m))
+	}
+}
+
+// fsmWorkers reports whether this run's workers are state machines.
+func (c *Config) fsmWorkers() bool {
+	return !c.resilient() && c.ProcModel != ProcGoroutine
 }
 
 // DefaultConfig reproduces the paper's §3.3 test setup at 64 processes with
@@ -248,6 +291,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxTaskRetries < 0 {
 		return errors.New("core: MaxTaskRetries must be non-negative")
+	}
+	if c.ProcModel == ProcFSM && c.resilient() {
+		return errors.New("core: ProcFSM is incompatible with the resilient protocol (use ProcAuto or ProcGoroutine)")
 	}
 	if !c.FaultPlan.IsEmpty() {
 		if err := c.FaultPlan.Validate(); err != nil {

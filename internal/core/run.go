@@ -228,6 +228,16 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 			func(r *mpi.Rank) { rt.master(r, g) })
 		for _, w := range g.workers {
 			w := w
+			if cfg.fsmWorkers() {
+				// The steady-state worker loop runs as a pooled state
+				// machine: a blocked worker is one struct, not a goroutine
+				// stack, so rank counts in the hundreds of thousands fit in
+				// ordinary heaps. Masters keep goroutine form — there is one
+				// per group and their protocol code stays readable that way.
+				world.SpawnFSM(w, fmt.Sprintf("worker%d", w),
+					&workerFSM{rt: rt, g: g, r: world.Rank(w)})
+				continue
+			}
 			world.Spawn(w, fmt.Sprintf("worker%d", w),
 				func(r *mpi.Rank) { rt.worker(r, g) })
 		}

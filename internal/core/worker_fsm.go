@@ -1,0 +1,621 @@
+package core
+
+import (
+	"s3asim/internal/causal"
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+	"s3asim/internal/romio"
+)
+
+// workerFSM is the worker engine (Algorithm 2, worker.go) as a resumable
+// state machine for des.SpawnFSM: a blocked worker is this one struct
+// instead of a parked goroutine stack, which is what makes 100k-worker
+// configurations affordable. The control flow is worker.go's, flattened
+// into explicit program counters — the main loop (pc), and one counter per
+// nested sub-machine: the drain loop (drainPC), a batch write (writePC),
+// and a task (taskPC). Every blocking composite runs through the same op
+// structs the goroutine path's wrappers use, so both engines produce the
+// identical event schedule; the cross-model pin in worker_fsm_test.go and
+// the golden fingerprints hold either engine to it.
+type workerFSM struct {
+	rt *runtime
+	g  *group
+	r  *mpi.Rank
+	pt *PhaseTimer
+	st *workerState
+
+	pc      uint8
+	drainPC uint8
+	writePC uint8
+	taskPC  uint8
+
+	progress      bool
+	drainHandled  bool
+	tracksBatches bool
+
+	// Scratch ops, one of each kind: the worker runs at most one blocking
+	// composite at a time, so each op is reused across the whole run.
+	bcast   mpi.BcastOp
+	barrier mpi.BarrierOp
+	wait    mpi.WaitOp
+	waitAny mpi.WaitAnyOp
+	waitAll mpi.WaitAllOp
+	issue   pvfs.IssueOp
+	wsegs   romio.WriteSegsOp
+	coll    romio.CollWriteOp
+
+	waitSet  []*mpi.Request // scratch for waitAny arming
+	replyReq *mpi.Request
+
+	t          task
+	taskBytes  int64
+	taskCount  int
+	om         offsetMsg
+	segs       []pvfs.Segment
+	sleepStart des.Time // causal start of an in-flight compute/merge sleep
+}
+
+// Main program counters (workerFSM.pc), in worker.go order.
+const (
+	wfStart       uint8 = iota // first step: timer setup, config broadcast
+	wfBcast                    // setup broadcast in flight
+	wfLoadDB                   // initial database read in flight
+	wfLoopHead                 // top of the main loop: done()/iteration start
+	wfSendReq                  // work-request send's wait in flight
+	wfReplyCheck               // reply posted: dispatch on its completion
+	wfReplyDrain               // drain running while awaiting the reply
+	wfReplyWait                // parked on reply (and sync token, MW+sync)
+	wfTask                     // task sub-machine running
+	wfRetire                   // retire completed sends, then tail drain
+	wfLoopDrain                // tail drain running
+	wfIdleAny                  // idle: parked on the next master notification
+	wfIdleAll                  // idle: draining the last score sends
+	wfFinalGather              // final WaitAll over in-flight sends
+	wfFinalSync                // end-of-application barrier
+)
+
+// Drain sub-machine counters (workerDrainIO in worker.go).
+const (
+	drHead    uint8 = iota // check for an arrived offset list
+	drWrite                // batch write sub-machine running
+	drOffSync              // per-batch barrier after an offset write
+	drTokHead              // check for an arrived sync token
+	drTokSync              // per-batch barrier after a token
+)
+
+// Batch-write sub-machine counters (workerWrite in worker.go).
+const (
+	wwFormat    uint8 = iota // result-formatting sleep in flight
+	wwRoute                  // dispatch on strategy
+	wwCollEntry              // two-phase gather barrier
+	wwColl                   // collective write in flight
+	wwSegs                   // individual noncontiguous write in flight
+	wwSync                   // post-write file sync in flight
+)
+
+// Task sub-machine counters (workerTask in worker.go).
+const (
+	tkGate      uint8 = iota // WW-Coll: check the batch-completion gate
+	tkGateWait               // WW-Coll: parked awaiting an offset list
+	tkGateDrain              // WW-Coll: drain after the gate wait
+	tkReread                 // query-seg overflow re-read in flight
+	tkCompute                // search compute sleep in flight
+	tkMerge                  // local merge sleep in flight
+)
+
+// Step advances the worker to its next park. It is the Machine contract's
+// entry point: called once per resumption from the kernel run loop.
+func (m *workerFSM) Step(p *des.Proc) {
+	for m.step() {
+	}
+}
+
+// step runs the current main state; false means the worker parked (or
+// finished at wfFinalSync).
+func (m *workerFSM) step() bool {
+	rt, r, g := m.rt, m.r, m.g
+	cfg := rt.cfg
+	boss := g.masterRank
+	switch m.pc {
+	case wfStart:
+		m.pt = NewPhaseTimer(rt.sim)
+		m.pt.Trace(cfg.sink(), r.Proc().Name())
+		rt.timers[r.Rank()] = m.pt
+
+		// Step 1: receive input variables (broadcast from the group master).
+		m.pt.Switch(PhaseSetup)
+		m.bcast.Init(g.team, r, boss, configMsgBytes, nil)
+		m.pc = wfBcast
+	case wfBcast:
+		if !m.bcast.Step() {
+			return false
+		}
+		// Input-I/O extension: load the sequence database.
+		if m.armLoadDatabase() {
+			m.pc = wfLoadDB
+			return true
+		}
+		m.initState()
+		m.pc = wfLoopHead
+	case wfLoadDB:
+		if !m.issue.Step() {
+			return false
+		}
+		m.initState()
+		m.pc = wfLoopHead
+	case wfLoopHead:
+		if m.done() {
+			m.pt.Switch(PhaseGather)
+			m.waitAll.Init(r, m.st.pending)
+			m.pc = wfFinalGather
+			return true
+		}
+		m.progress = false
+		if m.st.noMore {
+			m.pc = wfRetire
+			return true
+		}
+		// Steps 3–4: request and receive work. The reply receive is
+		// blocking (Algorithm 2 step 4), except that MW sync tokens are
+		// honored while waiting so a request-blocked worker joins the
+		// post-write barrier without first taking another task.
+		m.pt.Switch(PhaseDataDist)
+		m.wait.Init(r, r.Isend(boss, tagWorkRequest, requestMsgBytes, nil))
+		m.pc = wfSendReq
+	case wfSendReq:
+		if !m.wait.Step() {
+			return false
+		}
+		m.replyReq = r.Irecv(boss, tagWorkReply)
+		m.pc = wfReplyCheck
+	case wfReplyCheck:
+		if m.replyReq.Done() {
+			reply := m.replyReq.Message()
+			if reply.Payload == nil {
+				m.st.noMore = true
+				m.progress = true
+				m.pc = wfRetire
+				return true
+			}
+			m.startTask(reply.Payload.(task))
+			m.pc = wfTask
+			return true
+		}
+		if m.st.tokReq != nil {
+			m.startDrain()
+			m.pc = wfReplyDrain
+			return true
+		}
+		m.armReplyWait()
+		m.pc = wfReplyWait
+	case wfReplyDrain:
+		if !m.stepDrain() {
+			return false
+		}
+		if m.drainHandled {
+			m.pt.Switch(PhaseDataDist)
+			m.pc = wfReplyCheck
+			return true
+		}
+		m.armReplyWait()
+		m.pc = wfReplyWait
+	case wfReplyWait:
+		if !m.waitAny.Step() {
+			return false
+		}
+		m.pc = wfReplyCheck
+	case wfTask:
+		if !m.stepTask() {
+			return false
+		}
+		m.progress = true
+		m.pc = wfRetire
+	case wfRetire:
+		// Step 15: retire completed score sends.
+		m.pt.Switch(PhaseGather)
+		kept := m.st.pending[:0]
+		for _, req := range m.st.pending {
+			if !req.Done() {
+				kept = append(kept, req)
+			}
+		}
+		m.st.pending = kept
+		// Steps 16–19: handle any offset lists (or sync tokens) that have
+		// arrived, without blocking.
+		m.startDrain()
+		m.pc = wfLoopDrain
+	case wfLoopDrain:
+		if !m.stepDrain() {
+			return false
+		}
+		if m.drainHandled {
+			m.progress = true
+		}
+		if !m.progress && !m.done() {
+			m.armIdleWait()
+			return true
+		}
+		m.pc = wfLoopHead
+	case wfIdleAny:
+		if !m.waitAny.Step() {
+			return false
+		}
+		m.pc = wfLoopHead
+	case wfIdleAll:
+		if !m.waitAll.Step() {
+			return false
+		}
+		m.st.pending = nil
+		m.pc = wfLoopHead
+	case wfFinalGather:
+		if !m.waitAll.Step() {
+			return false
+		}
+		// End-of-application synchronization.
+		m.pt.Switch(PhaseSync)
+		m.barrier.Init(rt.final, r)
+		m.pc = wfFinalSync
+	case wfFinalSync:
+		if !m.barrier.Step() {
+			return false
+		}
+		m.pt.Finish()
+		return false // machine returns unparked: the worker is done
+	}
+	return true
+}
+
+// done is worker.go's termination predicate.
+func (m *workerFSM) done() bool {
+	st := m.st
+	if !st.noMore || len(st.pending) > 0 {
+		return false
+	}
+	return !m.tracksBatches || st.batchesHandled == len(m.g.batches)
+}
+
+// initState posts the long-lived receives, exactly as worker.go does after
+// the database load.
+func (m *workerFSM) initState() {
+	cfg, r, boss := m.rt.cfg, m.r, m.g.masterRank
+	m.st = &workerState{g: m.g, mergeAcc: make(map[int]int64)}
+	if cfg.Strategy.WorkerWriting() {
+		m.st.offReq = r.Irecv(boss, tagOffsets)
+	} else if cfg.QuerySync {
+		m.st.tokReq = r.Irecv(boss, tagSyncToken)
+	}
+	m.tracksBatches = m.st.offReq != nil || m.st.tokReq != nil
+}
+
+// armLoadDatabase starts the initial database read (workerLoadDatabase) and
+// reports whether one is in flight.
+func (m *workerFSM) armLoadDatabase() bool {
+	cfg := m.rt.cfg
+	if cfg.DatabaseBytes <= 0 {
+		return false
+	}
+	m.pt.Switch(PhaseIO)
+	if cfg.Segmentation == QuerySeg {
+		n := cfg.DatabaseBytes
+		if n > cfg.WorkerMemoryBytes {
+			n = cfg.WorkerMemoryBytes
+		}
+		m.rt.dbFile.StartReadAt(&m.issue, m.r, 0, n)
+		return true
+	}
+	share := cfg.DatabaseBytes / int64(m.rt.totalWorkers())
+	if share <= 0 {
+		return false
+	}
+	off := (share * int64(m.r.Rank())) % cfg.DatabaseBytes
+	m.rt.dbFile.StartReadAt(&m.issue, m.r, off, share)
+	return true
+}
+
+// armReplyWait parks the worker on the reply (plus the sync-token receive
+// under MW+sync) — worker.go's workerWaitSet.
+func (m *workerFSM) armReplyWait() {
+	m.waitSet = append(m.waitSet[:0], m.replyReq)
+	if m.st.tokReq != nil {
+		m.waitSet = append(m.waitSet, m.st.tokReq)
+	}
+	m.waitAny.Init(m.r, m.waitSet)
+}
+
+// armIdleWait blocks a worker with nothing left to compute until the next
+// master notification arrives (workerIdleWait).
+func (m *workerFSM) armIdleWait() {
+	st := m.st
+	switch {
+	case st.offReq != nil:
+		m.pt.Switch(PhaseDataDist)
+		m.waitSet = append(m.waitSet[:0], st.offReq)
+		m.waitAny.Init(m.r, m.waitSet)
+		m.pc = wfIdleAny
+	case st.tokReq != nil:
+		m.pt.Switch(PhaseDataDist)
+		m.waitSet = append(m.waitSet[:0], st.tokReq)
+		m.waitAny.Init(m.r, m.waitSet)
+		m.pc = wfIdleAny
+	default:
+		m.pt.Switch(PhaseGather)
+		m.waitAll.Init(m.r, st.pending)
+		m.pc = wfIdleAll
+	}
+}
+
+// startDrain arms the drain sub-machine (workerDrainIO).
+func (m *workerFSM) startDrain() {
+	m.drainPC = drHead
+	m.drainHandled = false
+}
+
+// stepDrain handles every already-arrived offset list or sync token,
+// reposting the receive each time; m.drainHandled reports whether anything
+// was handled. Returns false when the worker parked inside a handler.
+func (m *workerFSM) stepDrain() bool {
+	st, r := m.st, m.r
+	boss := m.g.masterRank
+	for {
+		switch m.drainPC {
+		case drHead:
+			if st.offReq != nil && st.offReq.Done() {
+				m.om = st.offReq.Message().Payload.(offsetMsg)
+				st.offReq = r.Irecv(boss, tagOffsets)
+				m.startWrite()
+				m.drainPC = drWrite
+				continue
+			}
+			m.drainPC = drTokHead
+		case drWrite:
+			if !m.stepWrite() {
+				return false
+			}
+			st.batchesHandled++
+			if m.rt.cfg.QuerySync {
+				m.pt.Switch(PhaseSync)
+				m.barrier.Init(m.g.querySyn, r)
+				m.drainPC = drOffSync
+				continue
+			}
+			m.drainHandled = true
+			m.drainPC = drHead
+		case drOffSync:
+			if !m.barrier.Step() {
+				return false
+			}
+			m.drainHandled = true
+			m.drainPC = drHead
+		case drTokHead:
+			if st.tokReq != nil && st.tokReq.Done() {
+				st.tokReq = r.Irecv(boss, tagSyncToken)
+				m.pt.Switch(PhaseSync)
+				m.barrier.Init(m.g.querySyn, r)
+				m.drainPC = drTokSync
+				continue
+			}
+			return true
+		case drTokSync:
+			if !m.barrier.Step() {
+				return false
+			}
+			st.batchesHandled++
+			m.drainHandled = true
+			m.drainPC = drTokHead
+		}
+	}
+}
+
+// startWrite arms the batch-write sub-machine for the offset list in m.om
+// (workerWrite).
+func (m *workerFSM) startWrite() {
+	cfg := m.rt.cfg
+	m.segs = m.rt.placementsToSegments(m.om.Placements)
+	var segBytes int64
+	for _, s := range m.segs {
+		segBytes += s.Length
+	}
+	if segBytes > 0 {
+		// Format this worker's share of the results before writing (under
+		// WW strategies each worker serializes its own output).
+		m.pt.Switch(PhaseIO)
+		m.sleepStart = m.rt.sim.Now()
+		m.r.Proc().Sleep(des.BytesOver(segBytes, cfg.FormatBandwidth))
+		m.writePC = wwFormat
+		return
+	}
+	m.writePC = wwRoute
+}
+
+// stepWrite drives the batch write; false means the worker parked.
+func (m *workerFSM) stepWrite() bool {
+	rt, r := m.rt, m.r
+	cfg := rt.cfg
+	for {
+		switch m.writePC {
+		case wwFormat:
+			if r.Proc().Yielded() {
+				return false
+			}
+			m.billMerge()
+			m.writePC = wwRoute
+		case wwRoute:
+			if cfg.Strategy == WWColl {
+				// Collective write: every group worker participates, with or
+				// without data. For two-phase, waiting for the last worker to
+				// become ready is billed to data distribution (paper §4); the
+				// collective operation itself is I/O.
+				if cfg.CollMethod == romio.TwoPhase {
+					m.pt.Switch(PhaseDataDist)
+					m.barrier.Init(m.g.collEntry, r)
+					m.writePC = wwCollEntry
+					continue
+				}
+				m.startColl()
+				continue
+			}
+			if len(m.segs) == 0 {
+				return true
+			}
+			// Individual noncontiguous write (POSIX or list I/O per hints).
+			m.pt.Switch(PhaseIO)
+			m.wsegs.Init(rt.file, r, m.segs)
+			m.writePC = wwSegs
+		case wwCollEntry:
+			if !m.barrier.Step() {
+				return false
+			}
+			m.startColl()
+		case wwColl:
+			if !m.coll.Step() {
+				return false
+			}
+			if cfg.SyncEveryWrite {
+				rt.file.StartSync(&m.issue, r)
+				m.writePC = wwSync
+				continue
+			}
+			rt.stampFlush(m.g, m.om.Batch)
+			return true
+		case wwSegs:
+			if !m.wsegs.Step() {
+				return false
+			}
+			if cfg.SyncEveryWrite {
+				rt.file.StartSync(&m.issue, r)
+				m.writePC = wwSync
+				continue
+			}
+			rt.stampFlush(m.g, m.om.Batch)
+			return true
+		case wwSync:
+			if !m.issue.Step() {
+				return false
+			}
+			rt.stampFlush(m.g, m.om.Batch)
+			return true
+		}
+	}
+}
+
+// startColl arms the collective write round.
+func (m *workerFSM) startColl() {
+	m.pt.Switch(PhaseIO)
+	m.coll.Init(m.g.collGroup, m.r, m.segs)
+	m.writePC = wwColl
+}
+
+// startTask arms the task sub-machine for t (workerTask).
+func (m *workerFSM) startTask(t task) {
+	m.t = t
+	m.taskBytes = m.rt.wl.TaskBytes(t.Q, t.F)
+	m.taskCount = m.rt.wl.TaskCount(t.Q, t.F)
+	m.taskPC = tkGate
+}
+
+// stepTask models one (query, fragment) search; false means the worker
+// parked.
+func (m *workerFSM) stepTask() bool {
+	rt, r := m.rt, m.r
+	cfg := rt.cfg
+	for {
+		switch m.taskPC {
+		case tkGate:
+			// Under WW-Coll a worker cannot begin an upcoming query until the
+			// collective I/O for all earlier batches has completed (§2.3).
+			if cfg.Strategy == WWColl {
+				need := (m.t.Q - m.g.loQ) / cfg.QueriesPerWrite
+				if m.st.batchesHandled < need {
+					m.pt.Switch(PhaseDataDist)
+					m.waitSet = append(m.waitSet[:0], m.st.offReq)
+					m.waitAny.Init(r, m.waitSet)
+					m.taskPC = tkGateWait
+					continue
+				}
+			}
+			// Query segmentation with a database larger than worker memory
+			// must re-read the overflow for every query (§1's repeated I/O).
+			if cfg.Segmentation == QuerySeg && cfg.DatabaseBytes > cfg.WorkerMemoryBytes {
+				m.pt.Switch(PhaseIO)
+				rt.dbFile.StartReadAt(&m.issue, r,
+					cfg.WorkerMemoryBytes, cfg.DatabaseBytes-cfg.WorkerMemoryBytes)
+				m.taskPC = tkReread
+				continue
+			}
+			m.armCompute()
+		case tkGateWait:
+			if !m.waitAny.Step() {
+				return false
+			}
+			m.startDrain()
+			m.taskPC = tkGateDrain
+		case tkGateDrain:
+			if !m.stepDrain() {
+				return false
+			}
+			m.taskPC = tkGate
+		case tkReread:
+			if !m.issue.Step() {
+				return false
+			}
+			m.armCompute()
+		case tkCompute:
+			if r.Proc().Yielded() {
+				return false
+			}
+			if c := r.World().Causal(); c != nil {
+				c.Busy(r.Proc().Name(), causal.CatCompute, m.sleepStart, r.Now())
+			}
+			// Step 8: merge with previous results for this query.
+			if cfg.Strategy.WorkerWriting() {
+				m.pt.Switch(PhaseMerge)
+				m.sleepStart = rt.sim.Now()
+				r.Proc().Sleep(cfg.mergeTime(m.st.mergeAcc[m.t.Q], m.taskBytes))
+				m.taskPC = tkMerge
+				continue
+			}
+			m.taskSend()
+			return true
+		case tkMerge:
+			if r.Proc().Yielded() {
+				return false
+			}
+			m.billMerge()
+			m.st.mergeAcc[m.t.Q] += m.taskBytes
+			m.taskSend()
+			return true
+		}
+	}
+}
+
+// armCompute starts the search-compute sleep (step 6).
+func (m *workerFSM) armCompute() {
+	cfg := m.rt.cfg
+	m.pt.Switch(PhaseCompute)
+	m.sleepStart = m.rt.sim.Now()
+	m.r.Proc().Sleep(cfg.Compute.TaskTime(m.taskBytes, cfg.ComputeSpeed))
+	m.taskPC = tkCompute
+}
+
+// taskSend ships ordered scores (and the result data itself under MW) —
+// step 10, a nonblocking send retired later.
+func (m *workerFSM) taskSend() {
+	cfg := m.rt.cfg
+	m.pt.Switch(PhaseGather)
+	wire := int64(m.taskCount) * cfg.ScoreEntryBytes
+	if cfg.Strategy == MW {
+		wire += m.taskBytes
+	}
+	m.st.pending = append(m.st.pending,
+		m.r.Isend(m.g.masterRank, tagScores, wire,
+			scoreMsg{Task: m.t, Count: m.taskCount, ResultBytes: m.taskBytes}))
+}
+
+// billMerge records a completed merge/format sleep for causal attribution,
+// mirroring runtime.mergeSleep.
+func (m *workerFSM) billMerge() {
+	if c := m.rt.cfg.Causal; c != nil {
+		c.Busy(m.r.Proc().Name(), causal.CatMerge, m.sleepStart, m.rt.sim.Now())
+	}
+}

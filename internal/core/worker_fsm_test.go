@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"s3asim/internal/romio"
+)
+
+// TestWorkerEnginesEquivalent pins the tentpole invariant of the FSM worker
+// engine: forcing goroutine workers and forcing FSM workers must produce
+// byte-identical reports AND identical calendar-event counts, across paths
+// the golden matrix does not reach — the MW sync-token wait, the initial
+// database load, the query-segmentation re-read, hybrid query groups, the
+// list-sync collective, and sieved individual writes.
+func TestWorkerEnginesEquivalent(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(c *Config)
+	}{
+		{"WW-List_sync", func(c *Config) { c.Strategy = WWList; c.QuerySync = true }},
+		{"MW_sync_token", func(c *Config) { c.Strategy = MW; c.QuerySync = true }},
+		{"WW-Coll_two-phase", func(c *Config) { c.Strategy = WWColl }},
+		{"WW-Coll_list-sync", func(c *Config) {
+			c.Strategy = WWColl
+			c.CollMethod = romio.ListSync
+		}},
+		{"WW-POSIX_db-load", func(c *Config) {
+			c.Strategy = WWPosix
+			c.DatabaseBytes = 64 << 20
+		}},
+		{"MW_query-seg_reread", func(c *Config) {
+			c.Strategy = MW
+			c.Segmentation = QuerySeg
+			c.DatabaseBytes = 1 << 20
+			c.WorkerMemoryBytes = 512 << 10
+		}},
+		{"WW-List_query-groups", func(c *Config) { c.Strategy = WWList; c.QueryGroups = 2 }},
+		{"WW-List_sieve", func(c *Config) {
+			c.Strategy = WWList
+			c.OverrideIndMethod = true
+			c.IndMethod = romio.DataSieve
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			base := goldenConfig()
+			v.mutate(&base)
+
+			gor := base
+			gor.ProcModel = ProcGoroutine
+			fsm := base
+			fsm.ProcModel = ProcFSM
+
+			repG := mustRun(t, gor)
+			repF := mustRun(t, fsm)
+			if fg, ff := fingerprint(repG), fingerprint(repF); fg != ff {
+				t.Errorf("engines diverged:\n goroutine %s\n fsm       %s", fg, ff)
+			}
+			if repG.Events != repF.Events {
+				t.Errorf("calendar events diverged: goroutine %d, fsm %d",
+					repG.Events, repF.Events)
+			}
+		})
+	}
+}
+
+// TestProcFSMRejectsResilient pins the validation rule: the recovery
+// protocol has no FSM port, so forcing ProcFSM on a resilient run is a
+// configuration error rather than a silent fallback.
+func TestProcFSMRejectsResilient(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Resilient = true
+	cfg.ProcModel = ProcFSM
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected a validation error for ProcFSM + resilient")
+	}
+	cfg.ProcModel = ProcAuto
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("ProcAuto + resilient should fall back to goroutines: %v", err)
+	}
+}

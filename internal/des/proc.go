@@ -7,11 +7,12 @@ import "unsafe"
 // control only by blocking in Sleep, Signal.Wait, Gate.Wait, or
 // Resource.Use, so code inside a Proc body needs no locking.
 type Proc struct {
-	sim    *Simulation
-	name   string
-	id     int
-	resume chan struct{} // single-slot parker this process blocks on
-	body   func(p *Proc) // pending body between Spawn and the evStart event
+	sim     *Simulation
+	name    string
+	id      int
+	resume  chan struct{} // single-slot parker this process blocks on (goroutine form only)
+	body    func(p *Proc) // pending body between Spawn and the evStart event
+	machine Machine       // state-machine body (SpawnFSM); nil for goroutine processes
 
 	// timer caches this process's most recent timed waiter so a WaitUntil
 	// re-armed at the same deadline on the same signal can revive the
@@ -20,7 +21,30 @@ type Proc struct {
 	timer *waiter
 
 	done        bool
+	parked      bool // an FSM park is armed; cleared by stepFSM on resume
 	blockReason string
+}
+
+// newProc pops a pooled process (or allocates one) and registers it. The
+// parker channel is created lazily by Spawn: FSM processes never block a
+// goroutine, so the ~100k ranks of a scale run skip the channel entirely.
+func (s *Simulation) newProc(name string) *Proc {
+	var p *Proc
+	if n := len(s.procPool); n > 0 {
+		p = s.procPool[n-1]
+		s.procPool = s.procPool[:n-1]
+		p.timer = nil
+		p.done = false
+		p.parked = false
+		p.machine = nil
+		p.blockReason = ""
+	} else {
+		p = &Proc{sim: s}
+	}
+	p.name = name
+	p.id = len(s.procs)
+	s.procs = append(s.procs, p)
+	return p
 }
 
 // Spawn creates a process that starts executing body at the current virtual
@@ -28,20 +52,11 @@ type Proc struct {
 // completion unless the simulation deadlocks or is abandoned. Finished
 // processes recycled by Reset are reused here, parker channel and all.
 func (s *Simulation) Spawn(name string, body func(p *Proc)) *Proc {
-	var p *Proc
-	if n := len(s.procPool); n > 0 {
-		p = s.procPool[n-1]
-		s.procPool = s.procPool[:n-1]
-		p.timer = nil
-		p.done = false
-		p.blockReason = ""
-	} else {
-		p = &Proc{sim: s, resume: make(chan struct{}, 1)}
+	p := s.newProc(name)
+	if p.resume == nil {
+		p.resume = make(chan struct{}, 1)
 	}
-	p.name = name
-	p.id = len(s.procs)
 	p.body = body
-	s.procs = append(s.procs, p)
 	s.push(s.now, evStart, unsafe.Pointer(p))
 	return p
 }
@@ -62,8 +77,20 @@ func (p *Proc) Now() Time { return p.sim.now }
 func (p *Proc) Done() bool { return p.done }
 
 // park yields control to the kernel until some event resumes this process.
-// reason is kept for deadlock diagnostics.
+// reason is kept for deadlock diagnostics. For an FSM process nothing blocks:
+// the park is armed as a flag and the caller is expected to unwind out of
+// Machine.Step (checking Yielded after every potentially-blocking call).
 func (p *Proc) park(reason string) {
+	if p.machine != nil {
+		if p.parked {
+			panic("des: FSM process " + p.name +
+				" blocked twice in one step (missing Yielded check after \"" +
+				p.blockReason + "\")")
+		}
+		p.parked = true
+		p.blockReason = reason
+		return
+	}
 	p.blockReason = reason
 	p.sim.yielded <- struct{}{}
 	<-p.resume
@@ -175,6 +202,11 @@ func (sig *Signal) Wait(p *Proc) {
 // entry, and a tombstone that does reach its deadline is skipped and
 // reclaimed.
 func (sig *Signal) WaitUntil(p *Proc, deadline Time) bool {
+	if p.machine != nil {
+		// The revive-and-repark protocol is a predicate loop a stackless
+		// machine cannot express; timed waits stay on goroutine processes.
+		panic("des: WaitUntil is not supported for FSM processes")
+	}
 	s := sig.sim
 	if deadline <= s.now {
 		return false
@@ -274,8 +306,28 @@ func (g *Gate) Done() { g.Add(-1) }
 func (g *Gate) Pending() int { return g.n }
 
 // Wait parks p until the count is zero. Returns immediately if it already is.
+// FSM processes cannot run this hidden predicate loop; they use the
+// equivalent re-check pattern over Park:
+//
+//	for g.Pending() > 0 {
+//		g.Park(p)
+//		if p.Yielded() {
+//			return // resume this state on the next Step
+//		}
+//	}
 func (g *Gate) Wait(p *Proc) {
+	if p.machine != nil {
+		panic("des: Gate.Wait is not supported for FSM processes; use Gate.Park")
+	}
 	for g.n > 0 {
 		g.cond.Wait(p)
 	}
+}
+
+// Park enqueues p on the gate's condition for one wakeup — the single
+// iteration of Wait's predicate loop, split out so FSM machines can re-check
+// Pending between parks. The waiter records and wake events are identical to
+// Wait's, so the two forms replay the same schedule.
+func (g *Gate) Park(p *Proc) {
+	g.cond.Wait(p)
 }

@@ -178,6 +178,10 @@ func (s *Simulation) Events() uint64 { return s.events }
 // including tombstoned timers that have not reached their deadline yet.
 func (s *Simulation) PendingEvents() int { return len(s.heap) }
 
+// Procs reports how many processes are currently registered (done or not);
+// zero after a Reset.
+func (s *Simulation) Procs() int { return len(s.procs) }
+
 // push schedules a tagged event at absolute time t (clamped to the
 // present), assigning the next insertion sequence number.
 func (s *Simulation) push(t Time, kind evKind, arg unsafe.Pointer) {
@@ -331,6 +335,10 @@ func (s *Simulation) dispatch(e *event) {
 		// The waiter is reclaimed by WaitUntil once it reads timedOut.
 	case evStart:
 		p := (*Proc)(e.arg)
+		if p.machine != nil {
+			s.stepFSM(p)
+			return
+		}
 		go func() {
 			<-p.resume
 			p.body(p)
@@ -343,12 +351,17 @@ func (s *Simulation) dispatch(e *event) {
 }
 
 // transferTo hands control from the kernel to p and waits for p to yield.
-// Must only be called from kernel context (inside an event dispatch). Both
-// directions use single-slot (capacity-1) channels: the handing-off side
-// deposits its token without blocking and only the receiving side parks, so
-// a context switch costs one blocking receive per side instead of the two
-// full rendezvous an unbuffered pair would.
+// Must only be called from kernel context (inside an event dispatch). For an
+// FSM process this is a direct method call on the kernel's stack; for a
+// goroutine process both directions use single-slot (capacity-1) channels:
+// the handing-off side deposits its token without blocking and only the
+// receiving side parks, so a context switch costs one blocking receive per
+// side instead of the two full rendezvous an unbuffered pair would.
 func (s *Simulation) transferTo(p *Proc) {
+	if p.machine != nil {
+		s.stepFSM(p)
+		return
+	}
 	prev := s.curr
 	s.curr = p
 	p.resume <- struct{}{}

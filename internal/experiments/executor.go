@@ -142,8 +142,11 @@ type cellRun struct {
 // pays for calendar storage and process/waiter pools once per executor slot
 // instead of once per run. Reset makes a reused kernel observably identical
 // to a fresh one, so sweeps stay bit-identical at any parallelism. Kernels
-// are only returned after successful runs; a run that errored (e.g. a
-// deadlock diagnosis) keeps its kernel out of circulation.
+// from successful runs return directly (the next run Resets them itself);
+// kernels from failed runs (a deadlock diagnosis, a faulted cell) return
+// through putAfterReset, which re-verifies the reset before recirculating —
+// so a chaos sweep full of error cells does not allocate a fresh kernel per
+// failure.
 type simPool struct {
 	mu   sync.Mutex
 	sims []*des.Simulation
@@ -164,6 +167,21 @@ func (p *simPool) put(s *des.Simulation) {
 	p.mu.Lock()
 	p.sims = append(p.sims, s)
 	p.mu.Unlock()
+}
+
+// putAfterReset recycles a kernel whose run ended in an error. The kernel is
+// Reset here and the post-conditions checked (clean calendar, zeroed clock,
+// no registered processes); a kernel that somehow fails verification is
+// dropped rather than recirculated.
+func (p *simPool) putAfterReset(s *des.Simulation) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	if s.Now() != 0 || s.PendingEvents() != 0 || s.Procs() != 0 {
+		return
+	}
+	p.put(s)
 }
 
 // execProfile is the executor's self-measurement: the wall-clock cost of
@@ -230,6 +248,8 @@ func runAllCells(par, reps int, cache *search.Cache, cfgs []core.Config,
 		elapsed := time.Since(start)
 		if err == nil {
 			sims.put(cfg.Sim)
+		} else {
+			sims.putAfterReset(cfg.Sim)
 		}
 		mu.Lock()
 		defer mu.Unlock()

@@ -1,7 +1,6 @@
 package mpi
 
 import (
-	"s3asim/internal/causal"
 	"s3asim/internal/des"
 )
 
@@ -90,40 +89,13 @@ func (b *Barrier) releaseDelay() des.Time {
 }
 
 // Arrive blocks the calling rank until all n participants of the current
-// generation have arrived, plus the modeled release delay.
+// generation have arrived, plus the modeled release delay. The operation
+// itself lives in BarrierOp (so FSM processes can run it resumably); this
+// wrapper drives it to completion for goroutine processes.
 func (b *Barrier) Arrive(r *Rank) {
-	c := b.w.causal
-	gen := b.gen
-	b.arrived++
-	if b.arrived == b.n {
-		if c != nil {
-			b.lastArriver[gen%uint64(len(b.lastArriver))] =
-				barrierEpoch{gen: gen, proc: r.proc.Name(), at: b.w.sim.Now(), set: true}
-		}
-		delay := b.releaseDelay()
-		b.release()
-		// The completing rank also pays the release delay.
-		start := r.Now()
-		r.proc.Sleep(delay)
-		if c != nil {
-			c.Busy(r.proc.Name(), causal.CatSyncWait, start, r.Now())
-		}
-		return
-	}
-	start := r.Now()
-	for gen == b.gen {
-		b.cond.Wait(r.proc)
-	}
-	if c != nil && r.Now() > start {
-		// Fan-in: the wait was released by the last arriver; the walk jumps
-		// to that process at its arrival instant. An epoch released by
-		// Deregister (a dead peer's teardown) has no recorded arriver.
-		if e := b.lastArriver[gen%uint64(len(b.lastArriver))]; e.set && e.gen == gen {
-			c.WaitEdge(r.proc.Name(), start, r.Now(), causal.CatSyncWait, e.proc, e.at)
-		} else {
-			c.WaitPlain(r.proc.Name(), start, r.Now(), causal.CatSyncWait)
-		}
-	}
+	var op BarrierOp
+	op.Init(b, r)
+	op.Step()
 }
 
 // Epochs reports how many times the barrier has fully released.

@@ -72,36 +72,13 @@ func (t *Team) opTag(r *Rank) int {
 // every team member along a binomial tree. Returns the payload on every
 // member. root is a world rank that must belong to the team.
 func (t *Team) Bcast(r *Rank, root int, bytes int64, payload any) any {
-	n := len(t.ranks)
-	tag := t.opTag(r)
-	rootPos, ok := t.indexOf[root]
-	if !ok {
-		protoPanic("Bcast", root, "root not in team")
-	}
-	vr := t.vrank(t.pos(r), rootPos)
-
-	// Receive from parent (all but the root).
-	mask := 1
-	for mask < n {
-		if vr&mask != 0 {
-			parent := t.absRank(vr-mask, rootPos)
-			payload = r.Recv(parent, tag).Payload
-			break
-		}
-		mask <<= 1
-	}
-	// Forward to children.
-	mask >>= 1
-	var sends []*Request
-	for mask > 0 {
-		if vr+mask < n {
-			child := t.absRank(vr+mask, rootPos)
-			sends = append(sends, r.Isend(child, tag, bytes, payload))
-		}
-		mask >>= 1
-	}
-	r.WaitAll(sends...)
-	return payload
+	// The binomial algorithm lives in BcastOp (so FSM processes can run it
+	// resumably); this wrapper drives it to completion for goroutine
+	// processes.
+	var op BcastOp
+	op.Init(t, r, root, bytes, payload)
+	op.Step()
+	return op.Result()
 }
 
 // Gather collects every member's payload at root (linear algorithm, as

@@ -55,28 +55,104 @@ func groupRequests(pieces []serverPiece, kind opKind, contiguous bool) []*server
 	return order
 }
 
-// issue runs a set of server requests concurrently on behalf of p, blocking
-// until all complete. Per request the client pays PerServerIssue on its CPU
-// (serially), the data crosses the client send NIC and the wire, queues at
-// the server, is serviced, and an ack returns via the client recv NIC.
-func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
-	fs := f.fs
-	cfg := fs.cfg
-	sim := fs.sim
-	issueStart := sim.Now()
-	p.Sleep(cfg.IssueOverhead + des.Time(len(reqs))*cfg.PerServerIssue)
-	if c := fs.causal; c != nil {
-		// Request marshaling is part of delivering I/O service.
-		c.Busy(p.Name(), causal.CatIOService, issueStart, sim.Now())
-	}
-	// For causal recording, remember the request whose ack landed last: the
-	// client's wait below is decomposed along that request's pipeline.
-	var last struct {
+// IssueOp runs a set of server requests concurrently on behalf of a client
+// process, as a resumable operation: per request the client pays
+// PerServerIssue on its CPU (serially), the data crosses the client send NIC
+// and the wire, queues at the server, is serviced, and an ack returns via
+// the client recv NIC.
+//
+// Arm it with one of the Init* constructors, then call Step until it returns
+// true. On a goroutine process one Step call completes the whole operation
+// (the blocking File methods are wrappers doing exactly that); an FSM
+// process re-enters Step after each park. Both forms run this one code path,
+// so their event schedules are identical.
+type IssueOp struct {
+	f    *File
+	p    *des.Proc
+	port *Port
+	reqs []*serverRequest
+
+	issueStart des.Time
+	waitStart  des.Time
+	gate       *des.Gate
+	launched   bool
+	noop       bool
+
+	// For causal recording, the request whose ack landed last: the client's
+	// gate wait is decomposed along that request's pipeline.
+	last struct {
 		ok                      bool
 		at, submit, start, done des.Time
 	}
-	gate := sim.NewGate(len(reqs))
-	for _, r := range reqs {
+
+	readOff, readN int64 // capture read-back range (InitRead only)
+}
+
+// init arms the op over prebuilt server requests.
+func (op *IssueOp) init(f *File, p *des.Proc, port *Port, reqs []*serverRequest) {
+	op.f, op.p, op.port, op.reqs = f, p, port, reqs
+	op.launched, op.noop = false, false
+	op.last.ok = false
+	op.readOff, op.readN = 0, 0
+	op.issueStart = f.fs.sim.Now()
+	// The client marshals every request serially on its own CPU first.
+	p.Sleep(f.fs.cfg.IssueOverhead + des.Time(len(reqs))*f.fs.cfg.PerServerIssue)
+}
+
+// Step drives the operation; it returns true once every server request has
+// been serviced and acknowledged.
+func (op *IssueOp) Step() bool {
+	if op.noop {
+		return true
+	}
+	f, p := op.f, op.p
+	fs := f.fs
+	sim := fs.sim
+	if p.Yielded() {
+		return false // still inside the marshaling sleep armed by init
+	}
+	if !op.launched {
+		op.launched = true
+		if c := fs.causal; c != nil {
+			// Request marshaling is part of delivering I/O service.
+			c.Busy(p.Name(), causal.CatIOService, op.issueStart, sim.Now())
+		}
+		op.launch()
+		op.waitStart = sim.Now()
+	}
+	for op.gate.Pending() > 0 {
+		op.gate.Park(p)
+		if p.Yielded() {
+			return false
+		}
+	}
+	if c := fs.causal; c != nil && sim.Now() > op.waitStart {
+		if op.last.ok {
+			// The wait ended when the slowest request's ack cleared the
+			// client NIC; bill its pipeline stages.
+			c.WaitChain(p.Name(), op.waitStart, sim.Now(), []causal.Segment{
+				{At: op.waitStart, Cat: causal.CatTransit},
+				{At: op.last.submit, Cat: causal.CatIOQueue},
+				{At: op.last.start, Cat: causal.CatIOService},
+				{At: op.last.done, Cat: causal.CatTransit},
+			})
+		} else {
+			c.WaitPlain(p.Name(), op.waitStart, sim.Now(), causal.CatTransit)
+		}
+	}
+	return true
+}
+
+// launch pushes every server request into the network/storage pipeline and
+// arms the completion gate. Runs once, after the marshaling sleep.
+func (op *IssueOp) launch() {
+	f, port := op.f, op.port
+	fs := f.fs
+	cfg := fs.cfg
+	sim := fs.sim
+	gate := sim.NewGate(len(op.reqs))
+	op.gate = gate
+	for _, r := range op.reqs {
 		r := r
 		srv := fs.servers[r.server]
 		var cost des.Time
@@ -126,9 +202,9 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 							}
 							port.Recv.Submit(back, func() {
 								if fs.causal != nil {
-									if now := sim.Now(); !last.ok || now >= last.at {
-										last.ok, last.at = true, now
-										last.submit, last.start, last.done = submitAt, doneAt-cost, doneAt
+									if now := sim.Now(); !op.last.ok || now >= op.last.at {
+										op.last.ok, op.last.at = true, now
+										op.last.submit, op.last.start, op.last.done = submitAt, doneAt-cost, doneAt
 									}
 								}
 								gate.Done()
@@ -151,69 +227,95 @@ func (f *File) issue(p *des.Proc, port *Port, reqs []*serverRequest) {
 			})
 		})
 	}
-	waitStart := sim.Now()
-	gate.Wait(p)
-	if c := fs.causal; c != nil && sim.Now() > waitStart {
-		if last.ok {
-			// The wait ended when the slowest request's ack cleared the
-			// client NIC; bill its pipeline stages.
-			c.WaitChain(p.Name(), waitStart, sim.Now(), []causal.Segment{
-				{At: waitStart, Cat: causal.CatTransit},
-				{At: last.submit, Cat: causal.CatIOQueue},
-				{At: last.start, Cat: causal.CatIOService},
-				{At: last.done, Cat: causal.CatTransit},
-			})
-		} else {
-			c.WaitPlain(p.Name(), waitStart, sim.Now(), causal.CatTransit)
-		}
+}
+
+// InitWrite arms op as a contiguous write of n bytes at off. data may be nil
+// unless the file system captures real bytes. A non-positive n is a no-op.
+func (op *IssueOp) InitWrite(p *des.Proc, f *File, port *Port, off, n int64, data []byte) {
+	if n <= 0 {
+		op.noop = true
+		return
 	}
+	pieces := f.splitByServer([]Segment{{Offset: off, Length: n, Data: data}})
+	op.init(f, p, port, groupRequests(pieces, opWrite, true))
+}
+
+// InitWriteList arms op as a native noncontiguous list-I/O write: all
+// segments in one operation, one batched request per touched server, issued
+// in parallel. This is the PVFS2 list I/O interface of [Ching et al. 2002]
+// that the WW-List strategy exercises. An empty segment list is a no-op.
+func (op *IssueOp) InitWriteList(p *des.Proc, f *File, port *Port, segs []Segment) {
+	if len(segs) == 0 {
+		op.noop = true
+		return
+	}
+	pieces := f.splitByServer(segs)
+	op.init(f, p, port, groupRequests(pieces, opWrite, false))
+}
+
+// InitRead arms op as a contiguous read. A non-positive n is a no-op.
+func (op *IssueOp) InitRead(p *des.Proc, f *File, port *Port, off, n int64) {
+	if n <= 0 {
+		op.noop = true
+		return
+	}
+	pieces := f.splitByServer([]Segment{{Offset: off, Length: n}})
+	op.init(f, p, port, groupRequests(pieces, opRead, true))
+	op.readOff, op.readN = off, n
+}
+
+// InitSync arms op as a flush of every server's dirty data (MPI_File_sync's
+// storage-side effect). Each server charges a base cost plus its dirty bytes
+// over the flush bandwidth; concurrent syncs therefore mostly pay the base
+// cost.
+func (op *IssueOp) InitSync(p *des.Proc, f *File, port *Port) {
+	reqs := make([]*serverRequest, 0, len(f.fs.servers))
+	for i := range f.fs.servers {
+		reqs = append(reqs, &serverRequest{server: i, kind: opSync})
+	}
+	op.init(f, p, port, reqs)
+}
+
+// ReadData returns the stored bytes of an InitRead-armed op (zero-filled
+// gaps) when the file system captures data, nil otherwise. Valid only after
+// Step has returned true.
+func (op *IssueOp) ReadData() []byte {
+	if op.readN <= 0 || !op.f.fs.cfg.CaptureData {
+		return nil
+	}
+	return op.f.data.read(op.readOff, op.readN)
 }
 
 // Write performs a contiguous write of n bytes at off. data may be nil
 // unless the file system captures real bytes.
 func (f *File) Write(p *des.Proc, port *Port, off, n int64, data []byte) {
-	if n <= 0 {
-		return
-	}
-	pieces := f.splitByServer([]Segment{{Offset: off, Length: n, Data: data}})
-	f.issue(p, port, groupRequests(pieces, opWrite, true))
+	var op IssueOp
+	op.InitWrite(p, f, port, off, n, data)
+	op.Step()
 }
 
-// WriteList performs a native noncontiguous list-I/O write: all segments in
-// one operation, one batched request per touched server, issued in parallel.
-// This is the PVFS2 list I/O interface of [Ching et al. 2002] that the
-// WW-List strategy exercises.
+// WriteList performs a native noncontiguous list-I/O write; see
+// IssueOp.InitWriteList.
 func (f *File) WriteList(p *des.Proc, port *Port, segs []Segment) {
-	if len(segs) == 0 {
-		return
-	}
-	pieces := f.splitByServer(segs)
-	f.issue(p, port, groupRequests(pieces, opWrite, false))
+	var op IssueOp
+	op.InitWriteList(p, f, port, segs)
+	op.Step()
 }
 
 // Read performs a contiguous read; with capture enabled the stored bytes
 // (zero-filled gaps) are returned, otherwise nil.
 func (f *File) Read(p *des.Proc, port *Port, off, n int64) []byte {
-	if n <= 0 {
-		return nil
-	}
-	pieces := f.splitByServer([]Segment{{Offset: off, Length: n}})
-	f.issue(p, port, groupRequests(pieces, opRead, true))
-	if f.fs.cfg.CaptureData {
-		return f.data.read(off, n)
-	}
-	return nil
+	var op IssueOp
+	op.InitRead(p, f, port, off, n)
+	op.Step()
+	return op.ReadData()
 }
 
-// Sync flushes every server's dirty data (MPI_File_sync's storage-side
-// effect). Each server charges a base cost plus its dirty bytes over the
-// flush bandwidth; concurrent syncs therefore mostly pay the base cost.
+// Sync flushes every server's dirty data; see IssueOp.InitSync.
 func (f *File) Sync(p *des.Proc, port *Port) {
-	reqs := make([]*serverRequest, 0, len(f.fs.servers))
-	for i := range f.fs.servers {
-		reqs = append(reqs, &serverRequest{server: i, kind: opSync})
-	}
-	f.issue(p, port, reqs)
+	var op IssueOp
+	op.InitSync(p, f, port)
+	op.Step()
 }
 
 // lockUnits returns the lock resources a write request must serialize

@@ -3,8 +3,6 @@ package romio
 import (
 	"sort"
 
-	"s3asim/internal/causal"
-	"s3asim/internal/des"
 	"s3asim/internal/mpi"
 	"s3asim/internal/pvfs"
 )
@@ -104,66 +102,15 @@ func (g *Group) numAggregators() int {
 	return n
 }
 
-// WriteAll performs one collective two-phase write round. Blocks until the
-// round's exit synchronization — the "inherent synchronization of
-// collective I/O" whose cost the paper measures.
+// WriteAll performs one collective write round. Blocks until the round's
+// exit synchronization — the "inherent synchronization of collective I/O"
+// whose cost the paper measures. The round itself lives in CollWriteOp (so
+// FSM processes can run it resumably); this wrapper drives it to completion
+// for goroutine processes.
 func (g *Group) WriteAll(r *mpi.Rank, segs []pvfs.Segment) {
-	if _, ok := g.indexOf[r.Rank()]; !ok {
-		panic("romio: rank not in collective group")
-	}
-	// Register this rank's contribution for the current round.
-	if g.cur == nil {
-		g.cur = &collRound{id: g.round, segs: make(map[int][]pvfs.Segment, len(g.ranks))}
-		g.round++
-	}
-	round := g.cur
-	round.segs[r.Rank()] = segs
-
-	if g.f.hints.CollWriteMethod == ListSync {
-		// The paper's proposed collective: each rank writes its own
-		// segments with native list I/O as soon as it arrives, with a
-		// forced synchronization only at the END of the I/O operation —
-		// no entry barrier, no pattern exchange, no redistribution.
-		if len(segs) > 0 {
-			g.f.pv.WriteList(r.Proc(), g.f.port(r), segs)
-		}
-	} else {
-		// Phase 0: everyone synchronizes so the exchange plan is complete.
-		g.entry.Arrive(r)
-		if round.plan == nil {
-			round.plan = g.buildPlan(round)
-		}
-		plan := round.plan
-
-		if plan != nil { // nil plan: nobody had data this round
-			// Phase 1: every participant processes the union access pattern
-			// (ROMIO flattens and domain-assigns all ranks' offsets locally).
-			perSeg := g.f.hints.TwoPhasePlanPerSeg
-			if perSeg <= 0 {
-				perSeg = 400 * des.Microsecond
-			}
-			totalSegs := 0
-			for _, rsegs := range round.segs {
-				totalSegs += len(rsegs)
-			}
-			planStart := r.Now()
-			r.Proc().Sleep(des.Time(totalSegs) * perSeg)
-			if c := r.World().Causal(); c != nil {
-				// Flattening the union pattern is I/O software overhead.
-				c.Busy(r.Proc().Name(), causal.CatIOService, planStart, r.Now())
-			}
-			// Phase 2: redistribute to aggregators and write the domains.
-			g.exchangeAndWrite(r, plan, round.id)
-		}
-	}
-
-	// Phase 3: exit synchronization; last one out retires the round (>=
-	// absorbs membership shrinking under fault-driven deregistration).
-	round.departed++
-	if round.departed >= len(g.ranks) {
-		g.cur = nil
-	}
-	g.exit.Arrive(r)
+	var op CollWriteOp
+	op.Init(g, r, segs)
+	op.Step()
 }
 
 // buildPlan computes the aggregate extent, file domains, and the
@@ -237,59 +184,6 @@ func (g *Group) buildPlan(round *collRound) *collPlan {
 		}
 	}
 	return plan
-}
-
-// exchangeAndWrite runs the data redistribution and, for aggregators, the
-// domain write. Every member executes the same deterministic plan, so sends
-// and receives pair up without further negotiation.
-func (g *Group) exchangeAndWrite(r *mpi.Rank, plan *collPlan, roundID uint64) {
-	me := r.Rank()
-	tag := collTagBase + int(roundID&0xFFFF)
-
-	// Start all outbound transfers, visiting aggregators in deterministic
-	// (sorted-rank) order so the event schedule replays identically.
-	var sends []*mpi.Request
-	var local []pvfs.Segment
-	mine := plan.sendPieces[me]
-	for _, agg := range plan.aggregators {
-		pieces, ok := mine[agg]
-		if !ok {
-			continue
-		}
-		if agg == me {
-			local = append(local, pieces...) // no self-message
-			continue
-		}
-		var bytes int64
-		for _, pc := range pieces {
-			bytes += pc.Length
-		}
-		sends = append(sends, r.Isend(agg, tag, bytes, pieces))
-	}
-
-	// Aggregators gather their domain.
-	if isAggregator(me, plan) {
-		expected := 0
-		for contributor, m := range plan.sendPieces {
-			if contributor == me {
-				continue
-			}
-			if _, ok := m[me]; ok {
-				expected++
-			}
-		}
-		gathered := append([]pvfs.Segment(nil), local...)
-		for i := 0; i < expected; i++ {
-			msg := r.Recv(mpi.AnySource, tag)
-			gathered = append(gathered, msg.Payload.([]pvfs.Segment)...)
-		}
-		if len(gathered) > 0 {
-			coalesced := coalesce(gathered)
-			g.f.pv.WriteList(r.Proc(), g.f.port(r), coalesced)
-		}
-	}
-
-	r.WaitAll(sends...)
 }
 
 // isAggregator reports whether rank owns a file domain in the plan.

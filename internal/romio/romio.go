@@ -19,7 +19,6 @@ package romio
 
 import (
 	"fmt"
-	"sort"
 
 	"s3asim/internal/des"
 	"s3asim/internal/mpi"
@@ -162,89 +161,13 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 }
 
 // WriteSegs performs an individual noncontiguous write of segs from rank r
-// using the hinted ADIO method.
+// using the hinted ADIO method. The methods live in WriteSegsOp (so FSM
+// processes can run them resumably); this wrapper drives it to completion
+// for goroutine processes.
 func (f *File) WriteSegs(r *mpi.Rank, segs []pvfs.Segment) {
-	if len(segs) == 0 {
-		return
-	}
-	switch f.hints.IndWriteMethod {
-	case Posix:
-		for _, s := range segs {
-			f.pv.Write(r.Proc(), f.port(r), s.Offset, s.Length, s.Data)
-		}
-	case ListIO:
-		f.pv.WriteList(r.Proc(), f.port(r), segs)
-	case DataSieve:
-		f.writeSieved(r, segs)
-	}
-}
-
-// writeSieved implements ROMIO's generic write data sieving: for each
-// sieve-buffer-sized window of the segments' extent that contains data,
-// read the window, overlay the segments, and write it back contiguously.
-func (f *File) writeSieved(r *mpi.Rank, segs []pvfs.Segment) {
-	sorted := append([]pvfs.Segment(nil), segs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
-	buf := f.hints.SieveBufferSize
-	p, port := r.Proc(), f.port(r)
-
-	i := 0
-	for i < len(sorted) {
-		winLo := sorted[i].Offset
-		winHi := winLo + buf
-		// Collect the segments that start inside this window.
-		j := i
-		var last int64 = winLo
-		for j < len(sorted) && sorted[j].Offset < winHi {
-			if end := sorted[j].Offset + sorted[j].Length; end > last {
-				last = end
-			}
-			j++
-		}
-		if last > winHi {
-			last = winHi
-		}
-		n := last - winLo
-		// Read-modify-write the window. The read back is what makes data
-		// sieving expensive for sparse write patterns.
-		img := f.pv.Read(p, port, winLo, n)
-		if img == nil {
-			img = make([]byte, n)
-		}
-		for k := i; k < j; k++ {
-			s := sorted[k]
-			lo := s.Offset
-			hi := s.Offset + s.Length
-			if hi > last {
-				hi = last
-			}
-			if s.Data != nil && hi > lo {
-				copy(img[lo-winLo:hi-winLo], s.Data[:hi-lo])
-			}
-		}
-		f.pv.Write(p, port, winLo, n, img)
-		// Any tail of segment j-1 beyond the window is handled by
-		// re-slicing it into the next iteration.
-		var carry []pvfs.Segment
-		for k := i; k < j; k++ {
-			s := sorted[k]
-			if s.Offset+s.Length > last {
-				over := s.Offset + s.Length - last
-				cs := pvfs.Segment{Offset: last, Length: over}
-				if s.Data != nil {
-					cs.Data = s.Data[s.Length-over:]
-				}
-				carry = append(carry, cs)
-			}
-		}
-		rest := append(carry, sorted[j:]...)
-		sort.Slice(rest, func(a, b int) bool { return rest[a].Offset < rest[b].Offset })
-		sorted = rest
-		i = 0
-		if len(sorted) == 0 {
-			break
-		}
-	}
+	var op WriteSegsOp
+	op.Init(f, r, segs)
+	op.Step()
 }
 
 // Sync flushes the file from rank r (MPI_File_sync).

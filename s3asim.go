@@ -263,6 +263,22 @@ func SegmentationComparison(base Config, dbSizes []int64, parallelism ...int) (*
 	return experiments.SegmentationComparison(base, dbSizes, parallelism...)
 }
 
+// ScaleConfig is the rank-scaling study configuration: procs total
+// processes over a bounded task count, the regime the FSM worker engine
+// (DESIGN.md §12) makes affordable at 100k ranks.
+func ScaleConfig(procs int) Config { return core.ScaleConfig(procs) }
+
+// ScalePoint is one rank-scaling cell: deterministic virtual-time
+// observables plus this host's wall clock and peak sampled memory.
+type ScalePoint = experiments.ScalePoint
+
+// ScaleSweep runs ScaleConfig at each rank count. Cells run sequentially
+// so the process-wide memory sample means something.
+func ScaleSweep(ranks []int) ([]ScalePoint, error) { return experiments.ScaleSweep(ranks) }
+
+// ScaleTable renders a sweep's deterministic virtual-time columns.
+func ScaleTable(points []ScalePoint) *Table { return experiments.ScaleTable(points) }
+
 // Fault-injection layer (internal/fault, DESIGN.md §9): a FaultPlan is a
 // deterministic schedule of FaultEvents — worker crashes (with optional
 // restart), straggler slowdowns, PVFS server outages and degradations, and
