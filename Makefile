@@ -15,10 +15,11 @@ test:
 short:
 	$(GO) test -short ./...
 
-# The sweep executor, workload cache, engine, fault layer, and the shared
-# observability sinks/registry under concurrent cells.
+# The sweep executor, workload cache, engine, fault layer, the serving
+# traffic generator, and the shared observability sinks/registry under
+# concurrent cells.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/
+	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/ ./internal/serve/
 
 # A short fuzz pass over the chaos-spec parser (longer sessions: raise -fuzztime).
 fuzz:
@@ -48,6 +49,6 @@ bench-scale:
 # Quick full-suite run compared against the committed baseline record
 # (execution performance only; virtual-time results are deterministic).
 bench-diff:
-	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0003.json
+	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0004.json
 
 check: build vet test race

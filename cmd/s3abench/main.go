@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	s3abench [-suite procs|speed|figures|extensions|chaos|scale|all] [-quick] [-csv]
+//	s3abench [-suite procs|speed|figures|extensions|chaos|scale|serve|all] [-quick] [-csv]
 //	         [-reps N] [-parallel N] [-json dir] [-diff baseline.json]
 //	         [-explain] [-trace-dir dir] [-metrics] [-pprof file]
 //
@@ -22,7 +22,11 @@
 // failure-detection latency). The scale suite runs the rank-scaling study
 // (bounded task count, FSM worker engine) at 1k/10k/100k ranks — 1k/10k
 // under -quick — reporting wall time, event throughput, and peak memory
-// per rank; its cells run sequentially regardless of -parallel.
+// per rank; its cells run sequentially regardless of -parallel. The serve
+// suite runs the open-loop serving scenario (seeded multi-tenant traffic
+// over strategy × offered load) and reports latency percentiles from
+// fixed-memory histograms, SLO accounting per tenant, throughput against
+// offered load, and per-percentile-band tail critical-path attribution.
 //
 // -explain additionally runs the causal-tracing matrix (every strategy ×
 // sync mode at one process count) and prints critical-path attribution
@@ -70,6 +74,23 @@ type suiteRecord struct {
 	Occupancy     float64 `json:"occupancy,omitempty"`
 	CacheHits     uint64  `json:"workload_cache_hits"`
 	CacheMisses   uint64  `json:"workload_cache_misses"`
+	// Serve carries the serving suite's per-cell telemetry (additive; absent
+	// for every other suite).
+	Serve []serveCellRecord `json:"serve,omitempty"`
+}
+
+// serveCellRecord is one (strategy, load) cell of the serving suite in the
+// JSON output: the headline percentiles, throughput, and SLO accounting.
+type serveCellRecord struct {
+	Strategy   string  `json:"strategy"`
+	Load       float64 `json:"load"`
+	OfferedQPS float64 `json:"offered_qps"`
+	Queries    int     `json:"queries"`
+	TputQPS    float64 `json:"tput_qps"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	P999Secs   float64 `json:"p999_seconds"`
+	Violations int     `json:"slo_violations"`
 }
 
 // benchRecord is the top-level JSON document. SchemaVersion guards the
@@ -90,7 +111,7 @@ const benchSchemaVersion = 1
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, scale, all")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, scale, serve, all")
 		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
@@ -107,9 +128,9 @@ func main() {
 	)
 	flag.Parse()
 	switch *suite {
-	case "procs", "speed", "figures", "extensions", "chaos", "scale", "all":
+	case "procs", "speed", "figures", "extensions", "chaos", "scale", "serve", "all":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, scale, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, scale, serve, or all)", *suite))
 	}
 	// "figures" is the paper's figure pair: the process and speed sweeps.
 	wantSweep := func(kind string) bool {
@@ -306,6 +327,53 @@ func main() {
 			Parallelism: 1,
 			Cells:       len(ranks),
 		})
+	}
+	if *suite == "serve" || *suite == "all" {
+		sopts := s3asim.PaperServeOptions()
+		if *quick {
+			sopts = s3asim.QuickServeOptions()
+		}
+		sopts.Parallelism = *parallel
+		start := time.Now()
+		sres, err := s3asim.RunServeSweep(sopts)
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		for _, tb := range sres.Tables() {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		queries := 0
+		for _, c := range sres.Cells {
+			queries += len(c.Queries)
+		}
+		fmt.Fprintf(os.Stderr,
+			"suite serve: %d cells (%d queries) in %.2fs wall at parallelism %d\n",
+			len(sres.Cells), queries, wall.Seconds(), effPar)
+		srec := suiteRecord{
+			Name:        "serve",
+			WallSeconds: wall.Seconds(),
+			Parallelism: effPar,
+			Cells:       len(sres.Cells),
+		}
+		for _, c := range sres.Cells {
+			srec.Serve = append(srec.Serve, serveCellRecord{
+				Strategy:   c.Strategy.String(),
+				Load:       c.Load,
+				OfferedQPS: c.OfferedRate,
+				Queries:    len(c.Queries),
+				TputQPS:    c.Throughput,
+				P50Seconds: c.P50.Seconds(),
+				P99Seconds: c.P99.Seconds(),
+				P999Secs:   c.P999.Seconds(),
+				Violations: c.Violations,
+			})
+		}
+		record.Suites = append(record.Suites, srec)
 	}
 	if *explain {
 		start := time.Now()

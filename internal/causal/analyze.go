@@ -48,57 +48,87 @@ type Attribution struct {
 // the walk terminates and the step spans tile [0, end) exactly — that is the
 // conservation invariant the tests pin.
 func (r *Recorder) CriticalPath(end des.Time) *Attribution {
-	att := &Attribution{Total: end}
-	if r == nil || end <= 0 {
+	return r.CriticalPathBetween("", 0, end)
+}
+
+// CriticalPathBetween is the windowed walk: backward from time hi on proc
+// (the per-query/per-request form — start from the process that completed
+// the work) down to time lo, attributing every nanosecond of [lo, hi). An
+// empty proc starts from the process whose recorded timeline reaches
+// furthest, exactly like CriticalPath; CriticalPath(end) is
+// CriticalPathBetween("", 0, end). Attribution.Total is hi−lo and Steps tile
+// [lo, hi), so Check() holds for windowed walks too.
+func (r *Recorder) CriticalPathBetween(proc string, lo, hi des.Time) *Attribution {
+	if lo < 0 {
+		lo = 0
+	}
+	att := &Attribution{Total: hi - lo}
+	if r == nil || hi <= lo {
 		if att.Total < 0 {
 			att.Total = 0
 		}
 		if att.Total > 0 {
 			att.ByCat[CatOther] = att.Total
-			att.Steps = []Step{{Proc: "", Start: 0, End: att.Total, Cat: CatOther}}
+			att.Steps = []Step{{Proc: "", Start: lo, End: hi, Cat: CatOther}}
 		}
 		return att
 	}
 
-	// Start from the process whose recorded timeline reaches furthest;
-	// ties break lexicographically for determinism.
-	var startProc string
+	// The process whose recorded timeline reaches furthest; ties break
+	// lexicographically (Procs() is sorted) for determinism. It is the start
+	// when no explicit proc was given (or the given one is unknown).
+	var furthest string
 	var maxEnd des.Time = -1
 	for _, name := range r.Procs() {
 		tl := r.timelines[name]
 		if n := len(tl); n > 0 {
 			if e := tl[n-1].end; e > maxEnd {
-				maxEnd, startProc = e, name
+				maxEnd, furthest = e, name
 			}
 		}
 	}
+	startProc := proc
+	if _, known := r.timelines[startProc]; !known {
+		startProc = furthest
+	}
 	att.EndProc = startProc
 
-	bill := func(proc string, lo, hi des.Time, cat Category) {
-		if hi <= lo {
+	bill := func(proc string, blo, bhi des.Time, cat Category) {
+		if blo < lo {
+			blo = lo
+		}
+		if bhi <= blo {
 			return
 		}
-		att.ByCat[cat] += hi - lo
+		att.ByCat[cat] += bhi - blo
 		// Merge with the previous step when contiguous on the same proc+cat
 		// (keeps Steps compact for long uniform stretches).
 		if n := len(att.Steps); n > 0 {
 			last := &att.Steps[n-1]
-			if last.Proc == proc && last.Cat == cat && last.Start == hi {
-				last.Start = lo
+			if last.Proc == proc && last.Cat == cat && last.Start == bhi {
+				last.Start = blo
 				return
 			}
 		}
-		att.Steps = append(att.Steps, Step{Proc: proc, Start: lo, End: hi, Cat: cat})
+		att.Steps = append(att.Steps, Step{Proc: proc, Start: blo, End: bhi, Cat: cat})
 	}
 
-	proc, t := startProc, end
+	t := hi
 	if startProc == "" {
-		bill("", 0, end, CatOther)
+		bill("", lo, hi, CatOther)
 		return att
 	}
+	proc = startProc
 	// Anything after the last recorded interval is uninstrumented tail
-	// (e.g. stale resilient-protocol timers draining the calendar).
-	if maxEnd < t {
+	// (e.g. stale resilient-protocol timers draining the calendar). With an
+	// explicit start proc, the tail is measured against that proc's own
+	// timeline — its uninstrumented time is still "other".
+	if tl := r.timelines[proc]; len(tl) > 0 {
+		if e := tl[len(tl)-1].end; e < t {
+			bill(proc, e, t, CatOther)
+			t = e
+		}
+	} else if maxEnd < t {
 		bill(proc, maxEnd, t, CatOther)
 		t = maxEnd
 	}
@@ -107,9 +137,9 @@ func (r *Recorder) CriticalPath(end des.Time) *Attribution {
 	// pass through a proc, and every step strictly decreases t; 4× total
 	// intervals plus slack is far beyond any legitimate walk.
 	maxSteps := 4*r.Intervals() + 64
-	for steps := 0; t > 0; steps++ {
+	for steps := 0; t > lo; steps++ {
 		if steps >= maxSteps {
-			bill(proc, 0, t, CatOther)
+			bill(proc, lo, t, CatOther)
 			att.Truncated = true
 			break
 		}
@@ -117,7 +147,7 @@ func (r *Recorder) CriticalPath(end des.Time) *Attribution {
 		// Find the last interval on this timeline starting strictly before t.
 		idx := sort.Search(len(tl), func(i int) bool { return tl[i].start >= t }) - 1
 		if idx < 0 {
-			bill(proc, 0, t, CatOther)
+			bill(proc, lo, t, CatOther)
 			break
 		}
 		iv := tl[idx]

@@ -189,3 +189,73 @@ func TestTotalsCountsEverything(t *testing.T) {
 		t.Fatalf("total %v", tot.Total())
 	}
 }
+
+// TestCriticalPathBetweenWindow pins the windowed walker: walking backward
+// from (proc, hi) down to lo conserves exactly hi−lo, tiles [lo, hi), and
+// follows edges across processes inside the window.
+func TestCriticalPathBetweenWindow(t *testing.T) {
+	r := NewRecorder()
+	r.Busy("A", CatCompute, 0, 10*ms)
+	r.WaitEdge("B", 2*ms, 12*ms, CatTransit, "A", 10*ms)
+	r.Busy("B", CatCompute, 12*ms, 20*ms)
+
+	// Full-range window from the furthest proc equals CriticalPath.
+	full := r.CriticalPathBetween("", 0, 20*ms)
+	ref := r.CriticalPath(20 * ms)
+	if full.ByCat != ref.ByCat || full.EndProc != ref.EndProc {
+		t.Fatalf("full window %v != CriticalPath %v", full.ByCat, ref.ByCat)
+	}
+
+	// Per-query style window: B's completion back to t=5ms. The walk bills
+	// B's compute [12,20), transit [10,12), then jumps to A and bills A's
+	// compute clamped at the floor: [5,10).
+	att := r.CriticalPathBetween("B", 5*ms, 20*ms)
+	if err := att.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if att.Total != 15*ms {
+		t.Fatalf("total %v, want 15ms", att.Total)
+	}
+	if att.ByCat[CatCompute] != 13*ms || att.ByCat[CatTransit] != 2*ms {
+		t.Fatalf("window breakdown %v", att.ByCat)
+	}
+	lo, hi := att.Steps[len(att.Steps)-1].Start, att.Steps[0].End
+	if lo != 5*ms || hi != 20*ms {
+		t.Fatalf("steps span [%v, %v), want [5ms, 20ms)", lo, hi)
+	}
+
+	// Explicit start on the non-furthest proc: A's own timeline ends at
+	// 10ms, so [10,12) is uninstrumented tail for A.
+	attA := r.CriticalPathBetween("A", 0, 12*ms)
+	if err := attA.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if attA.ByCat[CatOther] != 2*ms || attA.ByCat[CatCompute] != 10*ms {
+		t.Fatalf("explicit-proc walk %v", attA.ByCat)
+	}
+}
+
+// TestCriticalPathBetweenDegenerate covers empty windows, unknown procs, and
+// nil recorders: always conserving, never panicking.
+func TestCriticalPathBetweenDegenerate(t *testing.T) {
+	r := NewRecorder()
+	r.Busy("A", CatCompute, 0, 4*ms)
+	if att := r.CriticalPathBetween("A", 4*ms, 4*ms); att.Total != 0 {
+		t.Fatalf("empty window total %v", att.Total)
+	}
+	att := r.CriticalPathBetween("nobody", 1*ms, 3*ms)
+	if err := att.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if att.EndProc != "A" || att.ByCat[CatCompute] != 2*ms {
+		t.Fatalf("unknown proc should fall back to furthest: %q %v", att.EndProc, att.ByCat)
+	}
+	var nilRec *Recorder
+	if att := nilRec.CriticalPathBetween("A", 0, 2*ms); att.Check() != nil || att.ByCat[CatOther] != 2*ms {
+		t.Fatalf("nil recorder window: %+v", att)
+	}
+	// Negative lo clamps to zero.
+	if att := r.CriticalPathBetween("A", -5*ms, 4*ms); att.Total != 4*ms || att.Check() != nil {
+		t.Fatalf("negative lo: %+v", att)
+	}
+}

@@ -187,6 +187,15 @@ type Config struct {
 	// 0 picks 3.
 	MaxTaskRetries int
 
+	// Serve, if non-nil, switches the run into the open-loop serving
+	// scenario (DESIGN.md §13): queries arrive over virtual time per the
+	// plan's schedule, the master admits and queues them (FIFO or SJF), and
+	// per-query lifecycle stamps land in Report.Queries. Requires a single
+	// query group, QueriesPerWrite == 1, no resume, and the non-resilient
+	// protocol. Nil runs the paper's closed batch, byte-identically to
+	// builds without serving code.
+	Serve *ServePlan
+
 	// ProcModel selects how worker processes are backed by the kernel (see
 	// DESIGN.md §12). The default ProcAuto runs the steady-state worker loop
 	// as a pooled resumable state machine (des.SpawnFSM) on non-resilient
@@ -294,6 +303,9 @@ func (c *Config) Validate() error {
 	}
 	if c.ProcModel == ProcFSM && c.resilient() {
 		return errors.New("core: ProcFSM is incompatible with the resilient protocol (use ProcAuto or ProcGoroutine)")
+	}
+	if err := c.validateServe(); err != nil {
+		return err
 	}
 	if !c.FaultPlan.IsEmpty() {
 		if err := c.FaultPlan.Validate(); err != nil {

@@ -57,16 +57,26 @@ func (rt *runtime) master(r *mpi.Rank, g *group) {
 		switch {
 		case st.notified < len(g.workers):
 			// Steps 3–9: serve the next work request (blocking receive, as
-			// the paper's master does to prioritize distribution).
+			// the paper's master does to prioritize distribution). A serving
+			// master draws tasks from its admission queue instead of the
+			// next-in-batch counter (serving.go).
 			pt.Switch(PhaseDataDist)
 			m := r.Recv(mpi.AnySource, tagWorkRequest)
-			if st.nextQ < g.hiQ {
-				t := task{Q: st.nextQ, F: st.nextF}
+			var t task
+			var have bool
+			if rt.serve != nil {
+				t, have = rt.serveNext(r, pt, g, st)
+				pt.Switch(PhaseDataDist)
+			} else if st.nextQ < g.hiQ {
+				t = task{Q: st.nextQ, F: st.nextF}
+				have = true
 				st.nextF++
 				if st.nextF == cfg.Workload.NumFragments {
 					st.nextF = 0
 					st.nextQ++
 				}
+			}
+			if have {
 				r.Send(m.Source, tagWorkReply, replyMsgBytes, t)
 				pt.Switch(PhaseGather)
 				st.scoreReqs = append(st.scoreReqs, r.Irecv(m.Source, tagScores))
@@ -122,15 +132,20 @@ func (rt *runtime) masterDrain(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 		st.processed++
 		if st.remaining[q] == 0 {
 			st.complete[q] = true
+			rt.serveStampGathered(q)
 		}
 	}
 	rt.masterFlush(r, pt, g, st)
 }
 
 // masterFlush flushes every ready batch, in order: the master writes (MW)
-// or distributes offset lists (WW strategies).
+// or distributes offset lists (WW strategies). Serving runs relax the
+// in-order restriction (serveFlush).
 func (rt *runtime) masterFlush(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterState) {
-	cfg := rt.cfg
+	if rt.serve != nil {
+		rt.serveFlush(r, pt, g, st)
+		return
+	}
 	for st.flushed < len(g.batches) {
 		b := g.batches[st.flushed]
 		allDone := true
@@ -143,61 +158,71 @@ func (rt *runtime) masterFlush(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 		if !allDone {
 			return
 		}
-		if cfg.Strategy == MW {
-			// Step 18: format the merged results (the mpiBLAST master's
-			// serialization bottleneck), then one large contiguous write
-			// followed by sync. Workers drain their in-flight tasks during
-			// this stall — which is why the paper finds forced
-			// synchronization nearly free under MW.
-			pt.Switch(PhaseIO)
-			rt.mergeSleep(r, des.BytesOver(b.Bytes, cfg.FormatBandwidth))
-			var data []byte
-			if cfg.CaptureData {
-				data = rt.batchData(b)
-			}
-			rt.file.WriteAt(r, b.Region, b.Bytes, data)
-			if cfg.SyncEveryWrite {
-				rt.file.Sync(r)
-			}
-			rt.flushTimes[g.batchBase+st.flushed] = rt.sim.Now()
-			pt.Switch(PhaseGather)
-			if cfg.QuerySync {
-				for _, w := range g.workers {
-					st.offsetSends = append(st.offsetSends,
-						r.Isend(w, tagSyncToken, tokenMsgBytes, st.flushed))
-				}
-			}
-		} else {
-			// Steps 15–16: build and send per-worker offset lists. Every
-			// worker gets a message (possibly empty) so it can track batch
-			// progress and, under WW-Coll, join the collective round.
-			perWorker := make(map[int][]search.Result, len(g.workers))
-			for q := b.LoQ; q < b.HiQ; q++ {
-				qry := &rt.wl.Queries[q]
-				for _, res := range qry.Results {
-					w := st.assigned[q][res.Fragment]
-					perWorker[w] = append(perWorker[w], res)
-				}
-			}
-			for _, w := range g.workers {
-				msg := offsetMsg{Batch: st.flushed, Placements: perWorker[w]}
-				bytes := int64(offsetHdrBytes) + int64(len(perWorker[w]))*offsetPerResult
-				st.offsetSends = append(st.offsetSends,
-					r.Isend(w, tagOffsets, bytes, msg))
-			}
-			// Worker-writing durability is stamped by the workers as their
-			// writes (and syncs) complete; see workerWrite.
-		}
+		rt.flushBatch(r, pt, g, st, st.flushed)
 		st.flushed++
-		// Step 16: retire completed offset-list sends.
-		kept := st.offsetSends[:0]
-		for _, req := range st.offsetSends {
-			if !req.Done() {
-				kept = append(kept, req)
+	}
+}
+
+// flushBatch performs one batch flush — the MW write+sync (step 18) or the
+// WW offset-list distribution (steps 15–16) — for group-local batch bi, then
+// retires completed offset-list sends.
+func (rt *runtime) flushBatch(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterState, bi int) {
+	cfg := rt.cfg
+	b := g.batches[bi]
+	if cfg.Strategy == MW {
+		// Step 18: format the merged results (the mpiBLAST master's
+		// serialization bottleneck), then one large contiguous write
+		// followed by sync. Workers drain their in-flight tasks during
+		// this stall — which is why the paper finds forced
+		// synchronization nearly free under MW.
+		pt.Switch(PhaseIO)
+		rt.mergeSleep(r, des.BytesOver(b.Bytes, cfg.FormatBandwidth))
+		var data []byte
+		if cfg.CaptureData {
+			data = rt.batchData(b)
+		}
+		rt.file.WriteAt(r, b.Region, b.Bytes, data)
+		if cfg.SyncEveryWrite {
+			rt.file.Sync(r)
+		}
+		rt.flushTimes[g.batchBase+bi] = rt.sim.Now()
+		rt.serveStampDone(g.batchBase+bi, r.Proc().Name())
+		pt.Switch(PhaseGather)
+		if cfg.QuerySync {
+			for _, w := range g.workers {
+				st.offsetSends = append(st.offsetSends,
+					r.Isend(w, tagSyncToken, tokenMsgBytes, bi))
 			}
 		}
-		st.offsetSends = kept
+	} else {
+		// Steps 15–16: build and send per-worker offset lists. Every
+		// worker gets a message (possibly empty) so it can track batch
+		// progress and, under WW-Coll, join the collective round.
+		perWorker := make(map[int][]search.Result, len(g.workers))
+		for q := b.LoQ; q < b.HiQ; q++ {
+			qry := &rt.wl.Queries[q]
+			for _, res := range qry.Results {
+				w := st.assigned[q][res.Fragment]
+				perWorker[w] = append(perWorker[w], res)
+			}
+		}
+		for _, w := range g.workers {
+			msg := offsetMsg{Batch: bi, Placements: perWorker[w]}
+			bytes := int64(offsetHdrBytes) + int64(len(perWorker[w]))*offsetPerResult
+			st.offsetSends = append(st.offsetSends,
+				r.Isend(w, tagOffsets, bytes, msg))
+		}
+		// Worker-writing durability is stamped by the workers as their
+		// writes (and syncs) complete; see workerWrite.
 	}
+	// Step 16: retire completed offset-list sends.
+	kept := st.offsetSends[:0]
+	for _, req := range st.offsetSends {
+		if !req.Done() {
+			kept = append(kept, req)
+		}
+	}
+	st.offsetSends = kept
 }
 
 // batchData materializes a batch's result bytes in file order (capture

@@ -45,9 +45,15 @@ func droppableTag(tag int) bool {
 // their modeled timing).
 func delayableTag(tag int) bool { return tag < 1<<20 }
 
-// task identifies a (query, fragment) search unit.
+// task identifies a (query, fragment) search unit. Gate is used only by
+// serving runs (Config.Serve): the number of flush rounds the master had
+// initiated when it dispatched the task, which is the WW-Coll run-ahead
+// gate — the worker must have handled that many collective rounds before it
+// may start computing. Closed-batch runs leave it zero and derive the gate
+// from the query index instead (batches flush strictly in order there).
 type task struct {
 	Q, F int
+	Gate int
 }
 
 // scoreMsg is a worker's report for one completed task.

@@ -63,6 +63,9 @@ type runtime struct {
 
 	flushTimes []des.Time // per global batch: when its flush completed
 
+	// Serving-mode state (nil for the paper's closed batch).
+	serve *serveState
+
 	// Resilient-protocol state (nil/zero for the original protocol).
 	faults        *fault.Injector // fault oracle; non-nil iff cfg.resilient()
 	runErr        error           // first unrecoverable failure (fail())
@@ -109,6 +112,10 @@ type Report struct {
 	// IOTrace holds per-request file-system records when Config.TraceIO
 	// was set (see pvfs.AnalyzeTrace).
 	IOTrace []pvfs.RequestRecord
+
+	// Queries holds per-query lifecycle stamps for serving runs
+	// (Config.Serve), indexed by query in arrival order. Nil otherwise.
+	Queries []QueryStat
 
 	// Metrics is the run's instrumentation snapshot: counters (des.events,
 	// mpi.messages, pvfs.requests, ...), gauges, and virtual-time histograms
@@ -189,6 +196,10 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		metrics: reg,
 	}
 	rt.buildGroups()
+	if cfg.Serve != nil {
+		rt.serve = newServeState(cfg.Serve)
+		rt.serve.flushedB = make([]bool, len(rt.groups[0].batches))
+	}
 	if cfg.DisableMasterNICSerialization {
 		for _, g := range rt.groups {
 			world.UncontendNode(g.masterRank, 1024)
@@ -368,6 +379,10 @@ func (rt *runtime) report() (*Report, error) {
 	if c := cfg.Causal; c != nil {
 		rep.Attribution = c.CriticalPath(rep.Overall)
 		rep.CausalTotals = c.Totals()
+	}
+	if rt.serve != nil {
+		rep.Queries = rt.serveQueryStats()
+		rt.serveEmitSpans(cfg.sink())
 	}
 	masters := map[int]bool{}
 	for _, g := range rt.groups {

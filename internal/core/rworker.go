@@ -423,7 +423,7 @@ func (rt *runtime) rwWrite(r *mpi.Rank, pt *PhaseTimer, st *rworkerState, om off
 		if cfg.SyncEveryWrite {
 			rt.file.Sync(r)
 		}
-		rt.stampFlush(g, om.Batch)
+		rt.stampFlush(r.Proc().Name(), g, om.Batch)
 		return
 	}
 	if len(segs) == 0 {
@@ -434,5 +434,5 @@ func (rt *runtime) rwWrite(r *mpi.Rank, pt *PhaseTimer, st *rworkerState, om off
 	if cfg.SyncEveryWrite {
 		rt.file.Sync(r)
 	}
-	rt.stampFlush(g, om.Batch)
+	rt.stampFlush(r.Proc().Name(), g, om.Batch)
 }

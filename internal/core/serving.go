@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+
+	"s3asim/internal/des"
+	"s3asim/internal/mpi"
+	"s3asim/internal/obs"
+)
+
+// Open-loop serving mode (DESIGN.md §13). The paper runs one closed batch:
+// every query is available at t=0 and the master deals them out as fast as
+// workers ask. A serving run instead gives every query an arrival time — the
+// master admits a query only once it has arrived, queues admitted queries
+// under a FIFO or shortest-job-first discipline, and idles (draining scores
+// and flushing finished batches) when the queue is empty but arrivals
+// remain. Every query carries a lifecycle span (arrival → admission → queue
+// → dispatch → merge → write → complete) recorded in Report.Queries, the
+// raw material for the serve telemetry layer (internal/serve,
+// experiments.RunServeSweep).
+//
+// All serving behavior is gated on Config.Serve != nil: a nil plan runs the
+// original closed-batch protocol byte-for-byte.
+
+// ServeAdmission selects the admission-queue discipline of a serving run.
+type ServeAdmission int
+
+const (
+	// ServeFIFO dispatches admitted queries in arrival order.
+	ServeFIFO ServeAdmission = iota
+	// ServeSJF dispatches the admitted query with the smallest expected
+	// result volume first (shortest-job-first by modeled service demand;
+	// ties break toward the earlier arrival).
+	ServeSJF
+)
+
+// String names the admission discipline.
+func (a ServeAdmission) String() string {
+	if a == ServeSJF {
+		return "sjf"
+	}
+	return "fifo"
+}
+
+// ServePlan switches a run into the open-loop serving scenario.
+type ServePlan struct {
+	// Arrivals[q] is query q's arrival time; queries are indexed in arrival
+	// order, so the slice must be nondecreasing and exactly NumQueries long.
+	// Generate schedules with internal/serve.
+	Arrivals []des.Time
+	// Admission selects the queue discipline.
+	Admission ServeAdmission
+}
+
+// QueryStat is one query's recorded lifecycle in a serving run. The stamps
+// are nondecreasing: Arrival ≤ Admitted ≤ Dispatched ≤ Gathered ≤
+// FlushStart ≤ Done.
+type QueryStat struct {
+	Q int
+	// Arrival is the configured arrival time (ServePlan.Arrivals[Q]).
+	Arrival des.Time
+	// Admitted is when the master took the query into its admission queue.
+	Admitted des.Time
+	// Dispatched is when the first fragment task was handed to a worker.
+	Dispatched des.Time
+	// Gathered is when the master finished merging the last fragment's
+	// scores.
+	Gathered des.Time
+	// FlushStart is when the master initiated the result flush (the MW write
+	// or the WW offset-list distribution).
+	FlushStart des.Time
+	// Done is when the query's results were durably written (the batch
+	// flush-time stamp).
+	Done des.Time
+	// Proc names the process that completed the write — the start anchor
+	// for a per-query causal.CriticalPathBetween walk.
+	Proc string
+}
+
+// Latency is the query's end-to-end latency: arrival to durable result.
+func (s QueryStat) Latency() des.Time { return s.Done - s.Arrival }
+
+// serveState is the master-side bookkeeping of a serving run.
+type serveState struct {
+	plan  *ServePlan
+	stats []QueryStat
+
+	nextArr int   // next not-yet-admitted arrival index
+	queue   []int // admitted, not-yet-dispatched query indices
+	curQ    int   // query currently handing out fragments (-1: none)
+	curF    int   // next fragment of curQ
+
+	flushesSent int    // flush rounds initiated (the WW-Coll gate base)
+	flushedB    []bool // per group-local batch: flush initiated
+}
+
+// newServeState builds the bookkeeping for plan (validated by Config).
+func newServeState(plan *ServePlan) *serveState {
+	sv := &serveState{plan: plan, curQ: -1, stats: make([]QueryStat, len(plan.Arrivals))}
+	for q := range sv.stats {
+		sv.stats[q] = QueryStat{Q: q, Arrival: plan.Arrivals[q]}
+	}
+	return sv
+}
+
+// admit moves every arrival at or before now into the admission queue.
+func (sv *serveState) admit(now des.Time) {
+	for sv.nextArr < len(sv.plan.Arrivals) && sv.plan.Arrivals[sv.nextArr] <= now {
+		sv.stats[sv.nextArr].Admitted = now
+		sv.queue = append(sv.queue, sv.nextArr)
+		sv.nextArr++
+	}
+}
+
+// pick removes the next query from the admission queue per the configured
+// discipline and makes it current. Caller guarantees the queue is non-empty.
+func (sv *serveState) pick(rt *runtime, now des.Time) {
+	best := 0
+	if sv.plan.Admission == ServeSJF {
+		for i := 1; i < len(sv.queue); i++ {
+			if rt.wl.Queries[sv.queue[i]].Bytes < rt.wl.Queries[sv.queue[best]].Bytes {
+				best = i
+			}
+		}
+	}
+	q := sv.queue[best]
+	sv.queue = append(sv.queue[:best], sv.queue[best+1:]...)
+	sv.stats[q].Dispatched = now
+	sv.curQ, sv.curF = q, 0
+}
+
+// serveNext produces the next (query, fragment) task of a serving master, or
+// ok=false when every query has been fully dispatched. When nothing is
+// admitted but arrivals remain, the master idles until the next arrival —
+// the open-loop gap the closed protocol never has — draining scores and
+// flushing finished batches as they land so result durability does not wait
+// on the next arrival.
+func (rt *runtime) serveNext(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterState) (task, bool) {
+	sv := rt.serve
+	cfg := rt.cfg
+	for {
+		sv.admit(rt.sim.Now())
+		if sv.curQ < 0 && len(sv.queue) > 0 {
+			sv.pick(rt, rt.sim.Now())
+		}
+		if sv.curQ >= 0 {
+			t := task{Q: sv.curQ, F: sv.curF, Gate: sv.flushesSent}
+			sv.curF++
+			if sv.curF == cfg.Workload.NumFragments {
+				sv.curQ = -1
+			}
+			return t, true
+		}
+		if sv.nextArr >= len(sv.plan.Arrivals) {
+			return task{}, false
+		}
+		rt.serveIdle(r, pt, g, st, sv.plan.Arrivals[sv.nextArr])
+	}
+}
+
+// serveIdle waits out the gap to the next arrival while still servicing the
+// backend: completed score receives are drained (merging results and
+// flushing finished batches) the moment they land, so a quiet arrival stream
+// does not delay durability of in-flight queries.
+func (rt *runtime) serveIdle(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterState, deadline des.Time) {
+	for rt.sim.Now() < deadline {
+		if len(st.scoreReqs) == 0 {
+			// Nothing in flight: sleep straight to the arrival. The paper
+			// bills master waiting to data distribution.
+			pt.Switch(PhaseDataDist)
+			r.Proc().Sleep(deadline - rt.sim.Now())
+			continue
+		}
+		pt.Switch(PhaseGather)
+		r.WaitAnyUntil(st.scoreReqs, deadline)
+		rt.masterDrain(r, pt, g, st)
+	}
+}
+
+// serveFlush flushes every batch whose queries are complete, in batch order
+// but without the closed-batch in-order restriction: under SJF (or any
+// out-of-order completion) a later query's batch may flush while an earlier
+// query is still in flight. Each initiated flush advances the run-ahead gate
+// (task.Gate) new dispatches carry.
+func (rt *runtime) serveFlush(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterState) {
+	sv := rt.serve
+	for bi := range g.batches {
+		if sv.flushedB[bi] {
+			continue
+		}
+		b := g.batches[bi]
+		ready := true
+		for q := b.LoQ; q < b.HiQ; q++ {
+			if !st.complete[q] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		now := rt.sim.Now()
+		for q := b.LoQ; q < b.HiQ; q++ {
+			sv.stats[q].FlushStart = now
+		}
+		rt.flushBatch(r, pt, g, st, bi)
+		sv.flushedB[bi] = true
+		sv.flushesSent++
+		st.flushed++
+	}
+}
+
+// serveStampGathered records when a query's last fragment finished merging.
+func (rt *runtime) serveStampGathered(q int) {
+	if sv := rt.serve; sv != nil {
+		sv.stats[q].Gathered = rt.sim.Now()
+	}
+}
+
+// serveStampDone records who durably completed a batch's write and when.
+// With QueriesPerWrite == 1 (enforced by Validate for serving runs) the
+// global batch index is the query index.
+func (rt *runtime) serveStampDone(globalBatch int, proc string) {
+	if sv := rt.serve; sv != nil {
+		sv.stats[globalBatch].Done = rt.flushTimes[globalBatch]
+		sv.stats[globalBatch].Proc = proc
+	}
+}
+
+// Serving-run span states, emitted as per-query timeline tracks (and the
+// Perfetto per-query view). Each name owns a distinct legend rune under
+// trace.StateRunes.
+const (
+	serveStateAdmission = "Admission"  // arrival → admitted by the master
+	serveStateQueued    = "Queued"     // admitted → first fragment dispatched
+	serveStateExecute   = "Execute"    // dispatched → last merge finished
+	serveStateWriteWait = "Write Wait" // merged → flush initiated
+	serveStateFlush     = "Flush"      // flush initiated → durably written
+)
+
+// serveEmitSpans replays every query's lifecycle into the run's sink as one
+// track per query, in query order — deterministic, and emitted only after
+// the simulation completed so serving instrumentation never perturbs event
+// order. Zero-length spans are skipped.
+func (rt *runtime) serveEmitSpans(sink obs.Sink) {
+	if sink == nil {
+		return
+	}
+	for i := range rt.serve.stats {
+		s := &rt.serve.stats[i]
+		proc := fmt.Sprintf("query%04d", s.Q)
+		spans := [...]struct {
+			name     string
+			from, to des.Time
+		}{
+			{serveStateAdmission, s.Arrival, s.Admitted},
+			{serveStateQueued, s.Admitted, s.Dispatched},
+			{serveStateExecute, s.Dispatched, s.Gathered},
+			{serveStateWriteWait, s.Gathered, s.FlushStart},
+			{serveStateFlush, s.FlushStart, s.Done},
+		}
+		for _, sp := range spans {
+			if sp.to <= sp.from {
+				continue
+			}
+			sink.BeginState(proc, sp.name, sp.from)
+			sink.EndState(proc, sp.to)
+		}
+		sink.Point(proc, "complete", s.Done)
+	}
+}
+
+// serveQueryStats finalizes and returns the per-query lifecycle records. A
+// query with no results sees no worker write under the WW strategies, so no
+// stamp lands; its flush completes the moment it starts (Proc stays empty
+// and the causal walk falls back to the furthest-running process).
+func (rt *runtime) serveQueryStats() []QueryStat {
+	for i := range rt.serve.stats {
+		if s := &rt.serve.stats[i]; s.Done < s.FlushStart {
+			s.Done = s.FlushStart
+		}
+	}
+	return append([]QueryStat(nil), rt.serve.stats...)
+}
+
+// validateServe checks the serving plan against the rest of the config.
+func (c *Config) validateServe() error {
+	s := c.Serve
+	if s == nil {
+		return nil
+	}
+	if c.resilient() {
+		return fmt.Errorf("core: serving mode is incompatible with the resilient protocol")
+	}
+	if c.QueryGroups > 1 {
+		return fmt.Errorf("core: serving mode requires a single query group")
+	}
+	if c.QueriesPerWrite != 1 {
+		return fmt.Errorf("core: serving mode requires QueriesPerWrite == 1 (per-query flushes)")
+	}
+	if c.ResumeFromQuery != 0 {
+		return fmt.Errorf("core: serving mode cannot resume mid-stream")
+	}
+	if len(s.Arrivals) != c.Workload.NumQueries {
+		return fmt.Errorf("core: serving plan has %d arrivals for %d queries",
+			len(s.Arrivals), c.Workload.NumQueries)
+	}
+	var prev des.Time
+	for i, at := range s.Arrivals {
+		if at < prev {
+			return fmt.Errorf("core: serving arrivals must be nondecreasing (index %d: %v after %v)",
+				i, at, prev)
+		}
+		prev = at
+	}
+	return nil
+}

@@ -63,11 +63,14 @@ func (rt *runtime) worker(r *mpi.Rank, g *group) {
 			r.Send(boss, tagWorkRequest, requestMsgBytes, nil)
 			replyReq := r.Irecv(boss, tagWorkReply)
 			for !replyReq.Done() {
-				if st.tokReq != nil && rt.workerDrainIO(r, pt, st) {
+				// Serving masters hold work requests across arrival gaps, so
+				// a request-blocked worker must also service offset lists or
+				// it would sit on pending writes until the next arrival.
+				if (st.tokReq != nil || rt.serve != nil) && rt.workerDrainIO(r, pt, st) {
 					pt.Switch(PhaseDataDist)
 					continue
 				}
-				r.WaitAny(workerWaitSet(replyReq, st))
+				r.WaitAny(workerWaitSet(replyReq, st, rt.serve != nil))
 			}
 			reply := replyReq.Message()
 			if reply.Payload == nil {
@@ -117,7 +120,13 @@ func (rt *runtime) workerTask(r *mpi.Rank, pt *PhaseTimer, st *workerState, t ta
 	// queries until after the I/O operation"). The wait for the master's
 	// offset list bills to data distribution.
 	if cfg.Strategy == WWColl {
+		// Serving runs flush out of order, so the query index no longer
+		// implies how many rounds precede this task; the master tells us
+		// directly (task.Gate).
 		need := (t.Q - st.g.loQ) / cfg.QueriesPerWrite
+		if rt.serve != nil {
+			need = t.Gate
+		}
 		for st.batchesHandled < need {
 			pt.Switch(PhaseDataDist)
 			waitDone(r, st.offReq)
@@ -234,11 +243,16 @@ func waitDone(r *mpi.Rank, req *mpi.Request) {
 }
 
 // workerWaitSet lists the requests a worker may block on while awaiting a
-// work reply: the reply itself, plus the sync-token receive under MW+sync.
-func workerWaitSet(reply *mpi.Request, st *workerState) []*mpi.Request {
+// work reply: the reply itself, plus the sync-token receive under MW+sync —
+// and, in serving runs, the offset-list receive, since the reply may be an
+// arrival gap away.
+func workerWaitSet(reply *mpi.Request, st *workerState, serve bool) []*mpi.Request {
 	set := []*mpi.Request{reply}
 	if st.tokReq != nil {
 		set = append(set, st.tokReq)
+	}
+	if serve && st.offReq != nil {
+		set = append(set, st.offReq)
 	}
 	return set
 }
@@ -276,7 +290,7 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 		if cfg.SyncEveryWrite {
 			rt.file.Sync(r)
 		}
-		rt.stampFlush(g, om.Batch)
+		rt.stampFlush(r.Proc().Name(), g, om.Batch)
 		return
 	}
 	if len(segs) == 0 {
@@ -288,17 +302,19 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 	if cfg.SyncEveryWrite {
 		rt.file.Sync(r)
 	}
-	rt.stampFlush(g, om.Batch)
+	rt.stampFlush(r.Proc().Name(), g, om.Batch)
 }
 
 // stampFlush records when a batch's data last became durable: the latest
 // write completion among the workers holding its results (the master
 // stamps MW batches itself). Report.BatchFlushTimes feeds the §2
-// failure-recovery analysis.
-func (rt *runtime) stampFlush(g *group, localBatch int) {
+// failure-recovery analysis; serving runs also record which process
+// completed the write (the tail-attribution anchor).
+func (rt *runtime) stampFlush(proc string, g *group, localBatch int) {
 	idx := g.batchBase + localBatch
 	if now := rt.sim.Now(); now > rt.flushTimes[idx] {
 		rt.flushTimes[idx] = now
+		rt.serveStampDone(idx, proc)
 	}
 }
 

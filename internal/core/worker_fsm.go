@@ -182,7 +182,10 @@ func (m *workerFSM) step() bool {
 			m.pc = wfTask
 			return true
 		}
-		if m.st.tokReq != nil {
+		// Serving masters hold work requests across arrival gaps, so a
+		// request-blocked worker must also service offset lists
+		// (worker.go's reply-wait loop).
+		if m.st.tokReq != nil || m.rt.serve != nil {
 			m.startDrain()
 			m.pc = wfReplyDrain
 			return true
@@ -319,6 +322,9 @@ func (m *workerFSM) armReplyWait() {
 	m.waitSet = append(m.waitSet[:0], m.replyReq)
 	if m.st.tokReq != nil {
 		m.waitSet = append(m.waitSet, m.st.tokReq)
+	}
+	if m.rt.serve != nil && m.st.offReq != nil {
+		m.waitSet = append(m.waitSet, m.st.offReq)
 	}
 	m.waitAny.Init(m.r, m.waitSet)
 }
@@ -476,7 +482,7 @@ func (m *workerFSM) stepWrite() bool {
 				m.writePC = wwSync
 				continue
 			}
-			rt.stampFlush(m.g, m.om.Batch)
+			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
 			return true
 		case wwSegs:
 			if !m.wsegs.Step() {
@@ -487,13 +493,13 @@ func (m *workerFSM) stepWrite() bool {
 				m.writePC = wwSync
 				continue
 			}
-			rt.stampFlush(m.g, m.om.Batch)
+			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
 			return true
 		case wwSync:
 			if !m.issue.Step() {
 				return false
 			}
-			rt.stampFlush(m.g, m.om.Batch)
+			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
 			return true
 		}
 	}
@@ -525,7 +531,12 @@ func (m *workerFSM) stepTask() bool {
 			// Under WW-Coll a worker cannot begin an upcoming query until the
 			// collective I/O for all earlier batches has completed (§2.3).
 			if cfg.Strategy == WWColl {
+				// Serving runs flush out of order; the master sends the gate
+				// directly (task.Gate, see workerTask).
 				need := (m.t.Q - m.g.loQ) / cfg.QueriesPerWrite
+				if rt.serve != nil {
+					need = m.t.Gate
+				}
 				if m.st.batchesHandled < need {
 					m.pt.Switch(PhaseDataDist)
 					m.waitSet = append(m.waitSet[:0], m.st.offReq)

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Fixed-memory log-bucketed histogram core (HDR-style). A value is mapped to
+// a log-linear bucket: its power-of-two octave (math.Frexp exponent) split
+// into histSub equal linear sub-buckets. Bucket width is therefore at most
+// 1/histSub of the value itself, so any quantile read from bucket midpoints
+// is within a relative error of 1/(2·histSub) — under 2% at histSub = 32 —
+// while a registry that absorbs millions of observations stores only the
+// buckets its values actually touch (a few hundred for any realistic value
+// range), not the observations themselves.
+//
+// Key layout (ascending int32 key order is ascending value order):
+//
+//	keyNegInf                      -Inf
+//	-2 - posKey(-v)                negative finite values
+//	keyZero (-1)                   zero (and NaN, defensively)
+//	posKey(v) = (e+histEOff)·histSub + sub   positive finite values
+//	keyPosInf                      +Inf
+//
+// histEOff shifts the Frexp exponent range (about [-1073, 1025] for float64)
+// to non-negative, keeping positive-value keys disjoint from the reserved
+// ones.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	histEOff    = 1100
+
+	keyZero   = int32(-1)
+	keyPosInf = int32(1) << 30
+	keyNegInf = -(int32(1) << 30)
+)
+
+// bucketKey maps one observation to its bucket.
+func bucketKey(v float64) int32 {
+	switch {
+	case v > 0:
+		if math.IsInf(v, 1) {
+			return keyPosInf
+		}
+		return posKey(v)
+	case v < 0:
+		if math.IsInf(v, -1) {
+			return keyNegInf
+		}
+		return -2 - posKey(-v)
+	default: // zero or NaN
+		return keyZero
+	}
+}
+
+func posKey(v float64) int32 {
+	m, e := math.Frexp(v) // v = m·2^e, m ∈ [0.5, 1)
+	s := int32((2*m - 1) * histSub)
+	if s >= histSub {
+		s = histSub - 1
+	}
+	return int32(e+histEOff)<<histSubBits | s
+}
+
+// bucketValue returns a bucket's representative value: the midpoint of its
+// value range (0 for the zero bucket, ±Inf for the overflow buckets).
+func bucketValue(k int32) float64 {
+	switch {
+	case k == keyZero:
+		return 0
+	case k == keyPosInf:
+		return math.Inf(1)
+	case k == keyNegInf:
+		return math.Inf(-1)
+	case k < 0:
+		return -bucketValue(-2 - k)
+	}
+	e := int(k>>histSubBits) - histEOff
+	s := float64(k & (histSub - 1))
+	mid := 0.5 + (s+0.5)/(2*histSub)
+	return math.Ldexp(mid, e)
+}
+
+// bucketQuantiles reads quantiles from a bucket map holding n observations,
+// with one key sort. The rank convention mirrors stats.Quantile — the
+// q-quantile sits at index q·(n-1) of the sorted observations — except that
+// an observation stands at its bucket's midpoint instead of its exact value
+// (the documented ≤1/(2·histSub) relative error). Callers clamp results to
+// the exact observed [Min, Max].
+func bucketQuantiles(buckets map[int32]int64, n int64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if n <= 0 || len(buckets) == 0 {
+		return out
+	}
+	keys := make([]int32, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, q := range qs {
+		rank := q * float64(n-1)
+		if rank < 0 {
+			rank = 0
+		}
+		var cum int64
+		v := bucketValue(keys[len(keys)-1])
+		for _, k := range keys {
+			cum += buckets[k]
+			if float64(cum) > rank {
+				v = bucketValue(k)
+				break
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// clamp bounds a bucket-derived quantile by the exact observed range.
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -16,11 +16,13 @@ import (
 // though per-cell registries (experiments.Options.CellMetrics) are the
 // deterministic way to do that.
 //
-// Histograms retain every observation (internal/stats.Online plus the raw
-// samples, for exact quantiles at snapshot time); a simulation run observes
-// at most a few values per process, server, and I/O request, so retention is
-// bounded by the run itself. Long-lived registries that observe unboundedly
-// should be snapshotted and replaced per run.
+// Histograms are fixed-memory: exact count/sum/min/max/mean via
+// internal/stats.Online plus sparse log-linear (HDR-style) bucket counts —
+// see hist.go. Quantiles are read from the buckets with a relative error of
+// at most 1/(2·histSub) (<2%), clamped to the exact observed range, so a
+// long-lived registry absorbing millions of observations (an open-loop
+// serving run's per-query latencies) stays bounded by the number of distinct
+// buckets its value range touches, not by the observation count.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
@@ -31,7 +33,7 @@ type Registry struct {
 // histogram accumulates observations for one named series.
 type histogram struct {
 	online  stats.Online
-	samples []float64
+	buckets map[int32]int64
 }
 
 // NewRegistry returns an empty registry.
@@ -62,11 +64,11 @@ func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
-		h = &histogram{}
+		h = &histogram{buckets: make(map[int32]int64)}
 		r.hists[name] = h
 	}
 	h.online.Add(v)
-	h.samples = append(h.samples, v)
+	h.buckets[bucketKey(v)]++
 	r.mu.Unlock()
 }
 
@@ -76,12 +78,42 @@ func (r *Registry) ObserveTime(name string, t des.Time) {
 	r.Observe(name, t.Seconds())
 }
 
-// HistStat summarizes one histogram: exact count/sum/min/max/mean plus
-// quantiles over the retained samples.
+// HistStat summarizes one histogram: exact count/sum/min/max/mean, the
+// precomputed P50/P95/P99, and the log-bucket counts the quantiles were read
+// from. Bucket-derived quantiles carry a relative error of at most
+// 1/(2·histSub) (<2%) and are clamped to the exact [Min, Max]. Buckets may
+// be nil on hand-built or legacy stats; Quantile and Merge then fall back to
+// the precomputed fields.
 type HistStat struct {
 	Count               int64
 	Sum, Min, Max, Mean float64
 	P50, P95, P99       float64
+	Buckets             map[int32]int64 `json:",omitempty"`
+}
+
+// Quantile reads the q-quantile (0 ≤ q ≤ 1) from the bucket counts, clamped
+// to the exact observed range. Without buckets it interpolates the
+// precomputed anchors (Min, P50, P95, P99, Max) piecewise-linearly — the
+// best available estimate for a stat that predates bucket retention.
+func (h HistStat) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if len(h.Buckets) > 0 {
+		return clamp(bucketQuantiles(h.Buckets, h.Count, q)[0], h.Min, h.Max)
+	}
+	xs := [5]float64{0, 0.5, 0.95, 0.99, 1}
+	ys := [5]float64{h.Min, h.P50, h.P95, h.P99, h.Max}
+	if q <= 0 {
+		return ys[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if q <= xs[i] {
+			f := (q - xs[i-1]) / (xs[i] - xs[i-1])
+			return ys[i-1] + f*(ys[i]-ys[i-1])
+		}
+	}
+	return ys[len(ys)-1]
 }
 
 // Snapshot is an immutable copy of a registry's state. The zero value is an
@@ -108,28 +140,44 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = v
 	}
 	for k, h := range r.hists {
-		qs := stats.Quantiles(h.samples, 0.5, 0.95, 0.99)
-		s.Hists[k] = HistStat{
-			Count: h.online.N(),
-			Sum:   h.online.Mean() * float64(h.online.N()),
-			Min:   h.online.Min(),
-			Max:   h.online.Max(),
-			Mean:  h.online.Mean(),
-			P50:   qs[0],
-			P95:   qs[1],
-			P99:   qs[2],
-		}
+		s.Hists[k] = histStat(h.online, h.buckets)
 	}
 	return s
 }
 
+// histStat assembles one histogram's snapshot: exact moments from the online
+// accumulator, quantiles read from a private copy of the bucket counts.
+func histStat(online stats.Online, buckets map[int32]int64) HistStat {
+	h := HistStat{
+		Count: online.N(),
+		Sum:   online.Mean() * float64(online.N()),
+		Min:   online.Min(),
+		Max:   online.Max(),
+		Mean:  online.Mean(),
+	}
+	if len(buckets) > 0 {
+		h.Buckets = make(map[int32]int64, len(buckets))
+		for k, n := range buckets {
+			h.Buckets[k] = n
+		}
+		qs := bucketQuantiles(h.Buckets, h.Count, 0.5, 0.95, 0.99)
+		h.P50 = clamp(qs[0], h.Min, h.Max)
+		h.P95 = clamp(qs[1], h.Min, h.Max)
+		h.P99 = clamp(qs[2], h.Min, h.Max)
+	}
+	return h
+}
+
 // Merge folds o into a copy of s and returns it; neither input is modified.
 // Counters add; a gauge present in o overwrites s's value; histogram
-// count/sum/min/max merge exactly, mean is recomputed, and quantiles are
-// count-weighted averages of the inputs' quantiles (an approximation — the
-// raw samples are not retained across snapshots). Merging in a fixed order
-// is deterministic, which is how sweeps aggregate per-cell metrics while
-// staying bit-identical at any parallelism.
+// count/sum/min/max merge exactly and mean is recomputed. When both sides
+// carry bucket counts the buckets are summed and the quantiles re-read from
+// the merged buckets — the weighted-quantile merge stays within the bucket
+// error bound of the quantiles of the combined stream. When either side
+// lacks buckets (hand-built stats) the quantiles degrade to count-weighted
+// averages of the inputs' quantiles, as before bucket retention. Merging in
+// a fixed order is deterministic, which is how sweeps aggregate per-cell
+// metrics while staying bit-identical at any parallelism.
 func (s Snapshot) Merge(o Snapshot) Snapshot {
 	out := Snapshot{
 		Counters: make(map[string]int64, len(s.Counters)+len(o.Counters)),
@@ -168,10 +216,24 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			m.Max = b.Max
 		}
 		m.Mean = m.Sum / float64(m.Count)
-		wa, wb := float64(a.Count), float64(b.Count)
-		m.P50 = (a.P50*wa + b.P50*wb) / (wa + wb)
-		m.P95 = (a.P95*wa + b.P95*wb) / (wa + wb)
-		m.P99 = (a.P99*wa + b.P99*wb) / (wa + wb)
+		if len(a.Buckets) > 0 && len(b.Buckets) > 0 {
+			m.Buckets = make(map[int32]int64, len(a.Buckets)+len(b.Buckets))
+			for bk, n := range a.Buckets {
+				m.Buckets[bk] += n
+			}
+			for bk, n := range b.Buckets {
+				m.Buckets[bk] += n
+			}
+			qs := bucketQuantiles(m.Buckets, m.Count, 0.5, 0.95, 0.99)
+			m.P50 = clamp(qs[0], m.Min, m.Max)
+			m.P95 = clamp(qs[1], m.Min, m.Max)
+			m.P99 = clamp(qs[2], m.Min, m.Max)
+		} else {
+			wa, wb := float64(a.Count), float64(b.Count)
+			m.P50 = (a.P50*wa + b.P50*wb) / (wa + wb)
+			m.P95 = (a.P95*wa + b.P95*wb) / (wa + wb)
+			m.P99 = (a.P99*wa + b.P99*wb) / (wa + wb)
+		}
 		out.Hists[k] = m
 	}
 	return out

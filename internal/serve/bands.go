@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sort"
+
+	"s3asim/internal/des"
+)
+
+// Band is one latency band of a serving run: the queries whose end-to-end
+// latency falls between two adjacent tail percentiles. Tail attribution
+// (experiments.RunServeSweep) walks the critical path of every query in a
+// band and aggregates per-category time — "p999 latency under WW-Coll is
+// mostly sync wait" is a statement about the last band.
+type Band struct {
+	// Label names the band's lower percentile bound: "p0" (below median),
+	// "p50", "p90", "p99", "p999".
+	Label string
+	// Lo and Hi bound the band's latencies (Hi == 0 means unbounded).
+	Lo, Hi des.Time
+	// Queries indexes the queries whose latency lands in [Lo, Hi).
+	Queries []int
+}
+
+// bandQuantiles are the percentile edges separating the bands.
+var bandQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0, "p0"},
+	{0.50, "p50"},
+	{0.90, "p90"},
+	{0.99, "p99"},
+	{0.999, "p999"},
+}
+
+// Partition splits query indices into latency bands at the p50/p90/p99/p999
+// edges of the given latency distribution. Every query lands in exactly one
+// band; bands can be empty at small n (the p999 edge of 100 queries is the
+// max). Edges are order statistics of the sorted latencies (nearest-rank),
+// so band membership is exact, not interpolated.
+func Partition(latencies []des.Time) []Band {
+	n := len(latencies)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return latencies[order[a]] < latencies[order[b]]
+	})
+	bands := make([]Band, len(bandQuantiles))
+	for bi, bq := range bandQuantiles {
+		bands[bi].Label = bq.label
+	}
+	for bi := range bands {
+		// Band bi covers sorted ranks [q_bi·n, q_{bi+1}·n).
+		lo := rankEdge(bandQuantiles[bi].q, n)
+		hi := n
+		if bi+1 < len(bands) {
+			hi = rankEdge(bandQuantiles[bi+1].q, n)
+		}
+		for r := lo; r < hi; r++ {
+			bands[bi].Queries = append(bands[bi].Queries, order[r])
+		}
+		if len(bands[bi].Queries) > 0 {
+			bands[bi].Lo = latencies[order[lo]]
+			bands[bi].Hi = latencies[order[hi-1]]
+		}
+	}
+	return bands
+}
+
+// rankEdge maps a quantile to its first sorted rank.
+func rankEdge(q float64, n int) int {
+	r := int(q * float64(n))
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// Violations counts latencies exceeding the SLO target.
+func Violations(latencies []des.Time, target des.Time) int {
+	v := 0
+	for _, l := range latencies {
+		if l > target {
+			v++
+		}
+	}
+	return v
+}

@@ -1,0 +1,248 @@
+// Package serve generates deterministic open-loop arrival schedules for the
+// serving scenario (DESIGN.md §13). A Plan describes per-tenant traffic —
+// Poisson, bursty (two-state MMPP), or diurnal (sinusoidally modulated
+// Poisson) — over a fixed horizon; Generate expands it into one merged,
+// time-sorted arrival stream. Everything is seeded (stats.SubRand
+// substreams), so the same plan yields the same schedule on every run and at
+// any sweep parallelism, and scaling the offered load (Scaled) changes only
+// the rates, never the seeding structure.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"s3asim/internal/des"
+	"s3asim/internal/stats"
+)
+
+// Process selects a tenant's arrival process.
+type Process int
+
+const (
+	// Poisson is a homogeneous Poisson process at Rate.
+	Poisson Process = iota
+	// Bursty is a two-state Markov-modulated Poisson process: the stream
+	// alternates between a calm and a burst state (mean dwell BurstDwell
+	// each), emitting at Rate scaled down in the calm state and up by
+	// BurstFactor in the burst state so the long-run mean stays Rate.
+	Bursty
+	// Diurnal is a nonhomogeneous Poisson process with sinusoidally
+	// modulated rate: Rate·(1 + Amplitude·sin(2πt/Period)), thinned from a
+	// homogeneous process at the peak rate (Lewis–Shedler).
+	Diurnal
+)
+
+// String names the process for tables and JSON records.
+func (p Process) String() string {
+	switch p {
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	default:
+		return "poisson"
+	}
+}
+
+// Tenant describes one traffic stream.
+type Tenant struct {
+	// Name labels the tenant in per-tenant telemetry tables.
+	Name string
+	// Rate is the long-run mean arrival rate in queries per second.
+	Rate float64
+	// Process selects the arrival process shape.
+	Process Process
+
+	// BurstFactor is the burst-state rate multiplier (Bursty only, > 1).
+	BurstFactor float64
+	// BurstFrac is the long-run fraction of time spent bursting (Bursty
+	// only, in (0, 1)).
+	BurstFrac float64
+	// BurstDwell is the mean dwell time per state visit (Bursty only).
+	BurstDwell des.Time
+
+	// Period is the modulation period (Diurnal only).
+	Period des.Time
+	// Amplitude is the relative modulation depth in [0, 1] (Diurnal only).
+	Amplitude float64
+}
+
+// Plan is a complete open-loop traffic description.
+type Plan struct {
+	// Seed roots every tenant's substreams (stats.DeriveSeed by tenant
+	// index), so tenants are independent and the schedule is reproducible.
+	Seed int64
+	// Horizon bounds arrival times to [0, Horizon).
+	Horizon des.Time
+	// Tenants holds the per-tenant stream specs.
+	Tenants []Tenant
+}
+
+// Arrival is one query arrival in the merged stream.
+type Arrival struct {
+	At     des.Time
+	Tenant string
+}
+
+// Scaled returns a copy of the plan with every tenant's rate multiplied by
+// mult — the offered-load axis of a serving sweep. Seeds and process shapes
+// are untouched.
+func (p Plan) Scaled(mult float64) Plan {
+	q := p
+	q.Tenants = append([]Tenant(nil), p.Tenants...)
+	for i := range q.Tenants {
+		q.Tenants[i].Rate *= mult
+	}
+	return q
+}
+
+// OfferedRate is the plan's aggregate long-run arrival rate (queries/sec).
+func (p Plan) OfferedRate() float64 {
+	var r float64
+	for _, t := range p.Tenants {
+		r += t.Rate
+	}
+	return r
+}
+
+// Validate checks the plan's parameters.
+func (p Plan) Validate() error {
+	if p.Horizon <= 0 {
+		return fmt.Errorf("serve: horizon must be positive")
+	}
+	if len(p.Tenants) == 0 {
+		return fmt.Errorf("serve: plan needs at least one tenant")
+	}
+	for i, t := range p.Tenants {
+		if t.Rate <= 0 {
+			return fmt.Errorf("serve: tenant %d (%s): rate must be positive", i, t.Name)
+		}
+		switch t.Process {
+		case Bursty:
+			if t.BurstFactor <= 1 {
+				return fmt.Errorf("serve: tenant %d (%s): bursty needs BurstFactor > 1", i, t.Name)
+			}
+			if t.BurstFrac <= 0 || t.BurstFrac >= 1 {
+				return fmt.Errorf("serve: tenant %d (%s): bursty needs BurstFrac in (0,1)", i, t.Name)
+			}
+			if t.BurstDwell <= 0 {
+				return fmt.Errorf("serve: tenant %d (%s): bursty needs BurstDwell > 0", i, t.Name)
+			}
+		case Diurnal:
+			if t.Period <= 0 {
+				return fmt.Errorf("serve: tenant %d (%s): diurnal needs Period > 0", i, t.Name)
+			}
+			if t.Amplitude < 0 || t.Amplitude > 1 {
+				return fmt.Errorf("serve: tenant %d (%s): diurnal needs Amplitude in [0,1]", i, t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Generate expands the plan into the merged arrival stream, time-sorted with
+// ties broken by tenant order (deterministic for a given plan).
+func (p Plan) Generate() ([]Arrival, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var all []Arrival
+	for i, t := range p.Tenants {
+		seed := stats.DeriveSeed(p.Seed, int64(i))
+		for _, at := range t.times(seed, p.Horizon) {
+			all = append(all, Arrival{At: at, Tenant: t.Name})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].At < all[b].At })
+	return all, nil
+}
+
+// Times extracts just the arrival instants — the core.ServePlan payload.
+func Times(arrivals []Arrival) []des.Time {
+	out := make([]des.Time, len(arrivals))
+	for i, a := range arrivals {
+		out[i] = a.At
+	}
+	return out
+}
+
+// times generates one tenant's arrival instants in [0, horizon).
+func (t Tenant) times(seed int64, horizon des.Time) []des.Time {
+	switch t.Process {
+	case Bursty:
+		return t.burstyTimes(seed, horizon)
+	case Diurnal:
+		return t.diurnalTimes(seed, horizon)
+	default:
+		return poissonTimes(stats.SubRand(seed, 0), t.Rate, 0, horizon)
+	}
+}
+
+// poissonTimes draws a homogeneous Poisson stream at rate (queries/sec) over
+// [from, to) via exponential gaps.
+func poissonTimes(rng interface{ ExpFloat64() float64 }, rate float64, from, to des.Time) []des.Time {
+	var out []des.Time
+	for at := from; ; {
+		at += des.FromSeconds(rng.ExpFloat64() / rate)
+		if at >= to {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// burstyTimes draws a two-state MMPP. Burst visits dwell BurstDwell on
+// average; calm visits dwell BurstDwell·(1−BurstFrac)/BurstFrac, so the
+// long-run fraction of time bursting is BurstFrac. Rates are chosen so the
+// long-run mean stays Rate: burst = Rate·BurstFactor, calm =
+// Rate·(1−BurstFactor·BurstFrac)/(1−BurstFrac) when positive (else a
+// near-silent trickle).
+func (t Tenant) burstyTimes(seed int64, horizon des.Time) []des.Time {
+	stateRng := stats.SubRand(seed, 1)
+	arrRng := stats.SubRand(seed, 2)
+	calm := t.Rate * (1 - t.BurstFactor*t.BurstFrac) / (1 - t.BurstFrac)
+	if calm <= 0 {
+		calm = t.Rate * 1e-3
+	}
+	burst := t.Rate * t.BurstFactor
+	calmDwell := t.BurstDwell.Seconds() * (1 - t.BurstFrac) / t.BurstFrac
+	var out []des.Time
+	bursting := stateRng.Float64() < t.BurstFrac
+	for at := des.Time(0); at < horizon; {
+		// Dwell in the current state, emitting at its rate.
+		rate, meanDwell := calm, calmDwell
+		if bursting {
+			rate, meanDwell = burst, t.BurstDwell.Seconds()
+		}
+		end := at + des.FromSeconds(stateRng.ExpFloat64()*meanDwell)
+		if end > horizon {
+			end = horizon
+		}
+		out = append(out, poissonTimes(arrRng, rate, at, end)...)
+		at = end
+		bursting = !bursting
+	}
+	return out
+}
+
+// diurnalTimes draws a sinusoidally modulated Poisson stream by thinning
+// (Lewis–Shedler): candidates at the peak rate Rate·(1+Amplitude), each kept
+// with probability λ(t)/peak.
+func (t Tenant) diurnalTimes(seed int64, horizon des.Time) []des.Time {
+	rng := stats.SubRand(seed, 3)
+	peak := t.Rate * (1 + t.Amplitude)
+	var out []des.Time
+	for at := des.Time(0); ; {
+		at += des.FromSeconds(rng.ExpFloat64() / peak)
+		if at >= horizon {
+			return out
+		}
+		phase := 2 * math.Pi * float64(at) / float64(t.Period)
+		lam := t.Rate * (1 + t.Amplitude*math.Sin(phase))
+		if rng.Float64()*peak < lam {
+			out = append(out, at)
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"s3asim/internal/pvfs"
 	"s3asim/internal/romio"
 	"s3asim/internal/search"
+	"s3asim/internal/serve"
 	"s3asim/internal/stats"
 	"s3asim/internal/trace"
 )
@@ -426,3 +427,56 @@ type (
 func RunExplain(opts ExplainOptions) (*ExplainResult, error) {
 	return experiments.RunExplain(opts)
 }
+
+// Serving scenario (DESIGN.md §13): open-loop traffic plans driving the
+// engine's serving mode, swept over offered load × strategy with per-query
+// lifecycle spans, fixed-memory latency percentiles, SLO accounting, and
+// banded tail critical-path attribution — the data behind
+// `s3abench -suite serve`.
+type (
+	// ServePlan switches a single run into serving mode (Config.Serve).
+	ServePlan = core.ServePlan
+	// ServeAdmission selects the admission-queue discipline.
+	ServeAdmission = core.ServeAdmission
+	// QueryStat is one query's recorded lifecycle (Report.Queries).
+	QueryStat = core.QueryStat
+	// TrafficPlan describes seeded per-tenant open-loop traffic.
+	TrafficPlan = serve.Plan
+	// TrafficTenant is one tenant's arrival stream spec.
+	TrafficTenant = serve.Tenant
+	// Arrival is one query arrival in a generated schedule.
+	Arrival = serve.Arrival
+	// ServeOptions configures RunServeSweep.
+	ServeOptions = experiments.ServeOptions
+	// ServeResult is a completed serving sweep.
+	ServeResult = experiments.ServeResult
+	// ServeCell is one (strategy, load) outcome.
+	ServeCell = experiments.ServeCell
+)
+
+// Admission disciplines and arrival processes.
+const (
+	ServeFIFO = core.ServeFIFO
+	ServeSJF  = core.ServeSJF
+
+	Poisson = serve.Poisson
+	Bursty  = serve.Bursty
+	Diurnal = serve.Diurnal
+)
+
+// PaperServeOptions returns the full serving scenario (three tenants over
+// four offered loads); QuickServeOptions a scaled-down version that runs in
+// seconds.
+func PaperServeOptions() ServeOptions { return experiments.PaperServeOptions() }
+
+// QuickServeOptions returns the reduced serving scenario.
+func QuickServeOptions() ServeOptions { return experiments.QuickServeOptions() }
+
+// RunServeSweep runs the serving scenario; every per-query tail attribution
+// is conservation-checked before returning.
+func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
+	return experiments.RunServeSweep(opts)
+}
+
+// GenerateArrivals expands a traffic plan into its merged arrival schedule.
+func GenerateArrivals(p TrafficPlan) ([]Arrival, error) { return p.Generate() }
