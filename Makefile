@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-scale bench-diff check
+.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-scale bench-readback bench-diff check
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,11 @@ short:
 	$(GO) test -short ./...
 
 # The sweep executor, workload cache, engine, fault layer, the serving
-# traffic generator, and the shared observability sinks/registry under
+# traffic generator, the file-system and ROMIO layers (shared by the
+# verified read path), and the shared observability sinks/registry under
 # concurrent cells.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/ ./internal/serve/
+	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/ ./internal/serve/ ./internal/pvfs/ ./internal/romio/
 
 # A short fuzz pass over the chaos-spec parser (longer sessions: raise -fuzztime).
 fuzz:
@@ -46,9 +47,14 @@ bench-kernel:
 bench-scale:
 	$(GO) test -bench BenchmarkScaleWorkers -benchmem -benchtime=1x -run xxx ./internal/core/
 
+# The verified read path: mixed GET/PUT sweep plus the readback-under-chaos
+# battery. Exits nonzero on any checksum mismatch.
+bench-readback:
+	$(GO) run ./cmd/s3abench -suite readback -quick -quiet -json ""
+
 # Quick full-suite run compared against the committed baseline record
 # (execution performance only; virtual-time results are deterministic).
 bench-diff:
-	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0004.json
+	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0005.json
 
 check: build vet test race

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	s3abench [-suite procs|speed|figures|extensions|chaos|scale|serve|all] [-quick] [-csv]
+//	s3abench [-suite procs|speed|figures|extensions|chaos|readback|scale|serve|all] [-quick] [-csv]
 //	         [-reps N] [-parallel N] [-json dir] [-diff baseline.json]
 //	         [-explain] [-trace-dir dir] [-metrics] [-pprof file]
 //
@@ -19,7 +19,12 @@
 // the write-frequency/failure trade-off, and file-system sensitivity. The
 // chaos suite sweeps injected worker crashes over the resilient protocol and
 // reports each strategy's recovery cost (time inflation, re-executed tasks,
-// failure-detection latency). The scale suite runs the rank-scaling study
+// failure-detection latency). The readback suite runs the verified read
+// path: a mixed GET/PUT sweep (every durable batch re-read and checksummed
+// at 100/0, 90/10, and 50/50 GET shares) followed by the readback-under-chaos
+// battery, which re-runs committed fault plans with end-to-end content
+// verification — any checksum mismatch fails the suite, so a clean exit
+// certifies zero silent corruption. The scale suite runs the rank-scaling study
 // (bounded task count, FSM worker engine) at 1k/10k/100k ranks — 1k/10k
 // under -quick — reporting wall time, event throughput, and peak memory
 // per rank; its cells run sequentially regardless of -parallel. The serve
@@ -111,7 +116,7 @@ const benchSchemaVersion = 1
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, scale, serve, all")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, readback, scale, serve, all")
 		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
@@ -128,9 +133,9 @@ func main() {
 	)
 	flag.Parse()
 	switch *suite {
-	case "procs", "speed", "figures", "extensions", "chaos", "scale", "serve", "all":
+	case "procs", "speed", "figures", "extensions", "chaos", "readback", "scale", "serve", "all":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, scale, serve, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, readback, scale, serve, or all)", *suite))
 	}
 	// "figures" is the paper's figure pair: the process and speed sweeps.
 	wantSweep := func(kind string) bool {
@@ -274,6 +279,82 @@ func main() {
 			CellSeconds:   p.CellTime.Seconds(),
 			Speedup:       p.Speedup(),
 			Cells:         len(cr.Cells),
+			MaxConcurrent: p.MaxConcurrent,
+			Occupancy:     p.Occupancy(),
+			CacheHits:     p.Workload.Hits,
+			CacheMisses:   p.Workload.Misses,
+		})
+	}
+	if *suite == "readback" || *suite == "all" {
+		// Mixed GET/PUT verification sweep, then the readback-under-chaos
+		// battery. Both verify content end to end; a checksum mismatch
+		// anywhere fails the suite.
+		ropts := s3asim.PaperReadbackOptions()
+		if *quick {
+			ropts = s3asim.QuickReadbackOptions()
+		}
+		ropts.Repetitions = *reps
+		ropts.Parallelism = *parallel
+		ropts.Progress = opts.Progress
+		rr, err := s3asim.RunReadbackSweep(ropts)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", rr.Table().Title, rr.Table().CSV())
+		} else {
+			fmt.Println(rr.Table().String())
+		}
+		if *metrics {
+			fmt.Printf("# metrics (readback suite, all runs merged)\n%s\n", rr.Metrics.Render())
+		}
+		p := rr.Perf
+		fmt.Fprintf(os.Stderr,
+			"suite readback: %d cells in %.2fs wall at parallelism %d — %.2fx vs sequential (est.)\n",
+			len(rr.Cells), p.Elapsed.Seconds(), p.Parallelism, p.Speedup())
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:          "readback",
+			WallSeconds:   p.Elapsed.Seconds(),
+			Parallelism:   p.Parallelism,
+			CellSeconds:   p.CellTime.Seconds(),
+			Speedup:       p.Speedup(),
+			Cells:         len(rr.Cells),
+			MaxConcurrent: p.MaxConcurrent,
+			Occupancy:     p.Occupancy(),
+			CacheHits:     p.Workload.Hits,
+			CacheMisses:   p.Workload.Misses,
+		})
+
+		qopts := s3asim.PaperReadbackChaosOptions()
+		if *quick {
+			qopts = s3asim.QuickReadbackChaosOptions()
+		}
+		qopts.Repetitions = *reps
+		qopts.Parallelism = *parallel
+		qopts.Progress = opts.Progress
+		cb, err := s3asim.RunReadbackChaos(qopts)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", cb.Table().Title, cb.Table().CSV())
+		} else {
+			fmt.Println(cb.Table().String())
+		}
+		if *metrics {
+			fmt.Printf("# metrics (readback-chaos battery, all runs merged)\n%s\n", cb.Metrics.Render())
+		}
+		p = cb.Perf
+		fmt.Fprintf(os.Stderr,
+			"suite readback-chaos: %d cells in %.2fs wall at parallelism %d — 0 mismatches\n",
+			len(cb.Cells), p.Elapsed.Seconds(), p.Parallelism)
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:          "readback-chaos",
+			WallSeconds:   p.Elapsed.Seconds(),
+			Parallelism:   p.Parallelism,
+			CellSeconds:   p.CellTime.Seconds(),
+			Speedup:       p.Speedup(),
+			Cells:         len(cb.Cells),
 			MaxConcurrent: p.MaxConcurrent,
 			Occupancy:     p.Occupancy(),
 			CacheHits:     p.Workload.Hits,

@@ -11,6 +11,13 @@
 //
 //	s3aiostat -procs 96 -strategy WW-POSIX
 //	s3aiostat -procs 96 -strategy WW-List -sync
+//	s3aiostat -procs 96 -strategy WW-List -readback 90
+//
+// -readback N enables the verified read path at a GET share of N percent
+// (100 = post-run verification only, 90 = nine in-run re-reads per durable
+// batch, 50 = one; see `s3abench -suite readback`). The trace then carries
+// "read" requests alongside "write" and "sync", and the attribution table
+// reports their io-queue/io-service split and bytes read per kind.
 package main
 
 import (
@@ -30,6 +37,7 @@ func main() {
 		speed     = flag.Float64("speed", 1, "compute speed factor")
 		queries   = flag.Int("queries", 20, "number of input queries")
 		fragments = flag.Int("fragments", 128, "number of database fragments")
+		readback  = flag.Int("readback", 0, "verified-read GET share in percent (0 = off, 100 = post-run only, 90/50 = mixed)")
 	)
 	flag.Parse()
 
@@ -44,6 +52,17 @@ func main() {
 	cfg.Strategy, err = s3asim.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err)
+	}
+	if *readback > 0 {
+		if *readback < 50 || *readback > 100 {
+			fatal(fmt.Errorf("-readback %d: GET share must be in [50, 100]", *readback))
+		}
+		rc := &s3asim.ReadbackConfig{Method: s3asim.ListIO, PostRun: true}
+		if *readback < 100 {
+			rc.InRunReads = *readback / (100 - *readback)
+		}
+		cfg.CaptureData = true
+		cfg.Readback = rc
 	}
 
 	rep, err := s3asim.Run(cfg)
@@ -64,6 +83,7 @@ func main() {
 func attribution(rep *s3asim.Report) string {
 	type agg struct {
 		n              int
+		bytes          int64
 		queue, service s3asim.Time
 	}
 	perKind := map[string]*agg{}
@@ -76,6 +96,7 @@ func attribution(rep *s3asim.Report) string {
 		}
 		for _, x := range []*agg{a, &total} {
 			x.n++
+			x.bytes += r.Bytes
 			x.queue += r.QueueWait()
 			x.service += r.Service()
 		}
@@ -89,17 +110,23 @@ func attribution(rep *s3asim.Report) string {
 	}
 	sort.Strings(kinds)
 	qName, sName := s3asim.CatIOQueue.String(), s3asim.CatIOService.String()
-	out := fmt.Sprintf("\nper-request attribution (causal categories):\n  %-6s  %8s  %12s  %12s  %12s  %12s\n",
-		"kind", "requests", qName+" (s)", "mean", sName+" (s)", "mean")
+	out := fmt.Sprintf("\nper-request attribution (causal categories):\n  %-6s  %8s  %10s  %12s  %12s  %12s  %12s\n",
+		"kind", "requests", "MB", qName+" (s)", "mean", sName+" (s)", "mean")
 	row := func(name string, a agg) string {
 		n := s3asim.Time(a.n)
-		return fmt.Sprintf("  %-6s  %8d  %12.3f  %12v  %12.3f  %12v\n",
-			name, a.n, a.queue.Seconds(), a.queue/n, a.service.Seconds(), a.service/n)
+		return fmt.Sprintf("  %-6s  %8d  %10.1f  %12.3f  %12v  %12.3f  %12v\n",
+			name, a.n, float64(a.bytes)/1e6,
+			a.queue.Seconds(), a.queue/n, a.service.Seconds(), a.service/n)
 	}
 	for _, k := range kinds {
 		out += row(k, *perKind[k])
 	}
 	out += row("total", total)
+	if rep.ReadbackExtents > 0 {
+		out += fmt.Sprintf("\nreadback: %d reads over %d extents, %.1f MB verified, %d mismatches\n",
+			rep.ReadbackReads, rep.ReadbackExtents,
+			float64(rep.ReadbackBytes)/1e6, rep.ReadbackMismatches)
+	}
 	return out
 }
 

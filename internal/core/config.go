@@ -125,6 +125,20 @@ type Config struct {
 	// output image can be verified; use only with small workloads.
 	CaptureData bool
 
+	// Readback, if non-nil, enables the verified read path (DESIGN.md §14):
+	// in-run and/or post-run verifiers read committed extents back through a
+	// real read strategy and compare content hashes against independently
+	// regenerated bytes. Requires CaptureData. Nil issues no reads and is
+	// bit-identical to builds without the readback code.
+	Readback *ReadbackConfig
+
+	// TestWriteDropper, when non-nil, is installed in the simulated file
+	// system as a silent write-corruption hook (pvfs.SetWriteDropper): any
+	// write segment it selects is acknowledged and fully accounted but its
+	// payload is discarded. Tests use it to prove the readback verifier
+	// detects real data loss; leave nil otherwise.
+	TestWriteDropper func(off, n int64) bool
+
 	// DisableMasterNICSerialization gives the master's node infinitely
 	// parallel NICs — an ablation isolating how much of MW's cost is
 	// receive-side serialization at the master.
@@ -307,11 +321,14 @@ func (c *Config) Validate() error {
 	if err := c.validateServe(); err != nil {
 		return err
 	}
+	if err := c.validateReadback(); err != nil {
+		return err
+	}
 	if !c.FaultPlan.IsEmpty() {
 		if err := c.FaultPlan.Validate(); err != nil {
 			return err
 		}
-		if err := c.FaultPlan.ValidateFor(c.Procs, c.FS.NumServers, c.masterRanks()); err != nil {
+		if err := c.FaultPlan.ValidateFor(c.Procs, c.FS.NumServers, c.masterRanks(), c.Readback != nil); err != nil {
 			return err
 		}
 	}

@@ -94,6 +94,10 @@ func (rt *runtime) master(r *mpi.Rank, g *group) {
 			r.WaitAll(st.offsetSends...)
 			pt.Switch(PhaseSync)
 			rt.final.Arrive(r)
+			// The barrier released, so every worker write is durable — the
+			// safe moment for the post-run verified read of this group's
+			// committed extents.
+			rt.rbPostRun(r, pt, g)
 			pt.Finish()
 			return
 		}
@@ -187,6 +191,7 @@ func (rt *runtime) flushBatch(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterS
 		}
 		rt.flushTimes[g.batchBase+bi] = rt.sim.Now()
 		rt.serveStampDone(g.batchBase+bi, r.Proc().Name())
+		rt.rbInRunMaster(r, pt, b, data)
 		pt.Switch(PhaseGather)
 		if cfg.QuerySync {
 			for _, w := range g.workers {

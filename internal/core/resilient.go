@@ -176,6 +176,12 @@ func (rt *runtime) rmaster(r *mpi.Rank, g *group) {
 		rt.rmCheckStuck(r, m)
 	}
 	rt.rmShutdown(r, m)
+	if rt.runErr == nil {
+		// Every live worker has finned and every batch is durable — the
+		// readback-under-chaos verification point: prove the recovered image
+		// content-matches the workload despite crashes, outages, and drops.
+		rt.rbPostRun(r, pt, m.g)
+	}
 	pt.Finish()
 	rt.noteEnd()
 }

@@ -66,6 +66,9 @@ type runtime struct {
 	// Serving-mode state (nil for the paper's closed batch).
 	serve *serveState
 
+	// Verified-read-path state (nil when Config.Readback is unset).
+	rb *readbackState
+
 	// Resilient-protocol state (nil/zero for the original protocol).
 	faults        *fault.Injector // fault oracle; non-nil iff cfg.resilient()
 	runErr        error           // first unrecoverable failure (fail())
@@ -98,6 +101,15 @@ type Report struct {
 	FileCoverage    int64 // distinct bytes written
 	OverlappedBytes int64
 	Verified        bool // content verified (capture runs only)
+
+	// Readback* summarize the verified read path (Config.Readback runs
+	// only): reads issued through the read strategy, extents and bytes
+	// compared against regenerated content, and extents whose content hash
+	// diverged. A run with ReadbackMismatches > 0 also returns an error.
+	ReadbackReads      int64
+	ReadbackExtents    int64
+	ReadbackBytes      int64
+	ReadbackMismatches int64
 
 	// BatchFlushTimes records, per flush batch (in global query order),
 	// the virtual time its results were durably written — the resume
@@ -196,6 +208,12 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		metrics: reg,
 	}
 	rt.buildGroups()
+	if cfg.Readback != nil {
+		rt.rb = &readbackState{conf: *cfg.Readback}
+	}
+	if cfg.TestWriteDropper != nil {
+		fs.SetWriteDropper(cfg.TestWriteDropper)
+	}
 	if cfg.Serve != nil {
 		rt.serve = newServeState(cfg.Serve)
 		rt.serve.flushedB = make([]bool, len(rt.groups[0].batches))
@@ -421,6 +439,16 @@ func (rt *runtime) report() (*Report, error) {
 	if f == nil {
 		return nil, fmt.Errorf("core: output file was never created")
 	}
+	if rb := rt.rb; rb != nil {
+		rep.ReadbackReads = rb.reads
+		rep.ReadbackExtents = rb.extents
+		rep.ReadbackBytes = rb.bytes
+		rep.ReadbackMismatches = rb.mismatches
+		if rb.mismatches > 0 {
+			return rep, fmt.Errorf("core: readback verification failed: %d of %d extents mismatched (%w)",
+				rb.mismatches, rb.extents, rb.firstErr)
+		}
+	}
 	rep.FileCoverage = f.Coverage()
 	rep.OverlappedBytes = f.OverlappedBytes()
 	// A resumed run only rewrites queries from ResumeFromQuery on.
@@ -472,6 +500,12 @@ func (rt *runtime) recordMetrics(rep *Report) {
 	for _, s := range rep.FS.Servers {
 		m.Observe("pvfs.server_bytes", float64(s.BytesWritten))
 		m.ObserveTime("pvfs.server_queue_wait", s.QueueWait)
+	}
+	if rb := rt.rb; rb != nil {
+		m.Add("readback.reads", rb.reads)
+		m.Add("readback.extents", rb.extents)
+		m.Add("readback.bytes", rb.bytes)
+		m.Add("readback.mismatches", rb.mismatches)
 	}
 	rep.Metrics = m.Snapshot()
 }

@@ -424,6 +424,9 @@ func (rt *runtime) rwWrite(r *mpi.Rank, pt *PhaseTimer, st *rworkerState, om off
 			rt.file.Sync(r)
 		}
 		rt.stampFlush(r.Proc().Name(), g, om.Batch)
+		// Resilient in-run readback is always individual: a collective read
+		// round would wedge on taint or membership change mid-recovery.
+		rt.rbInRunWorker(r, pt, g, segs, false)
 		return
 	}
 	if len(segs) == 0 {
@@ -435,4 +438,5 @@ func (rt *runtime) rwWrite(r *mpi.Rank, pt *PhaseTimer, st *rworkerState, om off
 		rt.file.Sync(r)
 	}
 	rt.stampFlush(r.Proc().Name(), g, om.Batch)
+	rt.rbInRunWorker(r, pt, g, segs, false)
 }

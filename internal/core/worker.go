@@ -291,6 +291,7 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 			rt.file.Sync(r)
 		}
 		rt.stampFlush(r.Proc().Name(), g, om.Batch)
+		rt.rbInRunWorker(r, pt, g, segs, true)
 		return
 	}
 	if len(segs) == 0 {
@@ -303,6 +304,7 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 		rt.file.Sync(r)
 	}
 	rt.stampFlush(r.Proc().Name(), g, om.Batch)
+	rt.rbInRunWorker(r, pt, g, segs, false)
 }
 
 // stampFlush records when a batch's data last became durable: the latest

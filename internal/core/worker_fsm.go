@@ -44,9 +44,14 @@ type workerFSM struct {
 	issue   pvfs.IssueOp
 	wsegs   romio.WriteSegsOp
 	coll    romio.CollWriteOp
+	rsegs   romio.ReadSegsOp
+	rcoll   romio.CollReadOp
 
 	waitSet  []*mpi.Request // scratch for waitAny arming
 	replyReq *mpi.Request
+
+	rbLeft int  // in-run readback rounds remaining for this batch
+	rbColl bool // current readback rounds are collective
 
 	t          task
 	taskBytes  int64
@@ -92,6 +97,8 @@ const (
 	wwColl                   // collective write in flight
 	wwSegs                   // individual noncontiguous write in flight
 	wwSync                   // post-write file sync in flight
+	wwRead                   // in-run readback: individual read in flight
+	wwRColl                  // in-run readback: collective read round in flight
 )
 
 // Task sub-machine counters (workerTask in worker.go).
@@ -483,6 +490,9 @@ func (m *workerFSM) stepWrite() bool {
 				continue
 			}
 			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
+			if m.armReadback(true) {
+				continue
+			}
 			return true
 		case wwSegs:
 			if !m.wsegs.Step() {
@@ -494,12 +504,40 @@ func (m *workerFSM) stepWrite() bool {
 				continue
 			}
 			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
+			if m.armReadback(false) {
+				continue
+			}
 			return true
 		case wwSync:
 			if !m.issue.Step() {
 				return false
 			}
 			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
+			if m.armReadback(cfg.Strategy == WWColl) {
+				continue
+			}
+			return true
+		case wwRead:
+			if !m.rsegs.Step() {
+				return false
+			}
+			rt.rbVerify(r.Proc().Name(), m.segs, m.rsegs.Data())
+			m.rbLeft--
+			if m.rbLeft > 0 {
+				m.startReadback()
+				continue
+			}
+			return true
+		case wwRColl:
+			if !m.rcoll.Step() {
+				return false
+			}
+			rt.rbVerify(r.Proc().Name(), m.segs, m.rcoll.Data())
+			m.rbLeft--
+			if m.rbLeft > 0 {
+				m.startReadback()
+				continue
+			}
 			return true
 		}
 	}
@@ -510,6 +548,35 @@ func (m *workerFSM) startColl() {
 	m.pt.Switch(PhaseIO)
 	m.coll.Init(m.g.collGroup, m.r, m.segs)
 	m.writePC = wwColl
+}
+
+// armReadback arms the first in-run verification read after a batch write
+// (workerWrite's rbInRunWorker, resumable). False means readback is off or
+// there is nothing to read individually.
+func (m *workerFSM) armReadback(collective bool) bool {
+	rb := m.rt.rb
+	if rb == nil || rb.conf.InRunReads == 0 {
+		return false
+	}
+	m.rbColl = collective && rb.conf.Collective
+	if !m.rbColl && len(m.segs) == 0 {
+		return false
+	}
+	m.rbLeft = rb.conf.InRunReads
+	m.startReadback()
+	return true
+}
+
+// startReadback arms one in-run readback round.
+func (m *workerFSM) startReadback() {
+	m.pt.Switch(PhaseIO)
+	if m.rbColl {
+		m.rcoll.Init(m.g.collGroup, m.r, m.segs)
+		m.writePC = wwRColl
+		return
+	}
+	m.rsegs.Init(m.rt.file, m.r, m.rt.rb.conf.Method, m.segs)
+	m.writePC = wwRead
 }
 
 // startTask arms the task sub-machine for t (workerTask).

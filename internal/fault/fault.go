@@ -60,6 +60,19 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// Phase values an Event may declare as its target I/O phase.
+const (
+	// PhaseAny (the empty string) is the default: the event applies to
+	// whatever its time window overlaps.
+	PhaseAny = ""
+	// PhaseWrite declares the event aims at the result-write path.
+	PhaseWrite = "write"
+	// PhaseRead declares the event aims at the verified read path
+	// (readback); plans carrying such events are rejected by ValidateFor
+	// unless the run actually has readback configured.
+	PhaseRead = "read"
+)
+
 // Event is one fault in a Plan. Unused fields are zero (Rank and Server are
 // -1 when not targeted).
 type Event struct {
@@ -72,6 +85,15 @@ type Event struct {
 	Factor  float64  // Slow/Degrade service-time multiplier (> 0)
 	Prob    float64  // Drop/Delay per-message probability in [0, 1]
 	Extra   des.Time // Delay: added latency per affected message
+
+	// Phase declares which I/O phase the event targets: PhaseAny (""),
+	// PhaseWrite, or PhaseRead — spec key "phase=". The injector applies
+	// the event by its time window either way (servers and wires do not
+	// know phases); the declaration is checked by ValidateFor, which
+	// rejects read-phase events on runs with no readback — a plan cannot
+	// claim to exercise a read path that does not exist. Only the window
+	// kinds (Outage, Degrade, Drop, Delay) may be phase-scoped.
+	Phase string
 }
 
 // active reports whether the event's window contains t.
@@ -111,6 +133,9 @@ func (e Event) String() string {
 	}
 	if e.Extra != 0 {
 		add("extra", durStr(e.Extra))
+	}
+	if e.Phase != PhaseAny {
+		add("phase", e.Phase)
 	}
 	if len(kv) > 0 {
 		b.WriteString(":")
@@ -241,6 +266,8 @@ func parseEvent(item string) (Event, error) {
 				ev.Restart, err = parseDur(val)
 			case "extra":
 				ev.Extra, err = parseDur(val)
+			case "phase":
+				ev.Phase = val
 			default:
 				return ev, fmt.Errorf("fault: unknown key %q in %q", key, item)
 			}
@@ -274,6 +301,15 @@ func (p *Plan) Validate() error {
 		}
 		if e.At < 0 || e.For < 0 || e.Restart < 0 || e.Extra < 0 {
 			return fmt.Errorf("%s: negative duration", prefix)
+		}
+		switch e.Phase {
+		case PhaseAny, PhaseWrite, PhaseRead:
+		default:
+			return fmt.Errorf("%s: unknown phase %q (want %q or %q)",
+				prefix, e.Phase, PhaseWrite, PhaseRead)
+		}
+		if e.Phase != PhaseAny && (e.Kind == Crash || e.Kind == Slow) {
+			return fmt.Errorf("%s: phase= applies only to window faults (outage, degrade, drop, delay)", prefix)
 		}
 		switch e.Kind {
 		case Crash:
@@ -313,10 +349,12 @@ func (p *Plan) Validate() error {
 	return nil
 }
 
-// ValidateFor checks the plan against a concrete topology: ranks in
-// [0, procs), servers in [0, servers), and no crash/slow targeting a master
-// rank (the engine's recovery protocol assumes masters survive).
-func (p *Plan) ValidateFor(procs, servers int, masters []int) error {
+// ValidateFor checks the plan against a concrete run: ranks in [0, procs),
+// servers in [0, servers), no crash/slow targeting a master rank (the
+// engine's recovery protocol assumes masters survive), and no event
+// declaring phase=read unless the run has a readback (verified read path)
+// configured — a plan cannot target an I/O phase that will never execute.
+func (p *Plan) ValidateFor(procs, servers int, masters []int, readback bool) error {
 	if p.IsEmpty() {
 		return nil
 	}
@@ -325,6 +363,9 @@ func (p *Plan) ValidateFor(procs, servers int, masters []int) error {
 		isMaster[m] = true
 	}
 	for i, e := range p.Events {
+		if e.Phase == PhaseRead && !readback {
+			return fmt.Errorf("fault: event %d (%s): phase=read but the run has no readback configured", i, e.Kind)
+		}
 		switch e.Kind {
 		case Crash, Slow:
 			if e.Rank >= procs {

@@ -67,6 +67,8 @@ func TestPlanStringRoundTrip(t *testing.T) {
 			{Kind: Degrade, At: 0, Rank: -1, Server: 3, Factor: 2, For: des.Second},
 			{Kind: Drop, Rank: -1, Server: -1, Prob: 0.125},
 			{Kind: Delay, At: des.Millisecond, Rank: -1, Server: -1, Prob: 1, Extra: 42 * des.Microsecond},
+			{Kind: Outage, At: 2 * des.Second, Rank: -1, Server: 1, For: des.Millisecond, Phase: PhaseRead},
+			{Kind: Drop, Rank: -1, Server: -1, Prob: 0.5, Phase: PhaseWrite},
 		},
 	}
 	got, err := Parse(p.String())
@@ -86,7 +88,7 @@ func TestEmptyPlanBehavior(t *testing.T) {
 	if err := nilPlan.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := nilPlan.ValidateFor(4, 2, []int{0}); err != nil {
+	if err := nilPlan.ValidateFor(4, 2, []int{0}, false); err != nil {
 		t.Fatal(err)
 	}
 	p, err := Parse("  ;  ")
@@ -116,10 +118,45 @@ func TestValidateForTopology(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", c.spec, err)
 		}
-		err = p.ValidateFor(8, 2, []int{0, 4})
+		err = p.ValidateFor(8, 2, []int{0, 4}, false)
 		if ok := err == nil; ok != c.ok {
 			t.Errorf("ValidateFor(%q) error = %v, want ok=%v", c.spec, err, c.ok)
 		}
+	}
+}
+
+// TestPhaseRules pins the phase= grammar: only window faults may be
+// phase-scoped, the value set is closed, and phase=read events require a
+// run with readback configured.
+func TestPhaseRules(t *testing.T) {
+	bad := []string{
+		"outage@1s:server=0,for=1s,phase=compute", // unknown phase value
+		"crash@1s:rank=3,phase=read",              // crash is not a window fault
+		"slow@1s:rank=3,factor=2,phase=write",     // neither is slow
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid phase", spec)
+		}
+	}
+
+	p, err := Parse("outage@1s:server=0,for=1s,phase=read; degrade@1s:server=1,factor=2,for=1s,phase=write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateFor(8, 2, []int{0}, false); err == nil {
+		t.Error("phase=read accepted without readback")
+	}
+	if err := p.ValidateFor(8, 2, []int{0}, true); err != nil {
+		t.Errorf("phase=read rejected with readback: %v", err)
+	}
+	// phase=write alone never needs readback.
+	wp, err := Parse("drop@0s:prob=0.1,phase=write")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wp.ValidateFor(8, 2, []int{0}, false); err != nil {
+		t.Errorf("phase=write rejected without readback: %v", err)
 	}
 }
 

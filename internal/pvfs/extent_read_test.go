@@ -1,0 +1,70 @@
+package pvfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExtentReadZeroFillsHoles pins read()'s hole semantics: bytes never
+// written come back as zeros, exactly as a file system returns zeros for
+// unwritten regions of a sparse file.
+func TestExtentReadZeroFillsHoles(t *testing.T) {
+	m := extentMap{capture: true}
+	m.write(10, 4, []byte{1, 2, 3, 4})
+	m.write(20, 2, []byte{9, 9})
+
+	cases := []struct {
+		off, n int64
+		want   []byte
+	}{
+		{0, 5, []byte{0, 0, 0, 0, 0}},                  // entirely before any extent
+		{8, 8, []byte{0, 0, 1, 2, 3, 4, 0, 0}},         // hole, extent, hole
+		{12, 10, []byte{3, 4, 0, 0, 0, 0, 0, 0, 9, 9}}, // extent tail + gap + next extent
+		{14, 6, []byte{0, 0, 0, 0, 0, 0}},              // pure gap between extents
+		{10, 4, []byte{1, 2, 3, 4}},                    // exact extent
+		{11, 2, []byte{2, 3}},                          // interior of one extent
+		{30, 3, []byte{0, 0, 0}},                       // entirely past the last extent
+		{0, 25, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, // full image
+			0, 0, 0, 0, 0, 0, 9, 9, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		if got := m.read(c.off, c.n); !bytes.Equal(got, c.want) {
+			t.Errorf("read(%d, %d) = %v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+// TestExtentReadAcrossSpliceBoundaries overwrites the middle of an extent —
+// forcing the ≤3-entry splice to leave left and right remnants sharing the
+// original backing array — then reads windows spanning every boundary.
+func TestExtentReadAcrossSpliceBoundaries(t *testing.T) {
+	m := extentMap{capture: true}
+	m.write(0, 16, bytes.Repeat([]byte{0xAA}, 16))
+	m.write(4, 8, bytes.Repeat([]byte{0xBB}, 8)) // splits into [0,4) [4,12) [12,16)
+	if len(m.exts) != 3 {
+		t.Fatalf("expected 3 extents after mid-overwrite, got %d", len(m.exts))
+	}
+
+	want := append(append(bytes.Repeat([]byte{0xAA}, 4), bytes.Repeat([]byte{0xBB}, 8)...),
+		bytes.Repeat([]byte{0xAA}, 4)...)
+	if got := m.read(0, 16); !bytes.Equal(got, want) {
+		t.Fatalf("full read = %v, want %v", got, want)
+	}
+	// Windows straddling each splice boundary, and one covering both.
+	for _, c := range []struct{ off, n int64 }{{2, 4}, {10, 4}, {3, 10}, {0, 13}} {
+		if got := m.read(c.off, c.n); !bytes.Equal(got, want[c.off:c.off+c.n]) {
+			t.Errorf("read(%d, %d) = %v, want %v", c.off, c.n, got, want[c.off:c.off+c.n])
+		}
+	}
+
+	// Overwrite spanning the splice boundary itself: the read must see the
+	// newest data even where remnant extents alias the old backing array.
+	m.write(10, 4, bytes.Repeat([]byte{0xCC}, 4))
+	copy(want[10:14], bytes.Repeat([]byte{0xCC}, 4))
+	if got := m.read(8, 8); !bytes.Equal(got, want[8:16]) {
+		t.Fatalf("post-overwrite read = %v, want %v", got, want[8:16])
+	}
+	if m.overlapped == 0 {
+		t.Fatal("overlap accounting missed the overwrites")
+	}
+}

@@ -35,6 +35,22 @@ func FuzzExtentMap(f *testing.F) {
 		if got := m.read(0, size); !bytes.Equal(got, ref) {
 			t.Fatal("extent map diverged from reference buffer")
 		}
+		// Sub-range reads derived from the same program bytes: arbitrary
+		// windows (including ones straddling splice boundaries and holes)
+		// must match the reference slice byte for byte.
+		for i := 0; i+1 < len(program); i += 2 {
+			off := int64(program[i]) * 16
+			n := int64(program[i+1]) + 1
+			if off+n > size {
+				n = size - off
+			}
+			if n <= 0 {
+				continue
+			}
+			if got := m.read(off, n); !bytes.Equal(got, ref[off:off+n]) {
+				t.Fatalf("read(%d, %d) diverged from reference", off, n)
+			}
+		}
 		var want int64
 		for _, c := range covered {
 			if c {

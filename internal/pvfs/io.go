@@ -85,7 +85,8 @@ type IssueOp struct {
 		at, submit, start, done des.Time
 	}
 
-	readOff, readN int64 // capture read-back range (InitRead only)
+	readOff, readN int64     // capture read-back range (InitRead only)
+	readSegs       []Segment // capture read-back segments (InitReadList only)
 }
 
 // init arms the op over prebuilt server requests.
@@ -94,6 +95,7 @@ func (op *IssueOp) init(f *File, p *des.Proc, port *Port, reqs []*serverRequest)
 	op.launched, op.noop = false, false
 	op.last.ok = false
 	op.readOff, op.readN = 0, 0
+	op.readSegs = nil
 	op.issueStart = f.fs.sim.Now()
 	// The client marshals every request serially on its own CPU first.
 	p.Sleep(f.fs.cfg.IssueOverhead + des.Time(len(reqs))*f.fs.cfg.PerServerIssue)
@@ -187,7 +189,11 @@ func (op *IssueOp) launch() {
 							srv.dirty += r.bytes
 							srv.written += r.bytes
 							for _, seg := range r.segs {
-								f.data.write(seg.Offset, seg.Length, seg.Data)
+								data := seg.Data
+								if fs.dropWrite != nil && fs.dropWrite(seg.Offset, seg.Length) {
+									data = nil // silent loss: extent recorded, payload zeroed
+								}
+								f.data.write(seg.Offset, seg.Length, data)
 								if seg.Offset+seg.Length > f.size {
 									f.size = seg.Offset + seg.Length
 								}
@@ -264,6 +270,21 @@ func (op *IssueOp) InitRead(p *des.Proc, f *File, port *Port, off, n int64) {
 	op.readOff, op.readN = off, n
 }
 
+// InitReadList arms op as a native noncontiguous list-I/O read: the mirror
+// of InitWriteList, one batched request per touched server with the data
+// bytes flowing back over the recv NIC. This is the read side of the PVFS2
+// list I/O interface that "Noncontiguous I/O through PVFS" benchmarks. An
+// empty segment list is a no-op.
+func (op *IssueOp) InitReadList(p *des.Proc, f *File, port *Port, segs []Segment) {
+	if len(segs) == 0 {
+		op.noop = true
+		return
+	}
+	pieces := f.splitByServer(segs)
+	op.init(f, p, port, groupRequests(pieces, opRead, false))
+	op.readSegs = segs
+}
+
 // InitSync arms op as a flush of every server's dirty data (MPI_File_sync's
 // storage-side effect). Each server charges a base cost plus its dirty bytes
 // over the flush bandwidth; concurrent syncs therefore mostly pay the base
@@ -284,6 +305,20 @@ func (op *IssueOp) ReadData() []byte {
 		return nil
 	}
 	return op.f.data.read(op.readOff, op.readN)
+}
+
+// ReadSegsData returns the stored bytes per segment of an
+// InitReadList-armed op (zero-filled gaps) when the file system captures
+// data, nil otherwise. Valid only after Step has returned true.
+func (op *IssueOp) ReadSegsData() [][]byte {
+	if len(op.readSegs) == 0 || !op.f.fs.cfg.CaptureData {
+		return nil
+	}
+	out := make([][]byte, len(op.readSegs))
+	for i, s := range op.readSegs {
+		out[i] = op.f.data.read(s.Offset, s.Length)
+	}
+	return out
 }
 
 // Write performs a contiguous write of n bytes at off. data may be nil
@@ -309,6 +344,15 @@ func (f *File) Read(p *des.Proc, port *Port, off, n int64) []byte {
 	op.InitRead(p, f, port, off, n)
 	op.Step()
 	return op.ReadData()
+}
+
+// ReadList performs a native noncontiguous list-I/O read; with capture
+// enabled the stored bytes per segment are returned, otherwise nil.
+func (f *File) ReadList(p *des.Proc, port *Port, segs []Segment) [][]byte {
+	var op IssueOp
+	op.InitReadList(p, f, port, segs)
+	op.Step()
+	return op.ReadSegsData()
 }
 
 // Sync flushes every server's dirty data; see IssueOp.InitSync.

@@ -101,11 +101,12 @@ type FileSystem struct {
 	meta    *des.Resource
 	files   map[string]*File
 
-	traceOn bool
-	trace   []RequestRecord
-	metrics *obs.Registry
-	faults  ServerFaults
-	causal  *causal.Recorder
+	traceOn   bool
+	trace     []RequestRecord
+	metrics   *obs.Registry
+	faults    ServerFaults
+	causal    *causal.Recorder
+	dropWrite func(off, n int64) bool
 }
 
 // ServerFaults scales per-server request service time — the fault layer's
@@ -161,6 +162,14 @@ func (fs *FileSystem) ScheduleOutage(server int, at, dur des.Time) {
 		}
 	})
 }
+
+// SetWriteDropper installs a test-only corruption hook: any write segment
+// for which fn returns true is acknowledged and fully accounted (dirty
+// bytes, coverage, file size) but its payload is silently discarded — the
+// stored extent holds zeroes. This models a silent data-loss fault that no
+// offset bookkeeping can see; only content verification (readback
+// checksumming) catches it. Nil (the default) disables dropping.
+func (fs *FileSystem) SetWriteDropper(fn func(off, n int64) bool) { fs.dropWrite = fn }
 
 // SetMetrics attaches a registry; every subsequent server-request completion
 // records pvfs.* counters (requests, bytes, syncs) and virtual-time
@@ -242,6 +251,10 @@ func (f *File) FullyCovers(size int64) bool { return f.data.covers(size) }
 
 // ReadBack returns captured bytes for [off, off+n), zero-filled in gaps.
 func (f *File) ReadBack(off, n int64) []byte { return f.data.read(off, n) }
+
+// Captures reports whether the file system stores real bytes
+// (Config.CaptureData), i.e. whether ReadBack returns meaningful content.
+func (f *File) Captures() bool { return f.fs.cfg.CaptureData }
 
 // serverFor returns the server index holding the strip at file offset x.
 func (f *File) serverFor(x int64) int {

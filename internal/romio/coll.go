@@ -22,8 +22,9 @@ type Group struct {
 	exit    *mpi.Barrier
 	indexOf map[int]int // rank -> position in ranks
 
-	round uint64
-	cur   *collRound
+	round   uint64
+	cur     *collRound
+	curRead *collRound
 }
 
 type collRound struct {
@@ -87,6 +88,12 @@ func (g *Group) Deregister(rank int) {
 		delete(g.cur.segs, rank)
 		if g.cur.departed >= len(g.ranks) {
 			g.cur = nil
+		}
+	}
+	if g.curRead != nil {
+		delete(g.curRead.segs, rank)
+		if g.curRead.departed >= len(g.ranks) {
+			g.curRead = nil
 		}
 	}
 	g.entry.Deregister()

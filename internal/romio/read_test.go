@@ -1,0 +1,201 @@
+package romio
+
+import (
+	"bytes"
+	"testing"
+
+	"s3asim/internal/mpi"
+	"s3asim/internal/pvfs"
+)
+
+func TestReadSegsAllMethodsReturnWrittenBytes(t *testing.T) {
+	segs := sparseSegs(7, 9, 45, 30)
+	for _, m := range []Method{Posix, ListIO, DataSieve} {
+		e := newEnv(t, 1, DefaultHints())
+		var got [][]byte
+		e.w.Spawn(0, "r0", func(r *mpi.Rank) {
+			e.f.WriteSegs(r, segs)
+			got = e.f.ReadSegs(r, m, segs)
+		})
+		if err := e.sim.Run(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(got) != len(segs) {
+			t.Fatalf("%v: %d results for %d segments", m, len(got), len(segs))
+		}
+		for i, s := range segs {
+			if !bytes.Equal(got[i], s.Data) {
+				t.Fatalf("%v: segment %d content mismatch", m, i)
+			}
+		}
+	}
+}
+
+// TestReadSegsZeroFillsHoles reads a range that was never written plus one
+// spanning written and unwritten bytes: every method must agree with the
+// file's sparse semantics.
+func TestReadSegsZeroFillsHoles(t *testing.T) {
+	written := pvfs.Segment{Offset: 100, Length: 50, Data: pattern(100, 50)}
+	reads := []pvfs.Segment{
+		{Offset: 0, Length: 40},   // pure hole
+		{Offset: 80, Length: 100}, // hole + extent + hole
+		{Offset: 120, Length: 10}, // interior
+	}
+	want := make([][]byte, len(reads))
+	for i, s := range reads {
+		want[i] = make([]byte, s.Length)
+		for j := int64(0); j < s.Length; j++ {
+			off := s.Offset + j
+			if off >= written.Offset && off < written.Offset+written.Length {
+				want[i][j] = written.Data[off-written.Offset]
+			}
+		}
+	}
+	for _, m := range []Method{Posix, ListIO, DataSieve} {
+		e := newEnv(t, 1, DefaultHints())
+		var got [][]byte
+		e.w.Spawn(0, "r0", func(r *mpi.Rank) {
+			e.f.WriteSegs(r, []pvfs.Segment{written})
+			got = e.f.ReadSegs(r, m, reads)
+		})
+		if err := e.sim.Run(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i := range reads {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("%v: read %d = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReadSegsSieveSmallBuffer forces multiple sieve windows and carries
+// (segments larger than the buffer) on the read path.
+func TestReadSegsSieveSmallBuffer(t *testing.T) {
+	h := DefaultHints()
+	h.SieveBufferSize = 64
+	segs := []pvfs.Segment{
+		{Offset: 0, Length: 200, Data: pattern(0, 200)},     // 4 windows
+		{Offset: 300, Length: 30, Data: pattern(300, 30)},   // own window
+		{Offset: 340, Length: 100, Data: pattern(340, 100)}, // carries past 2 windows
+	}
+	e := newEnv(t, 1, h)
+	var got [][]byte
+	e.w.Spawn(0, "r0", func(r *mpi.Rank) {
+		e.f.WriteSegs(r, segs)
+		got = e.f.ReadSegs(r, DataSieve, segs)
+	})
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		if !bytes.Equal(got[i], s.Data) {
+			t.Fatalf("segment %d: sieve read mismatch", i)
+		}
+	}
+}
+
+// TestCollectiveReadImage writes interleaved segments with a collective
+// round, then reads them back with a collective read round: every rank must
+// get exactly its own contribution, under both collective methods.
+func TestCollectiveReadImage(t *testing.T) {
+	for _, cm := range []CollMethod{TwoPhase, ListSync} {
+		const n = 4
+		h := DefaultHints()
+		h.CollWriteMethod = cm
+		e := newEnv(t, n, h)
+		g := e.f.NewGroup([]int{0, 1, 2, 3})
+		const segSize = 50
+		perRank := make([][]pvfs.Segment, n)
+		for i := 0; i < 32; i++ {
+			off := int64(i) * segSize
+			perRank[i%n] = append(perRank[i%n],
+				pvfs.Segment{Offset: off, Length: segSize, Data: pattern(off, segSize)})
+		}
+		got := make([][][]byte, n)
+		for rk := 0; rk < n; rk++ {
+			rk := rk
+			e.w.Spawn(rk, "r", func(r *mpi.Rank) {
+				g.WriteAll(r, perRank[rk])
+				got[rk] = g.ReadAll(r, perRank[rk])
+			})
+		}
+		if err := e.sim.Run(); err != nil {
+			t.Fatalf("%v: %v", cm, err)
+		}
+		for rk := 0; rk < n; rk++ {
+			for i, s := range perRank[rk] {
+				if !bytes.Equal(got[rk][i], s.Data) {
+					t.Fatalf("%v: rank %d segment %d mismatch", cm, rk, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCollectiveReadEmptyContributor checks that ranks with nothing to read
+// still participate in (and are released from) the round.
+func TestCollectiveReadEmptyContributor(t *testing.T) {
+	const n = 3
+	e := newEnv(t, n, DefaultHints())
+	g := e.f.NewGroup([]int{0, 1, 2})
+	seg := pvfs.Segment{Offset: 0, Length: 100, Data: pattern(0, 100)}
+	var got [][]byte
+	done := 0
+	for rk := 0; rk < n; rk++ {
+		rk := rk
+		e.w.Spawn(rk, "r", func(r *mpi.Rank) {
+			var segs []pvfs.Segment
+			if rk == 1 {
+				segs = []pvfs.Segment{seg}
+			}
+			g.WriteAll(r, segs)
+			res := g.ReadAll(r, segs)
+			if rk == 1 {
+				got = res
+			}
+			done++
+		})
+	}
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], seg.Data) {
+		t.Fatal("reading rank got wrong bytes")
+	}
+}
+
+// TestInterleavedWriteReadRounds alternates collective write and read rounds:
+// the separate read-round state and tag space must keep them from
+// cross-matching.
+func TestInterleavedWriteReadRounds(t *testing.T) {
+	const n = 3
+	const rounds = 3
+	const segSize = 40
+	e := newEnv(t, n, DefaultHints())
+	g := e.f.NewGroup([]int{0, 1, 2})
+	mismatches := 0
+	for rk := 0; rk < n; rk++ {
+		rk := rk
+		e.w.Spawn(rk, "r", func(r *mpi.Rank) {
+			for round := 0; round < rounds; round++ {
+				off := int64(round*n+rk) * segSize
+				segs := []pvfs.Segment{{Offset: off, Length: segSize, Data: pattern(off, segSize)}}
+				g.WriteAll(r, segs)
+				got := g.ReadAll(r, segs)
+				if len(got) != 1 || !bytes.Equal(got[0], segs[0].Data) {
+					mismatches++
+				}
+			}
+		})
+	}
+	if err := e.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d read mismatches across interleaved rounds", mismatches)
+	}
+}

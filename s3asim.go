@@ -149,6 +149,17 @@ const (
 	ListSync = romio.ListSync
 )
 
+// IOMethod selects an individual (non-collective) ADIO access method —
+// used by ROMIO hints and by ReadbackConfig.Method.
+type IOMethod = romio.Method
+
+// The individual ADIO methods.
+const (
+	Posix     = romio.Posix
+	ListIO    = romio.ListIO
+	DataSieve = romio.DataSieve
+)
+
 // BoxHistogram is the paper's piecewise-uniform size distribution input.
 type BoxHistogram = stats.BoxHistogram
 
@@ -333,6 +344,65 @@ func QuickChaosOptions() ChaosOptions { return experiments.QuickChaosOptions() }
 // randomized crash schedules, with a fault-free resilient baseline.
 func RunChaosSweep(opts ChaosOptions) (*ChaosResult, error) {
 	return experiments.RunChaosSweep(opts)
+}
+
+// The fault-event phase scopes (FaultEvent.Phase): window faults may declare
+// themselves as targeting the write or verified-read I/O phase. phase=read
+// plans are only valid on runs with Config.Readback set.
+const (
+	FaultPhaseAny   = fault.PhaseAny
+	FaultPhaseWrite = fault.PhaseWrite
+	FaultPhaseRead  = fault.PhaseRead
+)
+
+// Verified read path (internal/core/readback.go, DESIGN.md §14): writers
+// fill result segments with seeded pseudo-random bytes, and verifiers read
+// committed extents back through a real ADIO read strategy, comparing
+// content hashes against independently regenerated expected bytes. Attach
+// via Config.Readback (requires Config.CaptureData).
+type ReadbackConfig = core.ReadbackConfig
+
+// Readback suite: the mixed GET/PUT verification sweep and the
+// readback-under-chaos battery (s3abench -suite readback).
+type (
+	ReadbackOptions      = experiments.ReadbackOptions
+	ReadbackResult       = experiments.ReadbackResult
+	ReadbackCell         = experiments.ReadbackCell
+	ReadbackChaosOptions = experiments.ReadbackChaosOptions
+	ReadbackChaosResult  = experiments.ReadbackChaosResult
+	ReadbackChaosCell    = experiments.ReadbackChaosCell
+	NamedFaultPlan       = experiments.NamedPlan
+)
+
+// PaperReadbackOptions returns the mixed GET/PUT readback sweep at the
+// paper's evaluation scale; QuickReadbackOptions a scaled-down sweep.
+func PaperReadbackOptions() ReadbackOptions { return experiments.PaperReadbackOptions() }
+
+// QuickReadbackOptions returns the reduced readback sweep.
+func QuickReadbackOptions() ReadbackOptions { return experiments.QuickReadbackOptions() }
+
+// RunReadbackSweep executes the mixed GET/PUT readback sweep: every durable
+// batch is re-read through the configured read strategy at the given GET
+// share and content-verified; the post-run pass checks the whole image.
+func RunReadbackSweep(opts ReadbackOptions) (*ReadbackResult, error) {
+	return experiments.RunReadbackSweep(opts)
+}
+
+// PaperReadbackChaosOptions returns the readback-under-chaos battery at the
+// paper's scale; QuickReadbackChaosOptions a scaled-down battery.
+func PaperReadbackChaosOptions() ReadbackChaosOptions {
+	return experiments.PaperReadbackChaosOptions()
+}
+
+// QuickReadbackChaosOptions returns the reduced chaos battery.
+func QuickReadbackChaosOptions() ReadbackChaosOptions {
+	return experiments.QuickReadbackChaosOptions()
+}
+
+// RunReadbackChaos re-runs the committed fault plans with end-to-end
+// verification on: a returned result certifies zero checksum mismatches.
+func RunReadbackChaos(opts ReadbackChaosOptions) (*ReadbackChaosResult, error) {
+	return experiments.RunReadbackChaos(opts)
 }
 
 // Observability layer (internal/obs): Sink receives phase-timeline events as
