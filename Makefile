@@ -54,7 +54,12 @@ bench-readback:
 
 # Quick full-suite run compared against the committed baseline record
 # (execution performance only; virtual-time results are deterministic).
+# Telemetry is on so the comparison exercises the windowed pipeline the
+# baseline was recorded with (DESIGN.md §15).
 bench-diff:
-	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" -diff results/BENCH_0005.json
+	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" \
+		-window 500ms \
+		-slo 'slo-burn:burn(serve.slo_violations/serve.queries)>1.8:slo=0.5,fast=1s,slow=3s' \
+		-diff results/BENCH_0006.json
 
 check: build vet test race

@@ -96,6 +96,12 @@ type serveCellRecord struct {
 	P99Seconds float64 `json:"p99_seconds"`
 	P999Secs   float64 `json:"p999_seconds"`
 	Violations int     `json:"slo_violations"`
+	// Telemetry counts (present only when -window was set). Like the
+	// latency fields these are virtual-time quantities, identical on every
+	// machine and at every sweep parallelism.
+	Windows     int `json:"windows,omitempty"`
+	AlertsFired int `json:"alerts_fired,omitempty"`
+	FlightDumps int `json:"flight_dumps,omitempty"`
 }
 
 // benchRecord is the top-level JSON document. SchemaVersion guards the
@@ -130,7 +136,14 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "write a per-cell phase-timeline JSONL into this directory")
 		metrics  = flag.Bool("metrics", false, "print the aggregated metrics snapshot per suite")
 		cpuProf  = flag.String("pprof", "", "write a CPU profile of the bench process to this file")
+		window   = flag.Duration("window", 0, "telemetry window width for the serve and chaos suites (0 disables the pipeline)")
+		flight   = flag.String("flight-dir", "", "write flight-recorder JSONL dumps and the HTML timeline into this directory (needs -window)")
+		faultStr = flag.String("fault", "", "performance-fault plan injected into every serve-suite cell (e.g. \"degrade@3s:server=0,factor=50,for=4s\")")
+		stratStr = flag.String("strategy", "", "restrict sweeps to these comma-separated strategies (default all four)")
+		loadsStr = flag.String("loads", "", "restrict the serve suite to these comma-separated offered-load multipliers")
 	)
+	var sloSpecs multiFlag
+	flag.Var(&sloSpecs, "slo", "telemetry alert rule, repeatable (e.g. \"burn:burn(serve.slo_violations/serve.queries)>1:slo=0.5,fast=1s,slow=2s\"; needs -window)")
 	flag.Parse()
 	switch *suite {
 	case "procs", "speed", "figures", "extensions", "chaos", "readback", "scale", "serve", "all":
@@ -167,6 +180,25 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	var strategies []s3asim.Strategy
+	if *stratStr != "" {
+		for _, name := range strings.Split(*stratStr, ",") {
+			s, err := s3asim.ParseStrategy(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			strategies = append(strategies, s)
+		}
+	}
+	tel := buildTelemetry(*window, sloSpecs)
+	if *flight != "" {
+		if tel == nil {
+			fatal(fmt.Errorf("-flight-dir needs -window"))
+		}
+		if err := os.MkdirAll(*flight, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	opts := s3asim.PaperOptions()
 	if *quick {
@@ -174,6 +206,7 @@ func main() {
 	}
 	opts.Repetitions = *reps
 	opts.Parallelism = *parallel
+	opts.Strategies = strategies
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -256,6 +289,9 @@ func main() {
 		copts.Repetitions = *reps
 		copts.Parallelism = *parallel
 		copts.Progress = opts.Progress
+		copts.Strategies = strategies
+		copts.Telemetry = tel
+		copts.FlightDir = *flight
 		cr, err := s3asim.RunChaosSweep(copts)
 		if err != nil {
 			fatal(err)
@@ -264,6 +300,24 @@ func main() {
 			fmt.Printf("# %s\n%s\n", cr.Table().Title, cr.Table().CSV())
 		} else {
 			fmt.Println(cr.Table().String())
+		}
+		if tel != nil {
+			fired, dumps := 0, 0
+			for _, c := range cr.Cells {
+				for _, a := range c.Alerts {
+					if a.Fired {
+						fired++
+					}
+				}
+				dumps += c.Dumps
+			}
+			if *csv {
+				fmt.Printf("# %s\n%s\n", cr.AlertTable().Title, cr.AlertTable().CSV())
+			} else {
+				fmt.Println(cr.AlertTable().String())
+			}
+			fmt.Printf("telemetry chaos: %d alerts fired, %d flight dumps\n", fired, dumps)
+			writeTimeline(*flight, "chaos_timeline.html", cr.TimelineHTML())
 		}
 		if *metrics {
 			fmt.Printf("# metrics (chaos suite, all runs merged)\n%s\n", cr.Metrics.Render())
@@ -415,6 +469,27 @@ func main() {
 			sopts = s3asim.QuickServeOptions()
 		}
 		sopts.Parallelism = *parallel
+		sopts.Strategies = strategies
+		if *loadsStr != "" {
+			var loads []float64
+			for _, f := range strings.Split(*loadsStr, ",") {
+				var load float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &load); err != nil || load <= 0 {
+					fatal(fmt.Errorf("-loads: bad multiplier %q", f))
+				}
+				loads = append(loads, load)
+			}
+			sopts.Loads = loads
+		}
+		sopts.Telemetry = tel
+		sopts.FlightDir = *flight
+		if *faultStr != "" {
+			plan, err := s3asim.ParseFaultPlan(*faultStr)
+			if err != nil {
+				fatal(err)
+			}
+			sopts.Base.FaultPlan = plan
+		}
 		start := time.Now()
 		sres, err := s3asim.RunServeSweep(sopts)
 		if err != nil {
@@ -427,6 +502,19 @@ func main() {
 			} else {
 				fmt.Println(tb.String())
 			}
+		}
+		if tel != nil {
+			fired, dumps := 0, 0
+			for _, c := range sres.Cells {
+				for _, a := range c.Alerts {
+					if a.Fired {
+						fired++
+					}
+				}
+				dumps += len(c.Dumps)
+			}
+			fmt.Printf("telemetry serve: %d alerts fired, %d flight dumps\n", fired, dumps)
+			writeTimeline(*flight, "serve_timeline.html", sres.TimelineHTML())
 		}
 		queries := 0
 		for _, c := range sres.Cells {
@@ -442,7 +530,7 @@ func main() {
 			Cells:       len(sres.Cells),
 		}
 		for _, c := range sres.Cells {
-			srec.Serve = append(srec.Serve, serveCellRecord{
+			rec := serveCellRecord{
 				Strategy:   c.Strategy.String(),
 				Load:       c.Load,
 				OfferedQPS: c.OfferedRate,
@@ -452,7 +540,17 @@ func main() {
 				P99Seconds: c.P99.Seconds(),
 				P999Secs:   c.P999.Seconds(),
 				Violations: c.Violations,
-			})
+			}
+			if c.Windows != nil {
+				rec.Windows = len(c.Windows.Windows)
+				rec.FlightDumps = len(c.Dumps)
+				for _, a := range c.Alerts {
+					if a.Fired {
+						rec.AlertsFired++
+					}
+				}
+			}
+			srec.Serve = append(srec.Serve, rec)
 		}
 		record.Suites = append(record.Suites, srec)
 	}
@@ -685,6 +783,41 @@ func writeFigures(dir string, sr *s3asim.SweepResult) {
 				sr.PhaseChart(s, sync).SVG(720, 420))
 		}
 	}
+}
+
+// multiFlag collects a repeatable string flag (-slo can be given many times).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// buildTelemetry assembles the telemetry pipeline config from -window and
+// the -slo rules, or nil when -window is absent.
+func buildTelemetry(window time.Duration, specs []string) *s3asim.Telemetry {
+	if window <= 0 {
+		if len(specs) > 0 {
+			fatal(fmt.Errorf("-slo needs -window"))
+		}
+		return nil
+	}
+	rules, err := s3asim.ParseAlertRules(specs)
+	if err != nil {
+		fatal(err)
+	}
+	return &s3asim.Telemetry{Window: s3asim.Time(window), Rules: rules}
+}
+
+// writeTimeline saves a sweep's self-contained HTML telemetry page, if both
+// the directory and the page exist.
+func writeTimeline(dir, name, html string) {
+	if dir == "" || html == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(html), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
 }
 
 func slug(s string) string {

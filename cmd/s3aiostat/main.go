@@ -38,6 +38,7 @@ func main() {
 		queries   = flag.Int("queries", 20, "number of input queries")
 		fragments = flag.Int("fragments", 128, "number of database fragments")
 		readback  = flag.Int("readback", 0, "verified-read GET share in percent (0 = off, 100 = post-run only, 90/50 = mixed)")
+		window    = flag.Duration("window", 0, "print per-window I/O rates at this telemetry window width (0 disables)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,9 @@ func main() {
 		cfg.CaptureData = true
 		cfg.Readback = rc
 	}
+	if *window > 0 {
+		cfg.Telemetry = &s3asim.Telemetry{Window: s3asim.Time(*window)}
+	}
 
 	rep, err := s3asim.Run(cfg)
 	if err != nil {
@@ -74,6 +78,14 @@ func main() {
 		rep.Overall.Seconds(), float64(rep.OutputBytes)/1e6)
 	fmt.Print(s3asim.AnalyzeIOTrace(rep).Render())
 	fmt.Print(attribution(rep))
+	if rep.Windows != nil {
+		// The windowed view of the same trace: request and byte rates plus
+		// per-window queue-wait and service-time summaries over virtual time.
+		fmt.Println()
+		fmt.Print(rep.Windows.Table(
+			fmt.Sprintf("Per-window I/O rates (width %.3fs)", rep.Windows.Width.Seconds()),
+			"pvfs.requests", "pvfs.bytes_written", "pvfs.queue_wait", "pvfs.service").String())
+	}
 }
 
 // attribution renders the per-request time split per request kind, using the

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"s3asim"
 	"s3asim/internal/trace"
@@ -50,7 +52,11 @@ func main() {
 		lease      = flag.Duration("lease", 0, "task/write-ack lease timeout (0 = default)")
 		detect     = flag.Duration("detect", 0, "failure-detector sweep period (0 = default)")
 		retries    = flag.Int("retries", 0, "per-task re-dispatch bound (0 = default)")
+		window     = flag.Duration("window", 0, "telemetry window width (0 disables the windowed time-series)")
+		flightDir  = flag.String("flight-dir", "", "write flight-recorder JSONL dumps into this directory (needs -window)")
 	)
+	var sloSpecs sloFlags
+	flag.Var(&sloSpecs, "slo", `telemetry alert rule, repeatable (e.g. "hot:rate(pvfs.requests)>1000"; needs -window)`)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
@@ -82,6 +88,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *window > 0 {
+		rules, err := s3asim.ParseAlertRules(sloSpecs)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Telemetry = &s3asim.Telemetry{Window: s3asim.Time(*window), Rules: rules}
+	} else if len(sloSpecs) > 0 || *flightDir != "" {
+		fatal(fmt.Errorf("-slo and -flight-dir need -window"))
 	}
 	// Validate up front so every bad flag combination dies with one line
 	// before any simulation state is built (Run re-validates either way).
@@ -129,6 +144,10 @@ func main() {
 
 	if *explain {
 		printAttribution(rep)
+	}
+
+	if cfg.Telemetry != nil {
+		printTelemetry(rep, *flightDir)
 	}
 
 	if *metrics {
@@ -191,6 +210,57 @@ func printAttribution(rep *s3asim.Report) {
 	fmt.Printf("  %-11s %10.3fs  100.0%%  (= overall, conservation verified)\n",
 		"total", att.Total.Seconds())
 }
+
+// printTelemetry renders the run's windowed series, alert timeline, and
+// flight dumps (written as JSONL when -flight-dir is set).
+func printTelemetry(rep *s3asim.Report, flightDir string) {
+	s := rep.Windows
+	fired := 0
+	for _, a := range rep.Alerts {
+		if a.Fired {
+			fired++
+		}
+	}
+	fmt.Printf("\ntelemetry: %d windows of %.3fs, %d alerts fired, %d flight dumps\n",
+		len(s.Windows), s.Width.Seconds(), fired, len(rep.FlightDumps))
+	for _, a := range rep.Alerts {
+		event := "resolve"
+		if a.Fired {
+			event = "fire"
+		}
+		fmt.Printf("  %.3fs %-7s %s (value %.6g, slow %.6g, threshold %.6g)\n",
+			a.At.Seconds(), event, a.Rule, a.Value, a.Slow, a.Threshold)
+	}
+	fmt.Print(s.Table("windowed telemetry",
+		"pvfs.requests", "pvfs.bytes_written", "pvfs.queue_wait", "pvfs.service").String())
+	if flightDir == "" {
+		return
+	}
+	if err := os.MkdirAll(flightDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i := range rep.FlightDumps {
+		d := &rep.FlightDumps[i]
+		path := filepath.Join(flightDir, fmt.Sprintf("flight_%d.jsonl", d.Seq))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.WriteJSONL(f, rep.Windows, rep.Alerts); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight dump written to %s (%q at %.3fs)\n", path, d.Reason, d.At.Seconds())
+	}
+}
+
+// sloFlags collects the repeatable -slo flag.
+type sloFlags []string
+
+func (m *sloFlags) String() string     { return strings.Join(*m, ",") }
+func (m *sloFlags) Set(v string) error { *m = append(*m, v); return nil }
 
 func syncWord(b bool) string {
 	if b {

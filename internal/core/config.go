@@ -210,6 +210,17 @@ type Config struct {
 	// builds without serving code.
 	Serve *ServePlan
 
+	// Telemetry, if non-nil, enables the virtual-time telemetry pipeline
+	// (DESIGN.md §15): the metrics registry additionally folds every
+	// mutation into tumbling windows of Telemetry.Window, SLO alert rules
+	// are evaluated at window boundaries into Report.Alerts, and a flight
+	// recorder rides on the run's sink — dumps triggered by alert firings,
+	// fault injections, and readback mismatches land in Report.FlightDumps.
+	// Everything derives from virtual time, so a telemetry run stays
+	// deterministic; nil leaves the run byte-identical to builds without
+	// telemetry code.
+	Telemetry *obs.Telemetry
+
 	// ProcModel selects how worker processes are backed by the kernel (see
 	// DESIGN.md §12). The default ProcAuto runs the steady-state worker loop
 	// as a pooled resumable state machine (des.SpawnFSM) on non-resilient
@@ -321,6 +332,11 @@ func (c *Config) Validate() error {
 	if err := c.validateServe(); err != nil {
 		return err
 	}
+	if c.Telemetry != nil {
+		if err := c.Telemetry.Validate(); err != nil {
+			return err
+		}
+	}
 	if err := c.validateReadback(); err != nil {
 		return err
 	}
@@ -374,9 +390,19 @@ func (c *Config) WorkerRanks() []int {
 }
 
 // resilient reports whether the run uses the recovery protocol: explicitly
-// requested, or implied by a non-empty fault plan.
+// requested, or implied by a fault plan the original protocol cannot absorb.
+// Serving runs carry pure performance-fault plans (degrade/outage/delay —
+// validateServe rejects anything stronger) on the original protocol, so
+// latency faults can hit the open-loop scenario the telemetry pipeline
+// watches.
 func (c *Config) resilient() bool {
-	return c.Resilient || !c.FaultPlan.IsEmpty()
+	if c.Resilient {
+		return true
+	}
+	if c.FaultPlan.IsEmpty() {
+		return false
+	}
+	return c.Serve == nil || c.FaultPlan.NeedsResilience()
 }
 
 // effDetect resolves the failure-detector sweep period.

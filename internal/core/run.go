@@ -63,6 +63,9 @@ type runtime struct {
 
 	flushTimes []des.Time // per global batch: when its flush completed
 
+	// Telemetry-pipeline state (nil when Config.Telemetry is unset).
+	flight *obs.FlightRecorder
+
 	// Serving-mode state (nil for the paper's closed batch).
 	serve *serveState
 
@@ -135,6 +138,15 @@ type Report struct {
 	// populated; deterministic for a given config and workload.
 	Metrics obs.Snapshot
 
+	// Windows, Alerts, and FlightDumps are the telemetry pipeline's outputs
+	// (Config.Telemetry runs only): the windowed time-series — which
+	// conserves exactly against Metrics (obs.Series.Conserve) — the SLO
+	// alert edge timeline, and any captured flight-recorder dumps (not yet
+	// written anywhere; serialize with obs.FlightDump.WriteJSONL).
+	Windows     *obs.Series
+	Alerts      []obs.Alert
+	FlightDumps []obs.FlightDump
+
 	// Attribution is the run's critical-path decomposition, present only
 	// when Config.Causal was set: every nanosecond of Overall assigned to a
 	// category (Attribution.Check() verifies the conservation invariant).
@@ -191,6 +203,14 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		reg = obs.NewRegistry()
 	}
 	fs.SetMetrics(reg)
+	var flight *obs.FlightRecorder
+	if tel := cfg.Telemetry; tel != nil {
+		reg.EnableWindows(tel.Window, sim.Now)
+		flight = tel.NewFlightRecorder()
+		// Crash/restart points on the injector's timeline trigger dumps.
+		flight.AutoTrigger("faults")
+		cfg.Sink = obs.Multi(cfg.Sink, flight)
+	}
 	if cfg.Causal != nil {
 		world.SetCausal(cfg.Causal)
 		fs.SetCausal(cfg.Causal)
@@ -206,6 +226,7 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		final:   world.NewBarrier(cfg.Procs),
 		timers:  make([]*PhaseTimer, cfg.Procs),
 		metrics: reg,
+		flight:  flight,
 	}
 	rt.buildGroups()
 	if cfg.Readback != nil {
@@ -227,8 +248,12 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 	// The fault layer and the resilient protocol are wired only when
 	// requested: an empty plan without Resilient leaves every hook nil, so
 	// such runs are bit-identical to builds without any fault code at all.
+	// A serving run may carry a pure performance-fault plan (degrade,
+	// outage, delay — validateServe rejects anything stronger) on the
+	// original protocol: the injector is wired into the network and the
+	// file system, but there is nothing to Arm and no recovery state.
 	resilient := cfg.resilient()
-	if resilient {
+	if resilient || !cfg.FaultPlan.IsEmpty() {
 		inj := fault.NewInjector(sim, cfg.FaultPlan, reg, cfg.sink())
 		inj.SetTagPolicy(droppableTag, delayableTag)
 		world.SetFaultModel(inj)
@@ -236,9 +261,11 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		for _, e := range inj.Outages() {
 			fs.ScheduleOutage(e.Server, e.At, e.For)
 		}
-		inj.Arm(world.WakeRank)
-		rt.faults = inj
-		rt.groupShutdown = make([]bool, len(rt.groups))
+		if resilient {
+			inj.Arm(world.WakeRank)
+			rt.faults = inj
+			rt.groupShutdown = make([]bool, len(rt.groups))
+		}
 	}
 
 	for _, g := range rt.groups {
@@ -501,11 +528,26 @@ func (rt *runtime) recordMetrics(rep *Report) {
 		m.Observe("pvfs.server_bytes", float64(s.BytesWritten))
 		m.ObserveTime("pvfs.server_queue_wait", s.QueueWait)
 	}
+	if rt.serve != nil {
+		rt.serveRecordMetrics()
+	}
 	if rb := rt.rb; rb != nil {
 		m.Add("readback.reads", rb.reads)
 		m.Add("readback.extents", rb.extents)
 		m.Add("readback.bytes", rb.bytes)
 		m.Add("readback.mismatches", rb.mismatches)
+	}
+	if tel := rt.cfg.Telemetry; tel != nil {
+		// Seal the series at the run's end, evaluate the alert rules over
+		// the window boundaries (fire edges also trigger the flight
+		// recorder), and snapshot the dumps. All inputs are virtual-time
+		// facts, so the outputs are as deterministic as the report itself.
+		m.FreezeWindows(rep.Overall)
+		rep.Windows = m.Windows()
+		if eng, err := tel.NewEngine(); err == nil && eng != nil {
+			rep.Alerts = eng.Evaluate(rep.Windows, rt.cfg.sink(), rt.flight)
+		}
+		rep.FlightDumps = rt.flight.Dumps()
 	}
 	rep.Metrics = m.Snapshot()
 }

@@ -50,6 +50,22 @@ type ServePlan struct {
 	Arrivals []des.Time
 	// Admission selects the queue discipline.
 	Admission ServeAdmission
+	// Tenants, when non-empty, names each query's traffic stream (parallel
+	// to Arrivals). Per-tenant latency histograms serve.latency.<tenant>
+	// are then recorded next to the aggregate serve.latency series.
+	Tenants []string
+	// SLO is the end-to-end latency target: queries above it count into the
+	// serve.slo_violations counter, the numerator of burn-rate alert rules.
+	// 0 disables the counter.
+	SLO des.Time
+}
+
+// tenantOf returns query q's tenant name, or "" without tenant labels.
+func (p *ServePlan) tenantOf(q int) string {
+	if q < 0 || q >= len(p.Tenants) {
+		return ""
+	}
+	return p.Tenants[q]
 }
 
 // QueryStat is one query's recorded lifecycle in a serving run. The stamps
@@ -283,6 +299,30 @@ func (rt *runtime) serveQueryStats() []QueryStat {
 	return append([]QueryStat(nil), rt.serve.stats...)
 }
 
+// serveRecordMetrics backfills the serving run's per-query metrics into the
+// registry in event time: each query's completion counts and its latency is
+// observed (with the query ID as exemplar) at its Done stamp, so the
+// windowed series resolves when load landed rather than when the run ended.
+// Queries are replayed in index (= arrival) order — deterministic, and the
+// same fold order every parallelism produces. Must run after serveQueryStats
+// has finalized the stamps.
+func (rt *runtime) serveRecordMetrics() {
+	sv := rt.serve
+	m := rt.metrics
+	for i := range sv.stats {
+		s := &sv.stats[i]
+		lat := s.Latency().Seconds()
+		m.AddAt("serve.queries", 1, s.Done)
+		m.ObserveExemplarAt("serve.latency", lat, int64(s.Q), s.Done)
+		if tenant := sv.plan.tenantOf(i); tenant != "" {
+			m.ObserveExemplarAt("serve.latency."+tenant, lat, int64(s.Q), s.Done)
+		}
+		if sv.plan.SLO > 0 && s.Latency() > sv.plan.SLO {
+			m.AddAt("serve.slo_violations", 1, s.Done)
+		}
+	}
+}
+
 // validateServe checks the serving plan against the rest of the config.
 func (c *Config) validateServe() error {
 	s := c.Serve
@@ -290,6 +330,9 @@ func (c *Config) validateServe() error {
 		return nil
 	}
 	if c.resilient() {
+		if !c.Resilient && c.FaultPlan.NeedsResilience() {
+			return fmt.Errorf("core: serving mode supports only performance-fault plans (degrade, outage, delay)")
+		}
 		return fmt.Errorf("core: serving mode is incompatible with the resilient protocol")
 	}
 	if c.QueryGroups > 1 {
@@ -304,6 +347,13 @@ func (c *Config) validateServe() error {
 	if len(s.Arrivals) != c.Workload.NumQueries {
 		return fmt.Errorf("core: serving plan has %d arrivals for %d queries",
 			len(s.Arrivals), c.Workload.NumQueries)
+	}
+	if len(s.Tenants) != 0 && len(s.Tenants) != len(s.Arrivals) {
+		return fmt.Errorf("core: serving plan has %d tenant labels for %d queries",
+			len(s.Tenants), len(s.Arrivals))
+	}
+	if s.SLO < 0 {
+		return fmt.Errorf("core: serving SLO must be non-negative")
 	}
 	var prev des.Time
 	for i, at := range s.Arrivals {

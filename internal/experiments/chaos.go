@@ -48,6 +48,14 @@ type ChaosOptions struct {
 	Strategies  []core.Strategy
 	Parallelism int
 	Progress    func(string)
+	// Telemetry, when non-nil, enables the virtual-time telemetry pipeline
+	// in every run: windowed time-series (conservation-checked against each
+	// run's snapshot), alert rules over the fault counters, and the flight
+	// recorder (which auto-triggers on every fault.* injection).
+	Telemetry *obs.Telemetry
+	// FlightDir, when set (and Telemetry is on), writes every run's flight
+	// dumps as JSONL artifacts, in deterministic cell order.
+	FlightDir string
 }
 
 // PaperChaosOptions returns the chaos suite at the paper's evaluation scale
@@ -115,6 +123,17 @@ type ChaosCell struct {
 	// Inflation is this cell's mean overall time over the same strategy's
 	// fault-free (x = 0) mean — 0 when the sweep has no x = 0 column.
 	Inflation float64
+	// Windows is repetition 0's windowed time-series (nil unless Telemetry
+	// was on). Every repetition's series is conservation-checked against its
+	// own snapshot before the sweep returns.
+	Windows *obs.Series
+	// Alerts concatenates every repetition's alert timeline, in repetition
+	// order.
+	Alerts []obs.Alert
+	// Dumps counts flight-recorder dumps across the cell's repetitions;
+	// DumpFiles lists the JSONL artifacts written when FlightDir was set.
+	Dumps     int
+	DumpFiles []string
 }
 
 // ChaosResult is a completed chaos sweep. Cells are keyed by CellKey with
@@ -168,6 +187,7 @@ func RunChaosSweep(opts ChaosOptions) (*ChaosResult, error) {
 			cfg := opts.Base
 			cfg.Strategy = s
 			cfg.Resilient = true
+			cfg.Telemetry = opts.Telemetry
 			keys = append(keys, CellKey{Strategy: s, QuerySync: cr.Sync, X: float64(x)})
 			cfgs = append(cfgs, cfg)
 		}
@@ -180,23 +200,57 @@ func RunChaosSweep(opts ChaosOptions) (*ChaosResult, error) {
 		}
 	}
 	start := time.Now()
+	var cellErr error
 	_, prof, err := runAllCells(o.parallelism(), o.reps(), cache, cfgs, prep,
 		func(cell, rep int, err error) error {
 			k := keys[cell]
 			return fmt.Errorf("chaos: %v crashes=%g rep=%d: %w", k.Strategy, k.X, rep, err)
 		},
 		func(cell int, reps []*core.Report) {
+			// onCell fires serialized in ascending cell order, so telemetry
+			// checks and flight artifacts are deterministic at any
+			// Parallelism.
+			if cellErr != nil {
+				return
+			}
 			k := keys[cell]
 			c := reduceChaosCell(k, reps)
 			cr.Cells[k] = c
-			for _, r := range reps {
+			for rep, r := range reps {
 				cr.Metrics = cr.Metrics.Merge(r.Metrics)
+				if r.Windows == nil {
+					continue
+				}
+				if err := r.Windows.Conserve(r.Metrics); err != nil {
+					cellErr = fmt.Errorf("chaos: %v crashes=%g rep=%d: %w",
+						k.Strategy, k.X, rep, err)
+					return
+				}
+				if rep == 0 {
+					c.Windows = r.Windows
+				}
+				c.Alerts = append(c.Alerts, r.Alerts...)
+				c.Dumps += len(r.FlightDumps)
+				if opts.FlightDir != "" && len(r.FlightDumps) > 0 {
+					prefix := fmt.Sprintf("flight_chaos_%s_x%g_rep%d",
+						strategySlug(k.Strategy), k.X, rep)
+					files, err := writeFlightDumps(opts.FlightDir, prefix, r)
+					if err != nil {
+						cellErr = fmt.Errorf("chaos: %v crashes=%g rep=%d: %w",
+							k.Strategy, k.X, rep, err)
+						return
+					}
+					c.DumpFiles = append(c.DumpFiles, files...)
+				}
 			}
 			o.progress("chaos %s crashes=%g: %.2fs (%.0f seen, %.0f tasks re-run)",
 				k.Strategy, k.X, c.Overall.Seconds(), c.CrashesSeen, c.Reexecuted)
 		})
 	if err != nil {
 		return nil, err
+	}
+	if cellErr != nil {
+		return nil, cellErr
 	}
 	// Inflation folds in after all cells exist: each cell over its
 	// strategy's fault-free column.
@@ -269,6 +323,28 @@ func (cr *ChaosResult) Table() *stats.Table {
 		}
 	}
 	return tb
+}
+
+// AlertTable renders the chaos sweep's alert timeline — every rule firing
+// and resolution across every (strategy, crash count) cell.
+func (cr *ChaosResult) AlertTable() *stats.Table {
+	type row struct {
+		k CellKey
+		c *ChaosCell
+	}
+	var rows []row
+	for _, s := range cr.Strat {
+		for _, x := range cr.Xs {
+			if c := cr.Cell(s, x); c != nil {
+				rows = append(rows, row{CellKey{Strategy: s, X: float64(x)}, c})
+			}
+		}
+	}
+	return alertTable("Chaos alert timeline", []string{"strategy", "crashes"},
+		len(rows), func(cell int) ([]string, []obs.Alert) {
+			r := rows[cell]
+			return []string{r.k.Strategy.String(), trimFloat(r.k.X)}, r.c.Alerts
+		})
 }
 
 func syncLabel(sync bool) string {

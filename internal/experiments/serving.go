@@ -43,6 +43,16 @@ type ServeOptions struct {
 	// Per-cell recorders and registries make results identical at any
 	// parallelism.
 	Parallelism int
+	// Telemetry, when non-nil, enables the virtual-time telemetry pipeline
+	// (core.Config.Telemetry) in every cell: windowed time-series
+	// (conservation-checked against each cell's snapshot), SLO alert rules,
+	// and the flight recorder. The SLO option above feeds the
+	// serve.slo_violations counter burn-rate rules divide by.
+	Telemetry *obs.Telemetry
+	// FlightDir, when set (and Telemetry is on), writes every cell's flight
+	// dumps as JSONL artifacts into the directory, in deterministic cell
+	// order with deterministic names.
+	FlightDir string
 }
 
 // QuickServeOptions is a fast serving scenario for tests and smoke runs:
@@ -150,6 +160,19 @@ type ServeCell struct {
 	// Metrics is the post-run registry snapshot including the serve latency
 	// histograms (serve.latency and serve.latency.<tenant>).
 	Metrics obs.Snapshot
+	// Windows is the windowed time-series (nil unless Telemetry was on). Its
+	// window sums are conservation-checked against Metrics before the sweep
+	// returns.
+	Windows *obs.Series
+	// Alerts is the cell's alert timeline: every SLO rule firing and
+	// resolution, in virtual-time order.
+	Alerts []obs.Alert
+	// Dumps holds the cell's flight-recorder dumps (alert firings, fault
+	// injections, readback mismatches).
+	Dumps []obs.FlightDump
+	// DumpFiles lists the JSONL artifact paths written for Dumps when
+	// ServeOptions.FlightDir was set, in dump order.
+	DumpFiles []string
 }
 
 // ServeResult is a completed serving sweep.
@@ -219,7 +242,6 @@ func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
 		cells []*ServeCell
 		cfgs  []core.Config
 		recs  []*causal.Recorder
-		regs  []*obs.Registry
 	)
 	for _, s := range strat {
 		for li, load := range loads {
@@ -228,8 +250,11 @@ func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
 			cfg.Workload.NumQueries = len(lps[li].arrivals)
 			cfg.Serve = &core.ServePlan{
 				Arrivals:  serve.Times(lps[li].arrivals),
+				Tenants:   serve.TenantNames(lps[li].arrivals),
 				Admission: opts.Admission,
+				SLO:       slo,
 			}
+			cfg.Telemetry = opts.Telemetry
 			cells = append(cells, &ServeCell{
 				Strategy:    s,
 				Load:        load,
@@ -237,7 +262,6 @@ func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
 			})
 			cfgs = append(cfgs, cfg)
 			recs = append(recs, causal.NewRecorder())
-			regs = append(regs, obs.NewRegistry())
 		}
 	}
 
@@ -246,21 +270,33 @@ func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
 	_, _, err := runAllCells(par, 1, search.NewCache(), cfgs,
 		func(cell, rep int, cfg *core.Config) {
 			cfg.Causal = recs[cell]
-			cfg.Metrics = regs[cell]
 		},
 		func(cell, rep int, err error) error {
 			c := cells[cell]
 			return fmt.Errorf("serve sweep: %v load %g: %w", c.Strategy, c.Load, err)
 		},
 		func(cell int, reports []*core.Report) {
+			// onCell fires serialized, in ascending cell order, so flight
+			// dumps land on disk deterministically regardless of Parallelism.
 			if cellErr != nil {
 				return
 			}
 			c := cells[cell]
 			li := cell % len(loads)
-			if err := finishServeCell(c, reports[0], recs[cell], regs[cell],
-				lps[li].arrivals, slo); err != nil && cellErr == nil {
+			if err := finishServeCell(c, reports[0], recs[cell],
+				lps[li].arrivals, slo); err != nil {
 				cellErr = err
+				return
+			}
+			if opts.FlightDir != "" && len(c.Dumps) > 0 {
+				prefix := fmt.Sprintf("flight_serve_%s_load%s",
+					strategySlug(c.Strategy), trimFloat(c.Load))
+				files, err := writeFlightDumps(opts.FlightDir, prefix, reports[0])
+				if err != nil {
+					cellErr = fmt.Errorf("serve sweep: %v load %g: %w", c.Strategy, c.Load, err)
+					return
+				}
+				c.DumpFiles = files
 			}
 		})
 	if err != nil {
@@ -275,9 +311,12 @@ func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
 
 // finishServeCell turns one run's report into the cell's telemetry: latency
 // histograms, percentiles, SLO counts, throughput, and banded tail
-// attribution (one conservation-checked critical-path walk per query).
+// attribution (one conservation-checked critical-path walk per query). The
+// latency histograms themselves come from the run's own registry — core
+// records serve.latency and serve.latency.<tenant> in arrival order — so the
+// snapshot, windowed series, and alert timeline all describe one registry.
 func finishServeCell(c *ServeCell, rep *core.Report, rec *causal.Recorder,
-	reg *obs.Registry, arrivals []serve.Arrival, slo des.Time) error {
+	arrivals []serve.Arrival, slo des.Time) error {
 
 	c.Queries = rep.Queries
 	c.Overall = rep.Overall
@@ -288,10 +327,18 @@ func finishServeCell(c *ServeCell, rep *core.Report, rec *causal.Recorder,
 		if q.Done > lastDone {
 			lastDone = q.Done
 		}
-		reg.ObserveTime("serve.latency", q.Latency())
-		reg.ObserveTime("serve.latency."+arrivals[i].Tenant, q.Latency())
 	}
-	c.Metrics = reg.Snapshot()
+	c.Metrics = rep.Metrics
+	c.Windows = rep.Windows
+	c.Alerts = rep.Alerts
+	c.Dumps = rep.FlightDumps
+	if c.Windows != nil {
+		// The tentpole invariant: every window sum reconciles exactly with
+		// the end-of-run snapshot (same discipline as causal.Check).
+		if err := c.Windows.Conserve(c.Metrics); err != nil {
+			return fmt.Errorf("serve sweep: %v load %g: %w", c.Strategy, c.Load, err)
+		}
+	}
 
 	h, ok := c.Metrics.Hists["serve.latency"]
 	if !ok {
@@ -440,12 +487,51 @@ func (sr *ServeResult) TailTable(load float64) *stats.Table {
 	return t
 }
 
+// AlertTable renders the sweep's alert timeline: every rule firing and
+// resolution across every cell, in (cell, virtual-time) order. Empty (but
+// present) when telemetry ran and no rule fired.
+func (sr *ServeResult) AlertTable() *stats.Table {
+	return alertTable("SLO alert timeline", []string{"strategy", "load"},
+		len(sr.Cells), func(cell int) ([]string, []obs.Alert) {
+			c := sr.Cells[cell]
+			return []string{c.Strategy.String(), trimFloat(c.Load)}, c.Alerts
+		})
+}
+
+// SeriesTable renders one cell's windowed time-series: per-window rates of
+// the serving counters and the latency histogram summary.
+func (c *ServeCell) SeriesTable() *stats.Table {
+	if c.Windows == nil {
+		return nil
+	}
+	return c.Windows.Table(
+		fmt.Sprintf("Windowed telemetry — %v load %s (width %.3fs)",
+			c.Strategy, trimFloat(c.Load), c.Windows.Width.Seconds()),
+		"serve.queries", "serve.slo_violations", "serve.latency")
+}
+
 // Tables returns the serving report in print order: percentiles, the
-// throughput curve, and per-load tenant and tail-attribution tables.
+// throughput curve, per-load tenant and tail-attribution tables, and — when
+// telemetry ran — the alert timeline plus one time-series table per cell.
 func (sr *ServeResult) Tables() []*stats.Table {
 	out := []*stats.Table{sr.PercentileTable(), sr.ThroughputTable()}
 	for _, load := range sr.Loads {
 		out = append(out, sr.TenantTable(load), sr.TailTable(load))
+	}
+	telemetry := false
+	for _, c := range sr.Cells {
+		if c.Windows != nil {
+			telemetry = true
+			break
+		}
+	}
+	if telemetry {
+		out = append(out, sr.AlertTable())
+		for _, c := range sr.Cells {
+			if t := c.SeriesTable(); t != nil {
+				out = append(out, t)
+			}
+		}
 	}
 	return out
 }

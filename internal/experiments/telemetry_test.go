@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"s3asim/internal/core"
+	"s3asim/internal/des"
+	"s3asim/internal/fault"
+	"s3asim/internal/obs"
+)
+
+func mustRules(t *testing.T, specs ...string) []*obs.Rule {
+	t.Helper()
+	rules, err := obs.ParseRules(specs)
+	if err != nil {
+		t.Fatalf("ParseRules(%v): %v", specs, err)
+	}
+	return rules
+}
+
+// telemetryServeOpts is the shared smoke scenario: one strategy at a
+// saturating load, with a mid-run PVFS degrade fault that spikes latency, a
+// burn-rate rule over the SLO-violation counter, and the flight recorder.
+func telemetryServeOpts(t *testing.T) ServeOptions {
+	opts := QuickServeOptions()
+	opts.Strategies = []core.Strategy{core.MW}
+	opts.Loads = []float64{1}
+	opts.Base.FaultPlan = &fault.Plan{Events: []fault.Event{{
+		Kind: fault.Degrade, At: 3 * des.Second, For: 4 * des.Second,
+		Rank: -1, Server: 0, Factor: 50,
+	}}}
+	opts.Telemetry = &obs.Telemetry{
+		Window: 500 * des.Millisecond,
+		Rules: mustRules(t,
+			"slo-burn:burn(serve.slo_violations/serve.queries)>1:slo=0.5,fast=1s,slow=2s"),
+	}
+	return opts
+}
+
+// TestServeTelemetrySmoke is the end-to-end pipeline check: the degrade
+// fault drives latency over the SLO, the burn-rate rule fires, the firing
+// (and the fault injection itself) trigger flight dumps, and the artifacts
+// land on disk under deterministic names.
+func TestServeTelemetrySmoke(t *testing.T) {
+	opts := telemetryServeOpts(t)
+	opts.FlightDir = t.TempDir()
+	sr, err := RunServeSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sr.Cells[0]
+	if c.Windows == nil || len(c.Windows.Windows) == 0 {
+		t.Fatal("telemetry on but no windowed series")
+	}
+	// Conservation is enforced inside the sweep; re-check here so the test
+	// fails loudly if the sweep ever stops checking.
+	if err := c.Windows.Conserve(c.Metrics); err != nil {
+		t.Fatalf("window conservation: %v", err)
+	}
+	fired := 0
+	for _, a := range c.Alerts {
+		if a.Fired {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("burn-rate rule never fired; alerts: %+v", c.Alerts)
+	}
+	if len(c.Dumps) == 0 {
+		t.Fatal("no flight dumps despite fault injection and alert firing")
+	}
+	if len(c.DumpFiles) != len(c.Dumps) {
+		t.Fatalf("wrote %d dump files for %d dumps", len(c.DumpFiles), len(c.Dumps))
+	}
+	for _, f := range c.DumpFiles {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("dump artifact: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("dump artifact %s is empty", f)
+		}
+	}
+	// The tables must render without panicking and include the telemetry
+	// sections (percentiles + throughput + tenant + tail + alerts + series).
+	tables := sr.Tables()
+	if len(tables) < 6 {
+		t.Fatalf("expected telemetry tables in the report, got %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if tb == nil || tb.String() == "" {
+			t.Fatal("nil or empty table in serve report")
+		}
+	}
+	if at := sr.AlertTable(); at.String() == "" {
+		t.Fatal("alert table did not render")
+	}
+}
+
+// TestServeTelemetryParallelismInvariant pins the determinism contract:
+// alert timelines, windowed series, and flight-dump artifact bytes are
+// bit-identical at Parallelism 1 and 4.
+func TestServeTelemetryParallelismInvariant(t *testing.T) {
+	run := func(par int) (*ServeResult, string) {
+		opts := telemetryServeOpts(t)
+		opts.Parallelism = par
+		opts.FlightDir = t.TempDir()
+		sr, err := RunServeSweep(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr, opts.FlightDir
+	}
+	sr1, dir1 := run(1)
+	sr4, dir4 := run(4)
+	if len(sr1.Cells) != len(sr4.Cells) {
+		t.Fatalf("cell count differs: %d vs %d", len(sr1.Cells), len(sr4.Cells))
+	}
+	for i := range sr1.Cells {
+		a, b := sr1.Cells[i], sr4.Cells[i]
+		if !reflect.DeepEqual(a.Alerts, b.Alerts) {
+			t.Fatalf("cell %d alerts differ:\n%+v\nvs\n%+v", i, a.Alerts, b.Alerts)
+		}
+		if !reflect.DeepEqual(a.Windows, b.Windows) {
+			t.Fatalf("cell %d windowed series differ", i)
+		}
+		if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+			t.Fatalf("cell %d snapshots differ", i)
+		}
+	}
+	names1, names4 := dumpNames(t, dir1), dumpNames(t, dir4)
+	if !reflect.DeepEqual(names1, names4) {
+		t.Fatalf("dump artifact names differ: %v vs %v", names1, names4)
+	}
+	for _, name := range names1 {
+		b1, err := os.ReadFile(filepath.Join(dir1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b4, err := os.ReadFile(filepath.Join(dir4, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b4) {
+			t.Fatalf("dump %s differs between parallelism 1 and 4", name)
+		}
+	}
+}
+
+func dumpNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestChaosTelemetryConservation runs the chaos suite with telemetry on:
+// window sums must conserve in every repetition (checked inside the sweep,
+// which errors otherwise), the crash-rate rule must fire exactly in the
+// faulted cell, and the fault auto-trigger must produce dumps.
+func TestChaosTelemetryConservation(t *testing.T) {
+	opts := QuickChaosOptions()
+	opts.Strategies = []core.Strategy{core.MW}
+	opts.Crashes = []int{0, 2}
+	opts.Telemetry = &obs.Telemetry{
+		Window: 20 * des.Millisecond,
+		Rules:  mustRules(t, "crash:rate(fault.crashes)>0"),
+	}
+	opts.FlightDir = t.TempDir()
+	cr, err := RunChaosSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cr.Cell(core.MW, 0)
+	faulted := cr.Cell(core.MW, 2)
+	if base == nil || faulted == nil {
+		t.Fatal("missing cells")
+	}
+	if base.Windows == nil || faulted.Windows == nil {
+		t.Fatal("telemetry on but no windowed series")
+	}
+	for _, a := range base.Alerts {
+		if a.Fired {
+			t.Fatalf("crash rule fired in the fault-free cell: %+v", a)
+		}
+	}
+	fired := 0
+	for _, a := range faulted.Alerts {
+		if a.Fired {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("crash rule never fired in the faulted cell; alerts: %+v", faulted.Alerts)
+	}
+	if faulted.Dumps == 0 || len(faulted.DumpFiles) == 0 {
+		t.Fatal("no flight dumps from crash injections")
+	}
+	if tb := cr.AlertTable(); tb == nil || tb.String() == "" {
+		t.Fatal("chaos alert table did not render")
+	}
+}

@@ -157,6 +157,26 @@ type Plan struct {
 // IsEmpty reports whether the plan injects no faults at all.
 func (p *Plan) IsEmpty() bool { return p == nil || len(p.Events) == 0 }
 
+// NeedsResilience reports whether the plan contains events the original
+// protocol cannot absorb: crashes and message drops require the recovery
+// protocol's leases and re-dispatch, and slow (compute-straggler) factors
+// are only consulted by the resilient workers. Pure performance faults —
+// server degradation, server outages, message delays — merely stretch time
+// and are survivable by any protocol.
+func (p *Plan) NeedsResilience() bool {
+	if p == nil {
+		return false
+	}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case Degrade, Outage, Delay:
+		default:
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the plan in spec syntax; Parse(p.String()) reproduces it.
 func (p *Plan) String() string {
 	if p.IsEmpty() {

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+func TestParseRuleForms(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"hot:rate(serve.queries)>100", Rule{Name: "hot", Kind: RuleRate, Metric: "serve.queries", Threshold: 100}},
+		{"slow:p99(serve.latency)>2.5:fast=2s", Rule{Name: "slow", Kind: RuleQuantile, Metric: "serve.latency", Q: 0.99, Threshold: 2.5, Fast: des.FromSeconds(2)}},
+		{"tail:p999(lat)>1", Rule{Name: "tail", Kind: RuleQuantile, Metric: "lat", Q: 0.999, Threshold: 1}},
+		{"cold:rate(x)<0.5", Rule{Name: "cold", Kind: RuleRate, Metric: "x", Threshold: 0.5, Below: true}},
+		{
+			"burny:burn(serve.slo_violations/serve.queries)>10:fast=1s,slow=5s,slo=0.99",
+			Rule{
+				Name: "burny", Kind: RuleBurn, Metric: "serve.slo_violations",
+				Total: "serve.queries", SLO: 0.99, Threshold: 10,
+				Fast: des.FromSeconds(1), Slow: des.FromSeconds(5),
+			},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if *got != c.want {
+			t.Errorf("%s:\n got %+v\nwant %+v", c.spec, *got, c.want)
+		}
+		// String round-trips through ParseRule.
+		back, err := ParseRule(got.String())
+		if err != nil || *back != *got {
+			t.Errorf("%s: String() %q did not round-trip: %+v, %v", c.spec, got.String(), back, err)
+		}
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"noname",
+		":rate(x)>1",
+		"a b:rate(x)>1",
+		"n:rate(x)",
+		"n:rate(x)=1",
+		"n:rate(x)>forty",
+		"n:rate()>1",
+		"n:p0(x)>1",
+		"n:p100x(x)>1",
+		"n:frob(x)>1",
+		"n:burn(x)>1:slo=0.99",
+		"n:burn(a/b)>1",
+		"n:burn(a/b)>1:slo=1.5",
+		"n:rate(x)>1:slo=0.9",
+		"n:rate(x)>1:fast=bogus",
+		"n:rate(x)>1:zoom=3",
+	}
+	for _, spec := range bad {
+		if r, err := ParseRule(spec); err == nil {
+			t.Errorf("%q: want error, got %+v", spec, r)
+		}
+	}
+}
+
+// seriesFrom builds a test series from per-window (bad, total) counts.
+func seriesFrom(width des.Time, counts [][2]int64) *Series {
+	r := NewRegistry()
+	r.EnableWindows(width, nil)
+	for i, c := range counts {
+		at := des.Time(int64(i)*int64(width)) + width/2
+		if c[0] > 0 {
+			r.AddAt("bad", c[0], at)
+		}
+		if c[1] > 0 {
+			r.AddAt("total", c[1], at)
+		}
+	}
+	r.FreezeWindows(des.Time(int64(len(counts)) * int64(width)))
+	s := r.Windows()
+	// Drop the trailing boundary window FreezeWindows adds so tests see
+	// exactly len(counts) windows.
+	s.Windows = s.Windows[:len(counts)]
+	return s
+}
+
+func TestAlertRateFireAndResolve(t *testing.T) {
+	s := seriesFrom(des.Second, [][2]int64{{0, 1}, {0, 50}, {0, 60}, {0, 2}, {0, 1}})
+	rule, _ := ParseRule("hot:rate(total)>10")
+	eng, err := NewAlertEngine(des.Second, []*Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	al := eng.Evaluate(s, tr, nil)
+	if len(al) != 2 {
+		t.Fatalf("alerts = %+v, want fire+resolve", al)
+	}
+	if !al[0].Fired || al[0].Window != 1 || al[0].Value != 50 {
+		t.Errorf("fire edge = %+v", al[0])
+	}
+	if al[1].Fired || al[1].Window != 3 {
+		t.Errorf("resolve edge = %+v", al[1])
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Proc != "alerts" || evs[0].Name != "alert.fire hot 50" ||
+		evs[1].Name != "alert.resolve hot" {
+		t.Errorf("timeline = %+v", evs)
+	}
+}
+
+func TestAlertMultiwindowAND(t *testing.T) {
+	// The window-0 blip trips the fast condition (30 > 10) but not the
+	// 3-window slow condition (mean 10, not > 10); only the sustained burst
+	// at the end trips both.
+	s := seriesFrom(des.Second, [][2]int64{{0, 30}, {0, 0}, {0, 0}, {0, 12}, {0, 12}, {0, 12}})
+	rule, _ := ParseRule("sus:rate(total)>10:fast=1s,slow=3s")
+	eng, _ := NewAlertEngine(des.Second, []*Rule{rule})
+	al := eng.Evaluate(s, nil, nil)
+	if len(al) != 1 || !al[0].Fired || al[0].Window != 5 {
+		t.Fatalf("alerts = %+v, want a single fire at window 5 (3-window mean first exceeds 10 there)", al)
+	}
+	if al[0].Value != 12 || al[0].Slow != 12 {
+		t.Errorf("fire edge values = %+v", al[0])
+	}
+}
+
+func TestAlertBurnRate(t *testing.T) {
+	// SLO 0.5 → budget 0.5. Windows 2-3 run 50% bad → burn exactly 1.
+	s := seriesFrom(des.Second, [][2]int64{{0, 10}, {0, 10}, {5, 10}, {5, 10}, {0, 10}})
+	rule, _ := ParseRule("burn:burn(bad/total)>0.8:slo=0.5")
+	eng, _ := NewAlertEngine(des.Second, []*Rule{rule})
+	al := eng.Evaluate(s, nil, nil)
+	if len(al) != 2 {
+		t.Fatalf("alerts = %+v", al)
+	}
+	if !al[0].Fired || al[0].Window != 2 || al[0].Value != 1 {
+		t.Errorf("fire = %+v, want burn 1 at window 2", al[0])
+	}
+	if al[1].Fired || al[1].Window != 4 {
+		t.Errorf("resolve = %+v", al[1])
+	}
+}
+
+func TestAlertQuantileNeedsData(t *testing.T) {
+	r := NewRegistry()
+	r.EnableWindows(des.Second, nil)
+	r.ObserveAt("lat", 5.0, des.FromSeconds(1.5))
+	r.FreezeWindows(des.FromSeconds(3))
+	s := r.Windows()
+	rule, _ := ParseRule("slow:p99(lat)>1")
+	eng, _ := NewAlertEngine(des.Second, []*Rule{rule})
+	al := eng.Evaluate(s, nil, nil)
+	// Empty windows cannot fire a quantile rule; the single hot window
+	// fires it and the following empty window resolves it.
+	if len(al) != 2 || !al[0].Fired || al[0].Window != 1 || al[1].Fired || al[1].Window != 2 {
+		t.Fatalf("alerts = %+v", al)
+	}
+}
+
+func TestAlertFiringTriggersFlightRecorder(t *testing.T) {
+	s := seriesFrom(des.Second, [][2]int64{{0, 1}, {0, 50}, {0, 1}})
+	rule, _ := ParseRule("hot:rate(total)>10")
+	eng, _ := NewAlertEngine(des.Second, []*Rule{rule})
+	fl := NewFlightRecorder(16, des.FromSeconds(2), 4)
+	fl.Point("serve", "q1", des.FromSeconds(1.2))
+	al := eng.Evaluate(s, nil, fl)
+	if len(al) != 2 {
+		t.Fatalf("alerts = %+v", al)
+	}
+	dumps := fl.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1 (fire edge only)", len(dumps))
+	}
+	if dumps[0].Reason != "alert hot" || dumps[0].At != des.FromSeconds(2) {
+		t.Errorf("dump = %+v", dumps[0])
+	}
+	if len(dumps[0].Events) != 1 || dumps[0].Events[0].Name != "q1" {
+		t.Errorf("dump events = %+v", dumps[0].Events)
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+// FlightRecorder is a bounded ring-buffer Sink (DESIGN.md §15): it retains
+// the most recent timeline events of a run, and on a trigger — an alert
+// firing, a fault injection, a readback mismatch — snapshots the last Keep
+// virtual seconds into a FlightDump. Dumps cost nothing until triggered, so
+// the recorder can ride along on every telemetry run; WriteJSONL serializes
+// a dump (plus the surrounding windowed series and alert timeline) into a
+// line-oriented artifact whose "event" records are the same trace.Event JSON
+// the Perfetto exporter consumes.
+//
+// Determinism: the recorder observes only virtual-time events in kernel
+// order, triggers fire at virtual timestamps, and dump snapshots are sorted
+// by (Start, End, Proc, Name) — identical runs produce byte-identical dumps.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	keep     des.Time
+	maxDumps int
+	ring     []trace.Event
+	pos      int                    // overwrite cursor once the ring is full
+	open     map[string]trace.Event // proc → currently open state
+	auto     map[string]bool        // procs whose Points auto-trigger (fault timeline)
+	dumps    []FlightDump
+	lastTrig des.Time
+	trigged  bool
+	dropped  int // triggers suppressed by holdoff or the dump cap
+}
+
+// FlightDump is one captured snapshot: the retained events overlapping
+// [At-Keep, At], sorted deterministically.
+type FlightDump struct {
+	Seq    int           `json:"seq"`
+	Reason string        `json:"reason"`
+	At     des.Time      `json:"at"`
+	Keep   des.Time      `json:"keep"`
+	Events []trace.Event `json:"-"`
+}
+
+// NewFlightRecorder returns a recorder retaining up to events ring entries,
+// dumping the trailing keep virtual time, and capturing at most maxDumps
+// dumps per run (triggers within keep of the previous accepted trigger, or
+// beyond the cap, are counted but suppressed — the holdoff keeps one
+// incident from burning every dump slot).
+func NewFlightRecorder(events int, keep des.Time, maxDumps int) *FlightRecorder {
+	if events < 1 {
+		events = 1
+	}
+	if maxDumps < 1 {
+		maxDumps = 1
+	}
+	return &FlightRecorder{
+		keep:     keep,
+		maxDumps: maxDumps,
+		ring:     make([]trace.Event, 0, events),
+		open:     make(map[string]trace.Event),
+	}
+}
+
+// AutoTrigger registers a timeline process whose Point events trigger dumps
+// (core registers the fault injector's "faults" track, so crash/restart
+// injections flight-record themselves).
+func (f *FlightRecorder) AutoTrigger(proc string) {
+	f.mu.Lock()
+	if f.auto == nil {
+		f.auto = make(map[string]bool)
+	}
+	f.auto[proc] = true
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) push(e trace.Event) {
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+		return
+	}
+	f.ring[f.pos] = e
+	f.pos = (f.pos + 1) % len(f.ring)
+}
+
+// BeginState implements Sink.
+func (f *FlightRecorder) BeginState(proc, name string, at des.Time) {
+	f.mu.Lock()
+	if prev, ok := f.open[proc]; ok {
+		prev.End = at
+		f.push(prev)
+	}
+	f.open[proc] = trace.Event{Proc: proc, Name: name, Start: at}
+	f.mu.Unlock()
+}
+
+// EndState implements Sink.
+func (f *FlightRecorder) EndState(proc string, at des.Time) {
+	f.mu.Lock()
+	if prev, ok := f.open[proc]; ok {
+		prev.End = at
+		f.push(prev)
+		delete(f.open, proc)
+	}
+	f.mu.Unlock()
+}
+
+// Point implements Sink; a point on an AutoTrigger process triggers a dump.
+func (f *FlightRecorder) Point(proc, name string, at des.Time) {
+	f.mu.Lock()
+	f.push(trace.Event{Proc: proc, Name: name, Start: at, End: at, Point: true})
+	if f.auto[proc] {
+		f.trigger(fmt.Sprintf("%s: %s", proc, name), at)
+	}
+	f.mu.Unlock()
+}
+
+// Trigger captures a dump of the last Keep virtual time ending at `at`.
+func (f *FlightRecorder) Trigger(reason string, at des.Time) {
+	f.mu.Lock()
+	f.trigger(reason, at)
+	f.mu.Unlock()
+}
+
+func (f *FlightRecorder) trigger(reason string, at des.Time) {
+	if len(f.dumps) >= f.maxDumps || (f.trigged && at-f.lastTrig < f.keep) {
+		f.dropped++
+		return
+	}
+	f.trigged, f.lastTrig = true, at
+	since := at - f.keep
+	var evs []trace.Event
+	add := func(e trace.Event) {
+		if e.Start <= at && e.End >= since {
+			evs = append(evs, e)
+		}
+	}
+	if len(f.ring) == cap(f.ring) {
+		for _, e := range f.ring[f.pos:] {
+			add(e)
+		}
+		for _, e := range f.ring[:f.pos] {
+			add(e)
+		}
+	} else {
+		for _, e := range f.ring {
+			add(e)
+		}
+	}
+	for _, proc := range sortedKeys(f.open) {
+		e := f.open[proc]
+		e.End = at
+		add(e)
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		x, y := evs[a], evs[b]
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		if x.End != y.End {
+			return x.End < y.End
+		}
+		if x.Proc != y.Proc {
+			return x.Proc < y.Proc
+		}
+		return x.Name < y.Name
+	})
+	f.dumps = append(f.dumps, FlightDump{
+		Seq: len(f.dumps), Reason: reason, At: at, Keep: f.keep, Events: evs,
+	})
+}
+
+// Dumps returns the captured dumps in trigger order.
+func (f *FlightRecorder) Dumps() []FlightDump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightDump(nil), f.dumps...)
+}
+
+// Suppressed reports triggers dropped by the holdoff or the dump cap.
+func (f *FlightRecorder) Suppressed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// WriteJSONL serializes the dump as JSON lines: one "meta" record, then the
+// windowed series restricted to [At-Keep, At] ("window" records), the alert
+// edges in that range ("alert" records), and finally every retained timeline
+// event ("event" records, trace.Event JSON). series and alerts may be
+// nil/empty. Output is deterministic byte-for-byte.
+func (d *FlightDump) WriteJSONL(w io.Writer, series *Series, alerts []Alert) error {
+	enc := json.NewEncoder(w)
+	since := d.At - d.Keep
+	type meta struct {
+		Type   string   `json:"type"`
+		Seq    int      `json:"seq"`
+		Reason string   `json:"reason"`
+		At     des.Time `json:"at"`
+		Keep   des.Time `json:"keep"`
+		Events int      `json:"events"`
+	}
+	if err := enc.Encode(meta{"meta", d.Seq, d.Reason, d.At, d.Keep, len(d.Events)}); err != nil {
+		return err
+	}
+	type winRec struct {
+		Type string `json:"type"`
+		Window
+	}
+	if series != nil {
+		for _, win := range series.Windows {
+			if win.End <= since || win.Start > d.At {
+				continue
+			}
+			if err := enc.Encode(winRec{"window", win}); err != nil {
+				return err
+			}
+		}
+	}
+	type alertRec struct {
+		Type string `json:"type"`
+		Alert
+	}
+	for _, a := range alerts {
+		if a.At < since || a.At > d.At {
+			continue
+		}
+		if err := enc.Encode(alertRec{"alert", a}); err != nil {
+			return err
+		}
+	}
+	type eventRec struct {
+		Type string `json:"type"`
+		trace.Event
+	}
+	for _, e := range d.Events {
+		if err := enc.Encode(eventRec{"event", e}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"s3asim/internal/des"
+	"s3asim/internal/trace"
+)
+
+func TestFlightRecorderRingBound(t *testing.T) {
+	fl := NewFlightRecorder(8, des.FromSeconds(100), 1)
+	for i := 0; i < 100; i++ {
+		fl.Point("p", "ev", des.FromSeconds(float64(i)))
+	}
+	fl.Trigger("test", des.FromSeconds(99))
+	dumps := fl.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d", len(dumps))
+	}
+	evs := dumps[0].Events
+	if len(evs) != 8 {
+		t.Fatalf("ring retained %d events, want 8", len(evs))
+	}
+	// Only the newest 8 survive, in time order.
+	for i, e := range evs {
+		if want := des.FromSeconds(float64(92 + i)); e.Start != want {
+			t.Errorf("event %d at %v, want %v", i, e.Start, want)
+		}
+	}
+}
+
+func TestFlightRecorderKeepFilterAndOpenStates(t *testing.T) {
+	fl := NewFlightRecorder(64, des.FromSeconds(2), 4)
+	fl.Point("a", "old", des.FromSeconds(1))            // outside keep at trigger time
+	fl.BeginState("b", "working", des.FromSeconds(2.5)) // still open: clipped to trigger
+	fl.Point("a", "recent", des.FromSeconds(4.5))
+	fl.Trigger("test", des.FromSeconds(5))
+	evs := fl.Dumps()[0].Events
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v, want open state + recent point", evs)
+	}
+	if evs[0].Proc != "b" || evs[0].Name != "working" || evs[0].End != des.FromSeconds(5) {
+		t.Errorf("open state = %+v", evs[0])
+	}
+	if evs[1].Name != "recent" {
+		t.Errorf("second event = %+v", evs[1])
+	}
+}
+
+func TestFlightRecorderHoldoffAndCap(t *testing.T) {
+	fl := NewFlightRecorder(16, des.FromSeconds(1), 2)
+	fl.Trigger("one", des.FromSeconds(1))
+	fl.Trigger("squelched", des.FromSeconds(1.5)) // within keep of "one"
+	fl.Trigger("two", des.FromSeconds(3))
+	fl.Trigger("over-cap", des.FromSeconds(10))
+	dumps := fl.Dumps()
+	if len(dumps) != 2 || dumps[0].Reason != "one" || dumps[1].Reason != "two" {
+		t.Fatalf("dumps = %+v", dumps)
+	}
+	if dumps[0].Seq != 0 || dumps[1].Seq != 1 {
+		t.Errorf("seqs = %d, %d", dumps[0].Seq, dumps[1].Seq)
+	}
+	if fl.Suppressed() != 2 {
+		t.Errorf("suppressed = %d, want 2", fl.Suppressed())
+	}
+}
+
+func TestFlightRecorderAutoTrigger(t *testing.T) {
+	fl := NewFlightRecorder(16, des.FromSeconds(1), 4)
+	fl.AutoTrigger("faults")
+	fl.Point("serve", "q", des.FromSeconds(0.5)) // ordinary track: no dump
+	fl.Point("faults", "crash rank=3", des.FromSeconds(0.7))
+	dumps := fl.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(dumps))
+	}
+	if dumps[0].Reason != "faults: crash rank=3" {
+		t.Errorf("reason = %q", dumps[0].Reason)
+	}
+	if len(dumps[0].Events) != 2 {
+		t.Errorf("events = %+v", dumps[0].Events)
+	}
+}
+
+// Identical event streams must serialize to byte-identical JSONL artifacts —
+// the determinism contract behind comparing dumps across sweep parallelism.
+func TestFlightDumpJSONLDeterministic(t *testing.T) {
+	build := func() ([]byte, error) {
+		r := NewRegistry()
+		r.EnableWindows(des.Second, nil)
+		r.AddAt("total", 40, des.FromSeconds(1.5))
+		r.FreezeWindows(des.FromSeconds(2))
+		s := r.Windows()
+		fl := NewFlightRecorder(16, des.FromSeconds(2), 2)
+		fl.BeginState("w", "exec", des.FromSeconds(0.5))
+		fl.EndState("w", des.FromSeconds(1.2))
+		fl.Point("serve", "done", des.FromSeconds(1.4))
+		fl.Trigger("alert hot", des.FromSeconds(2))
+		alerts := []Alert{{Rule: "hot", Window: 1, At: des.FromSeconds(2), Fired: true, Value: 40, Slow: 40, Threshold: 10}}
+		var buf bytes.Buffer
+		d := fl.Dumps()[0]
+		err := d.WriteJSONL(&buf, s, alerts)
+		return buf.Bytes(), err
+	}
+	a, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dump bytes differ between identical runs:\n%s\n---\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(string(a)), "\n")
+	wantTypes := []string{`"type":"meta"`, `"type":"window"`, `"type":"window"`, `"type":"window"`, `"type":"alert"`, `"type":"event"`, `"type":"event"`}
+	if len(lines) != len(wantTypes) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(wantTypes), a)
+	}
+	for i, want := range wantTypes {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %s, want %s", i, lines[i], want)
+		}
+	}
+	// Event records must stay valid trace.Event JSON (the Perfetto bridge).
+	if !strings.Contains(lines[5], `"proc":"w"`) || !strings.Contains(lines[5], `"name":"exec"`) {
+		t.Errorf("event line = %s", lines[5])
+	}
+}
+
+func TestFlightRecorderIsASink(t *testing.T) {
+	var _ Sink = (*FlightRecorder)(nil)
+	// And it coexists with a tracer under Multi.
+	fl := NewFlightRecorder(4, des.Second, 1)
+	tr := trace.New()
+	m := Multi(tr, fl)
+	m.Point("p", "x", des.FromSeconds(0.5))
+	fl.Trigger("t", des.FromSeconds(1))
+	if len(fl.Dumps()) != 1 || len(tr.Events()) != 1 {
+		t.Fatal("Multi did not fan out to both sinks")
+	}
+	if !reflect.DeepEqual(fl.Dumps()[0].Events, tr.Events()) {
+		t.Errorf("flight events %+v != tracer events %+v", fl.Dumps()[0].Events, tr.Events())
+	}
+}

@@ -28,12 +28,53 @@ type Registry struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	hists    map[string]*histogram
+	// win, when non-nil, additionally folds every mutation into tumbling
+	// virtual-time windows (EnableWindows; see window.go).
+	win *winState
 }
 
-// histogram accumulates observations for one named series.
+// histogram accumulates observations for one named series. exemplars is
+// populated only via ObserveExemplar: up to histExemplars IDs per bucket,
+// retained by maximum value (ties broken by smaller ID) — deterministic, no
+// sampling.
 type histogram struct {
-	online  stats.Online
-	buckets map[int32]int64
+	online    stats.Online
+	buckets   map[int32]int64
+	exemplars map[int32][]Exemplar
+}
+
+// Exemplar links one retained observation back to its source (a query or
+// request ID), so a histogram bucket can be traced to concrete per-query
+// Perfetto tracks.
+type Exemplar struct {
+	ID int64   `json:"id"`
+	V  float64 `json:"v"`
+}
+
+// histExemplars bounds the exemplars retained per histogram bucket.
+const histExemplars = 4
+
+// addExemplar folds e into a bucket's retained set: sorted by descending
+// value then ascending ID, truncated to histExemplars. Insertion order does
+// not matter, so merges stay deterministic.
+func addExemplar(list []Exemplar, e Exemplar) []Exemplar {
+	pos := len(list)
+	for i, x := range list {
+		if e.V > x.V || (e.V == x.V && e.ID < x.ID) {
+			pos = i
+			break
+		}
+	}
+	if pos >= histExemplars {
+		return list
+	}
+	list = append(list, Exemplar{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	if len(list) > histExemplars {
+		list = list[:histExemplars]
+	}
+	return list
 }
 
 // NewRegistry returns an empty registry.
@@ -49,6 +90,9 @@ func NewRegistry() *Registry {
 func (r *Registry) Add(name string, delta int64) {
 	r.mu.Lock()
 	r.counters[name] += delta
+	if r.win != nil {
+		r.win.add(name, delta, r.win.now())
+	}
 	r.mu.Unlock()
 }
 
@@ -56,11 +100,21 @@ func (r *Registry) Add(name string, delta int64) {
 func (r *Registry) Set(name string, v float64) {
 	r.mu.Lock()
 	r.gauges[name] = v
+	if r.win != nil {
+		r.win.set(name, v, r.win.now())
+	}
 	r.mu.Unlock()
 }
 
 // Observe folds one observation into the named histogram.
 func (r *Registry) Observe(name string, v float64) {
+	r.observe(name, v, nil, nil)
+}
+
+// observe is the shared histogram path: ex, when non-nil, retains the
+// observation as a bucket exemplar; at, when non-nil, overrides the window
+// clock (event-time backfill).
+func (r *Registry) observe(name string, v float64, ex *int64, at *des.Time) {
 	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
@@ -68,8 +122,35 @@ func (r *Registry) Observe(name string, v float64) {
 		r.hists[name] = h
 	}
 	h.online.Add(v)
-	h.buckets[bucketKey(v)]++
+	key := bucketKey(v)
+	h.buckets[key]++
+	if ex != nil {
+		if h.exemplars == nil {
+			h.exemplars = make(map[int32][]Exemplar)
+		}
+		h.exemplars[key] = addExemplar(h.exemplars[key], Exemplar{ID: *ex, V: v})
+	}
+	if r.win != nil {
+		t := r.win.now()
+		if at != nil {
+			t = *at
+		}
+		r.win.observe(name, v, key, t)
+	}
 	r.mu.Unlock()
+}
+
+// ObserveExemplar is Observe plus exemplar retention: the observation's
+// bucket deterministically keeps up to histExemplars source IDs by maximum
+// value, linking the histogram back to per-query traces.
+func (r *Registry) ObserveExemplar(name string, v float64, id int64) {
+	r.observe(name, v, &id, nil)
+}
+
+// ObserveExemplarAt is ObserveExemplar with an explicit virtual timestamp
+// for the window layer.
+func (r *Registry) ObserveExemplarAt(name string, v float64, id int64, at des.Time) {
+	r.observe(name, v, &id, &at)
 }
 
 // ObserveTime folds a virtual-time duration into the named histogram, in
@@ -89,6 +170,10 @@ type HistStat struct {
 	Sum, Min, Max, Mean float64
 	P50, P95, P99       float64
 	Buckets             map[int32]int64 `json:",omitempty"`
+	// Exemplars maps bucket key → up to histExemplars retained observations
+	// (max value first), present only for series recorded via
+	// ObserveExemplar.
+	Exemplars map[int32][]Exemplar `json:",omitempty"`
 }
 
 // Quantile reads the q-quantile (0 ≤ q ≤ 1) from the bucket counts, clamped
@@ -140,7 +225,24 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = v
 	}
 	for k, h := range r.hists {
-		s.Hists[k] = histStat(h.online, h.buckets)
+		st := histStat(h.online, h.buckets)
+		if len(h.exemplars) > 0 {
+			st.Exemplars = make(map[int32][]Exemplar, len(h.exemplars))
+			for bk, list := range h.exemplars {
+				st.Exemplars[bk] = append([]Exemplar(nil), list...)
+			}
+		}
+		if r.win != nil {
+			// Windowed mode: make the conservation invariant bit-exact by
+			// defining the snapshot Sum as the ascending-window re-addition
+			// of per-window sums (stats.Online's mean-derived sum differs in
+			// the last bits for long streams).
+			if sum, ok := r.win.histTotals(k); ok && st.Count > 0 {
+				st.Sum = sum
+				st.Mean = sum / float64(st.Count)
+			}
+		}
+		s.Hists[k] = st
 	}
 	return s
 }
@@ -233,6 +335,16 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 			m.P50 = (a.P50*wa + b.P50*wb) / (wa + wb)
 			m.P95 = (a.P95*wa + b.P95*wb) / (wa + wb)
 			m.P99 = (a.P99*wa + b.P99*wb) / (wa + wb)
+		}
+		if len(a.Exemplars) > 0 || len(b.Exemplars) > 0 {
+			m.Exemplars = make(map[int32][]Exemplar, len(a.Exemplars)+len(b.Exemplars))
+			for _, side := range []map[int32][]Exemplar{a.Exemplars, b.Exemplars} {
+				for bk, list := range side {
+					for _, e := range list {
+						m.Exemplars[bk] = addExemplar(m.Exemplars[bk], e)
+					}
+				}
+			}
 		}
 		out.Hists[k] = m
 	}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+
+	"s3asim/internal/des"
+)
+
+// Telemetry configures the virtual-time telemetry pipeline for one run
+// (core.Config.Telemetry): window width, alert rules, and flight-recorder
+// sizing. Everything is derived from virtual time and seeded inputs, so a
+// telemetry-enabled run stays deterministic and a telemetry-disabled run is
+// untouched (zero overhead, byte-identical output).
+type Telemetry struct {
+	// Window is the tumbling-window width (required, > 0).
+	Window des.Time
+	// Rules is the SLO alert rule set evaluated at window boundaries
+	// (ParseRules; may be empty — windows and the flight recorder still run).
+	Rules []*Rule
+	// FlightEvents caps the flight recorder's event ring (default 4096).
+	FlightEvents int
+	// FlightKeep is how much trailing virtual time a dump captures and the
+	// minimum spacing between accepted triggers (default 8×Window).
+	FlightKeep des.Time
+	// FlightDumps caps dumps per run (default 8).
+	FlightDumps int
+}
+
+const (
+	defaultFlightEvents = 4096
+	defaultFlightDumps  = 8
+)
+
+// Validate checks the configuration, including rule/width compatibility.
+func (t *Telemetry) Validate() error {
+	if t.Window <= 0 {
+		return fmt.Errorf("obs: telemetry needs a positive window width")
+	}
+	if t.FlightEvents < 0 || t.FlightDumps < 0 || t.FlightKeep < 0 {
+		return fmt.Errorf("obs: telemetry flight-recorder sizes must be non-negative")
+	}
+	if _, err := NewAlertEngine(t.Window, t.Rules); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Keep resolves the flight-recorder retention window.
+func (t *Telemetry) Keep() des.Time {
+	if t.FlightKeep > 0 {
+		return t.FlightKeep
+	}
+	return 8 * t.Window
+}
+
+// NewFlightRecorder builds the run's flight recorder from the resolved
+// sizes.
+func (t *Telemetry) NewFlightRecorder() *FlightRecorder {
+	events, dumps := t.FlightEvents, t.FlightDumps
+	if events == 0 {
+		events = defaultFlightEvents
+	}
+	if dumps == 0 {
+		dumps = defaultFlightDumps
+	}
+	return NewFlightRecorder(events, t.Keep(), dumps)
+}
+
+// NewEngine builds the run's alert engine; returns nil when the rule set is
+// empty.
+func (t *Telemetry) NewEngine() (*AlertEngine, error) {
+	if len(t.Rules) == 0 {
+		return nil, nil
+	}
+	return NewAlertEngine(t.Window, t.Rules)
+}

@@ -1,0 +1,511 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"s3asim/internal/des"
+	"s3asim/internal/stats"
+)
+
+// This file is the windowed time-series layer of the telemetry pipeline
+// (DESIGN.md §15): tumbling windows over *virtual* time that turn the
+// registry's counters into rates, track gauges, and keep a per-window
+// log-bucketed histogram next to each whole-run histogram. Windows are pure
+// accumulators — nothing is sealed while the run executes, so recording
+// costs one map lookup and a few adds, and the series is materialized once
+// at the end of the run.
+//
+// The contract mirrors causal.Check: window values must conserve exactly
+// against the end-of-run Snapshot (Series.Conserve). To make the float sum
+// invariant bit-exact rather than approximately true, Snapshot itself
+// computes each histogram's Sum by adding the per-window sums in ascending
+// window order whenever windows are enabled — the identical float operations
+// Conserve performs.
+
+// winState holds a registry's window accumulators. It is guarded by the
+// owning Registry's mutex; none of its methods lock.
+type winState struct {
+	width des.Time
+	// clock supplies the virtual time for mutators without an explicit
+	// timestamp (Add/Set/Observe). After FreezeWindows it is detached and
+	// frozenAt is used instead, so post-run backfill lands deterministically.
+	clock    func() des.Time
+	frozen   bool
+	frozenAt des.Time
+	wins     map[int64]*winAcc
+	maxIdx   int64
+}
+
+// winAcc accumulates one window's worth of metrics.
+type winAcc struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*winHist
+}
+
+// winHist is a fixed-memory per-window histogram: exact count/sum/min/max
+// (sum by plain accumulation, so conservation against the snapshot is a
+// matter of re-adding in the same order) plus the same sparse log-linear
+// buckets as the whole-run histogram.
+type winHist struct {
+	count         int64
+	sum, min, max float64
+	buckets       map[int32]int64
+}
+
+func (w *winState) now() des.Time {
+	if w.frozen || w.clock == nil {
+		return w.frozenAt
+	}
+	return w.clock()
+}
+
+// idx maps a virtual time to its window index; window k covers
+// [k·width, (k+1)·width). Negative times clamp to window 0.
+func (w *winState) idx(at des.Time) int64 {
+	if at < 0 {
+		return 0
+	}
+	return int64(at) / int64(w.width)
+}
+
+func (w *winState) acc(at des.Time) *winAcc {
+	i := w.idx(at)
+	if i > w.maxIdx {
+		w.maxIdx = i
+	}
+	a := w.wins[i]
+	if a == nil {
+		a = &winAcc{}
+		w.wins[i] = a
+	}
+	return a
+}
+
+func (w *winState) add(name string, delta int64, at des.Time) {
+	a := w.acc(at)
+	if a.counters == nil {
+		a.counters = make(map[string]int64)
+	}
+	a.counters[name] += delta
+}
+
+func (w *winState) set(name string, v float64, at des.Time) {
+	a := w.acc(at)
+	if a.gauges == nil {
+		a.gauges = make(map[string]float64)
+	}
+	a.gauges[name] = v
+}
+
+func (w *winState) observe(name string, v float64, key int32, at des.Time) {
+	a := w.acc(at)
+	if a.hists == nil {
+		a.hists = make(map[string]*winHist)
+	}
+	h := a.hists[name]
+	if h == nil {
+		h = &winHist{buckets: make(map[int32]int64)}
+		a.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	h.buckets[key]++
+}
+
+// sortedIdx returns the populated window indices in ascending order.
+func (w *winState) sortedIdx() []int64 {
+	idx := make([]int64, 0, len(w.wins))
+	for i := range w.wins {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
+// histTotals re-adds one histogram's per-window sums in ascending window
+// order — the canonical Sum for snapshots of a windowed registry, and the
+// exact computation Series.Conserve repeats.
+func (w *winState) histTotals(name string) (sum float64, ok bool) {
+	for _, i := range w.sortedIdx() {
+		if h := w.wins[i].hists[name]; h != nil {
+			sum += h.sum
+			ok = true
+		}
+	}
+	return sum, ok
+}
+
+// EnableWindows switches the registry into windowed mode: every subsequent
+// mutation is also folded into the tumbling virtual-time window of the given
+// width. clock supplies the current virtual time for mutators without an
+// explicit timestamp (pass sim.Now). Re-enabling discards any prior windows.
+func (r *Registry) EnableWindows(width des.Time, clock func() des.Time) {
+	if width <= 0 {
+		panic("obs: EnableWindows requires a positive width")
+	}
+	r.mu.Lock()
+	r.win = &winState{width: width, clock: clock, wins: make(map[int64]*winAcc)}
+	r.mu.Unlock()
+}
+
+// FreezeWindows detaches the window clock at the end of a run: the series is
+// extended to cover `end` (trailing quiet windows exist, so alert rules see
+// the recovery), and post-run mutators without an explicit timestamp land in
+// the final window. No-op when windows are disabled.
+func (r *Registry) FreezeWindows(end des.Time) {
+	r.mu.Lock()
+	if w := r.win; w != nil {
+		w.frozen, w.frozenAt = true, end
+		if i := w.idx(end); i > w.maxIdx {
+			w.maxIdx = i
+		}
+	}
+	r.mu.Unlock()
+}
+
+// AddAt is Add with an explicit virtual timestamp for the window layer —
+// used to backfill event-time metrics (a query that finished at t) after the
+// fact. Identical to Add when windows are disabled.
+func (r *Registry) AddAt(name string, delta int64, at des.Time) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	if r.win != nil {
+		r.win.add(name, delta, at)
+	}
+	r.mu.Unlock()
+}
+
+// SetAt is Set with an explicit virtual timestamp for the window layer.
+func (r *Registry) SetAt(name string, v float64, at des.Time) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	if r.win != nil {
+		r.win.set(name, v, at)
+	}
+	r.mu.Unlock()
+}
+
+// ObserveAt is Observe with an explicit virtual timestamp for the window
+// layer.
+func (r *Registry) ObserveAt(name string, v float64, at des.Time) {
+	r.observe(name, v, nil, &at)
+}
+
+// Window is one materialized tumbling window covering [Start, End). Maps are
+// nil for windows nothing landed in.
+type Window struct {
+	Index    int64
+	Start    des.Time
+	End      des.Time
+	Counters map[string]int64    `json:",omitempty"`
+	Gauges   map[string]float64  `json:",omitempty"`
+	Hists    map[string]HistStat `json:",omitempty"`
+}
+
+// Series is a registry's materialized windowed time-series: contiguous
+// windows from virtual time zero through the end of the run (empty windows
+// included, so rates and quantile lookbacks see quiet periods as zeros).
+type Series struct {
+	Width   des.Time
+	Windows []Window
+}
+
+// Windows materializes the registry's windowed series. Returns nil when
+// windows were never enabled.
+func (r *Registry) Windows() *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.win
+	if w == nil {
+		return nil
+	}
+	s := &Series{Width: w.width, Windows: make([]Window, w.maxIdx+1)}
+	for i := range s.Windows {
+		win := &s.Windows[i]
+		win.Index = int64(i)
+		win.Start = des.Time(int64(i) * int64(w.width))
+		win.End = win.Start + w.width
+		a := w.wins[int64(i)]
+		if a == nil {
+			continue
+		}
+		if len(a.counters) > 0 {
+			win.Counters = make(map[string]int64, len(a.counters))
+			for k, v := range a.counters {
+				win.Counters[k] = v
+			}
+		}
+		if len(a.gauges) > 0 {
+			win.Gauges = make(map[string]float64, len(a.gauges))
+			for k, v := range a.gauges {
+				win.Gauges[k] = v
+			}
+		}
+		if len(a.hists) > 0 {
+			win.Hists = make(map[string]HistStat, len(a.hists))
+			for k, h := range a.hists {
+				win.Hists[k] = h.stat()
+			}
+		}
+	}
+	return s
+}
+
+// stat converts a window histogram into a HistStat with the exact
+// accumulated sum (not the mean-derived one).
+func (h *winHist) stat() HistStat {
+	st := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		st.Mean = h.sum / float64(h.count)
+	}
+	st.Buckets = make(map[int32]int64, len(h.buckets))
+	for k, n := range h.buckets {
+		st.Buckets[k] = n
+	}
+	qs := bucketQuantiles(st.Buckets, st.Count, 0.5, 0.95, 0.99)
+	st.P50 = clamp(qs[0], st.Min, st.Max)
+	st.P95 = clamp(qs[1], st.Min, st.Max)
+	st.P99 = clamp(qs[2], st.Min, st.Max)
+	return st
+}
+
+// Last returns the final window, or a zero Window for an empty series.
+func (s *Series) Last() Window {
+	if s == nil || len(s.Windows) == 0 {
+		return Window{}
+	}
+	return s.Windows[len(s.Windows)-1]
+}
+
+// CounterSum adds the named counter over the window index range [from, to]
+// (clamped to the series).
+func (s *Series) CounterSum(name string, from, to int64) int64 {
+	var sum int64
+	for i := max64(from, 0); i <= to && i < int64(len(s.Windows)); i++ {
+		sum += s.Windows[i].Counters[name]
+	}
+	return sum
+}
+
+// Rate converts the named counter's total over [from, to] into a per-second
+// rate using the nominal span (windows before the series start count as
+// empty, so early lookbacks aren't inflated).
+func (s *Series) Rate(name string, from, to int64) float64 {
+	n := to - from + 1
+	if n <= 0 {
+		return 0
+	}
+	span := des.Time(n * int64(s.Width)).Seconds()
+	return float64(s.CounterSum(name, from, to)) / span
+}
+
+// HistOver merges the named histogram over the window index range [from, to]
+// (clamped): exact count/sum/min/max, buckets summed, quantiles re-read from
+// the merged buckets.
+func (s *Series) HistOver(name string, from, to int64) HistStat {
+	var m HistStat
+	for i := max64(from, 0); i <= to && i < int64(len(s.Windows)); i++ {
+		h, ok := s.Windows[i].Hists[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		if m.Count == 0 {
+			m = HistStat{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+			m.Buckets = make(map[int32]int64, len(h.Buckets))
+		} else {
+			m.Count += h.Count
+			m.Sum += h.Sum
+			if h.Min < m.Min {
+				m.Min = h.Min
+			}
+			if h.Max > m.Max {
+				m.Max = h.Max
+			}
+		}
+		for k, n := range h.Buckets {
+			m.Buckets[k] += n
+		}
+	}
+	if m.Count > 0 {
+		m.Mean = m.Sum / float64(m.Count)
+		qs := bucketQuantiles(m.Buckets, m.Count, 0.5, 0.95, 0.99)
+		m.P50 = clamp(qs[0], m.Min, m.Max)
+		m.P95 = clamp(qs[1], m.Min, m.Max)
+		m.P99 = clamp(qs[2], m.Min, m.Max)
+	}
+	return m
+}
+
+// Conserve verifies the window/snapshot conservation invariant (the
+// telemetry analogue of causal.Check): every counter's window values sum to
+// its snapshot total; every histogram's window counts, sums, buckets, and
+// min/max reproduce the snapshot exactly (sums bit-exactly, by re-adding in
+// ascending window order — the same computation Snapshot performs); every
+// gauge's snapshot value equals its value in the last window that set it
+// (which assumes gauges are written in non-decreasing virtual time, as the
+// engine does — last write wins on both sides).
+// Returns nil on success, or an error naming the first violated series.
+func (s *Series) Conserve(snap Snapshot) error {
+	sums := map[string]int64{}
+	for _, w := range s.Windows {
+		for k, v := range w.Counters {
+			sums[k] += v
+		}
+	}
+	for _, k := range sortedKeys(snap.Counters) {
+		if sums[k] != snap.Counters[k] {
+			return fmt.Errorf("obs: counter %s: window sum %d != snapshot %d", k, sums[k], snap.Counters[k])
+		}
+		delete(sums, k)
+	}
+	for _, k := range sortedKeys(sums) {
+		return fmt.Errorf("obs: counter %s: windows carry %d but snapshot lacks the series", k, sums[k])
+	}
+
+	type hsum struct {
+		count   int64
+		sum     float64
+		min     float64
+		max     float64
+		buckets map[int32]int64
+	}
+	hsums := map[string]*hsum{}
+	for _, w := range s.Windows {
+		for k, h := range w.Hists {
+			a := hsums[k]
+			if a == nil {
+				a = &hsum{min: h.Min, max: h.Max, buckets: map[int32]int64{}}
+				hsums[k] = a
+			}
+			a.count += h.Count
+			a.sum += h.Sum
+			if h.Min < a.min {
+				a.min = h.Min
+			}
+			if h.Max > a.max {
+				a.max = h.Max
+			}
+			for bk, n := range h.Buckets {
+				a.buckets[bk] += n
+			}
+		}
+	}
+	for _, k := range sortedKeys(snap.Hists) {
+		sh := snap.Hists[k]
+		a := hsums[k]
+		if a == nil {
+			if sh.Count != 0 {
+				return fmt.Errorf("obs: hist %s: snapshot has %d observations but no windows", k, sh.Count)
+			}
+			continue
+		}
+		switch {
+		case a.count != sh.Count:
+			return fmt.Errorf("obs: hist %s: window count %d != snapshot %d", k, a.count, sh.Count)
+		case a.sum != sh.Sum:
+			return fmt.Errorf("obs: hist %s: window sum %v != snapshot %v", k, a.sum, sh.Sum)
+		case a.min != sh.Min || a.max != sh.Max:
+			return fmt.Errorf("obs: hist %s: window min/max %v/%v != snapshot %v/%v", k, a.min, a.max, sh.Min, sh.Max)
+		}
+		for bk, n := range a.buckets {
+			if sh.Buckets[bk] != n {
+				return fmt.Errorf("obs: hist %s: bucket %d window count %d != snapshot %d", k, bk, n, sh.Buckets[bk])
+			}
+		}
+		for bk, n := range sh.Buckets {
+			if a.buckets[bk] != n {
+				return fmt.Errorf("obs: hist %s: bucket %d window count %d != snapshot %d", k, bk, a.buckets[bk], n)
+			}
+		}
+		delete(hsums, k)
+	}
+	for _, k := range sortedKeys(hsums) {
+		return fmt.Errorf("obs: hist %s: windows carry %d observations but snapshot lacks the series", k, hsums[k].count)
+	}
+
+	for _, k := range sortedKeys(snap.Gauges) {
+		found := false
+		var last float64
+		for _, w := range s.Windows {
+			if v, ok := w.Gauges[k]; ok {
+				last, found = v, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("obs: gauge %s: snapshot has a value but no window set it", k)
+		}
+		if last != snap.Gauges[k] {
+			return fmt.Errorf("obs: gauge %s: last window value %v != snapshot %v", k, last, snap.Gauges[k])
+		}
+	}
+	return nil
+}
+
+// Table renders selected metrics per window, one row per window: counters as
+// per-second rates, histograms as count/mean/p99, gauges as raw values.
+// Metrics absent from the series render as zeros.
+func (s *Series) Table(title string, names ...string) *stats.Table {
+	const (
+		kindCounter = iota
+		kindGauge
+		kindHist
+	)
+	kinds := make([]int, len(names))
+	for ni, name := range names {
+		kinds[ni] = kindCounter
+		for _, w := range s.Windows {
+			if _, ok := w.Hists[name]; ok {
+				kinds[ni] = kindHist
+				break
+			}
+			if _, ok := w.Gauges[name]; ok {
+				kinds[ni] = kindGauge
+				break
+			}
+		}
+	}
+	headers := []string{"t (s)"}
+	for ni, name := range names {
+		switch kinds[ni] {
+		case kindHist:
+			headers = append(headers, name+" n", name+" mean", name+" p99")
+		case kindGauge:
+			headers = append(headers, name)
+		default:
+			headers = append(headers, name+" (/s)")
+		}
+	}
+	t := stats.NewTable(title, headers...)
+	for _, w := range s.Windows {
+		row := []any{fmt.Sprintf("%.3f", w.End.Seconds())}
+		for ni, name := range names {
+			switch kinds[ni] {
+			case kindHist:
+				h := w.Hists[name]
+				row = append(row, fmt.Sprintf("%d", h.Count),
+					fmt.Sprintf("%.6g", h.Mean), fmt.Sprintf("%.6g", h.P99))
+			case kindGauge:
+				row = append(row, fmt.Sprintf("%.6g", w.Gauges[name]))
+			default:
+				row = append(row, fmt.Sprintf("%.2f", s.Rate(name, w.Index, w.Index)))
+			}
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

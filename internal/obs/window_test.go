@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"s3asim/internal/des"
+)
+
+func TestWindowedRatesAndGaps(t *testing.T) {
+	r := NewRegistry()
+	now := des.Time(0)
+	r.EnableWindows(des.Second, func() des.Time { return now })
+
+	now = des.FromSeconds(0.5)
+	r.Add("reqs", 3)
+	now = des.FromSeconds(2.5) // window 1 stays empty
+	r.Add("reqs", 7)
+	r.Set("depth", 4)
+	r.FreezeWindows(des.FromSeconds(4.2))
+
+	s := r.Windows()
+	if s == nil || s.Width != des.Second {
+		t.Fatalf("series = %+v", s)
+	}
+	if len(s.Windows) != 5 {
+		t.Fatalf("want 5 contiguous windows through freeze time, got %d", len(s.Windows))
+	}
+	if got := s.Windows[0].Counters["reqs"]; got != 3 {
+		t.Errorf("window 0 reqs = %d, want 3", got)
+	}
+	if s.Windows[1].Counters != nil {
+		t.Errorf("window 1 should be empty, got %v", s.Windows[1].Counters)
+	}
+	if got := s.Windows[2].Counters["reqs"]; got != 7 {
+		t.Errorf("window 2 reqs = %d, want 7", got)
+	}
+	if got := s.Windows[2].Gauges["depth"]; got != 4 {
+		t.Errorf("window 2 depth = %g, want 4", got)
+	}
+	if got := s.Rate("reqs", 2, 2); got != 7 {
+		t.Errorf("rate over window 2 = %g, want 7/s", got)
+	}
+	if got := s.Rate("reqs", 0, 4); got != 2 {
+		t.Errorf("rate over all 5 windows = %g, want 10/5s", got)
+	}
+	// Lookbacks reaching before the series start use the nominal span.
+	if got := s.Rate("reqs", -3, 0); got != 0.75 {
+		t.Errorf("rate over [-3,0] = %g, want 3/4s", got)
+	}
+	if w := s.Windows[2]; w.Start != des.FromSeconds(2) || w.End != des.FromSeconds(3) {
+		t.Errorf("window 2 bounds = [%v, %v]", w.Start, w.End)
+	}
+}
+
+func TestWindowFreezeRedirectsLateMutations(t *testing.T) {
+	r := NewRegistry()
+	now := des.Time(0)
+	r.EnableWindows(des.Second, func() des.Time { return now })
+	r.FreezeWindows(des.FromSeconds(3.5))
+	// Post-run backfill without explicit timestamps lands in the final
+	// window regardless of the (dead) clock.
+	now = des.FromSeconds(99)
+	r.Add("late", 1)
+	r.Observe("h", 2.5)
+	s := r.Windows()
+	if len(s.Windows) != 4 {
+		t.Fatalf("want 4 windows, got %d", len(s.Windows))
+	}
+	last := s.Last()
+	if last.Counters["late"] != 1 || last.Hists["h"].Count != 1 {
+		t.Errorf("late mutations missed the final window: %+v", last)
+	}
+	if err := s.Conserve(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The conservation property at unit scale: a deterministic pseudo-random
+// stream of counter adds, gauge sets, and observations (live-clock and
+// explicit-timestamp) must conserve exactly — bit-exact sums included —
+// against the end-of-run snapshot.
+func TestWindowConservationProperty(t *testing.T) {
+	r := NewRegistry()
+	now := des.Time(0)
+	r.EnableWindows(100*des.Millisecond, func() des.Time { return now })
+
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	names := []string{"a", "b", "c"}
+	for i := 0; i < 5000; i++ {
+		at := des.Time(next() % uint64(des.FromSeconds(3)))
+		v := float64(next()%1000)/100 + 1e-3
+		name := names[next()%3]
+		switch next() % 4 {
+		case 0:
+			now = at
+			r.Add("ctr."+name, int64(next()%5))
+		case 1:
+			r.AddAt("ctr."+name, int64(next()%5), at)
+		case 2:
+			now = at
+			r.Observe("lat."+name, v)
+		case 3:
+			r.ObserveExemplarAt("lat."+name, v, int64(i), at)
+		}
+		if i%97 == 0 {
+			// Gauge conservation assumes time-ordered writes (as the engine
+			// produces); use a monotone timestamp.
+			r.SetAt("g."+name, v, des.FromSeconds(3*float64(i)/5000))
+		}
+	}
+	r.FreezeWindows(des.FromSeconds(3))
+	s := r.Windows()
+	snap := r.Snapshot()
+	if err := s.Conserve(snap); err != nil {
+		t.Fatal(err)
+	}
+	// The bit-exactness is load-bearing: summing window sums in ascending
+	// order must reproduce the snapshot Sum with == on float64.
+	for name, h := range snap.Hists {
+		var sum float64
+		for _, w := range s.Windows {
+			sum += w.Hists[name].Sum
+		}
+		if sum != h.Sum {
+			t.Errorf("hist %s: window sum %v != snapshot sum %v (diff %g)", name, sum, h.Sum, sum-h.Sum)
+		}
+		if h.Count > 0 && h.Mean != h.Sum/float64(h.Count) {
+			t.Errorf("hist %s: mean %v not derived from canonical sum", name, h.Mean)
+		}
+	}
+}
+
+func TestConserveDetectsViolations(t *testing.T) {
+	r := NewRegistry()
+	now := des.Time(0)
+	r.EnableWindows(des.Second, func() des.Time { return now })
+	r.Add("c", 2)
+	r.Observe("h", 1.5)
+	s := r.Windows()
+	snap := r.Snapshot()
+	if err := s.Conserve(snap); err != nil {
+		t.Fatalf("clean state: %v", err)
+	}
+	snap.Counters["c"] = 3
+	if err := s.Conserve(snap); err == nil {
+		t.Error("counter mismatch not detected")
+	}
+	snap.Counters["c"] = 2
+	h := snap.Hists["h"]
+	h.Sum += 1e-9
+	snap.Hists["h"] = h
+	if err := s.Conserve(snap); err == nil {
+		t.Error("histogram sum drift not detected")
+	}
+}
+
+func TestHistOverMergesWindows(t *testing.T) {
+	r := NewRegistry()
+	r.EnableWindows(des.Second, nil)
+	for i := 0; i < 100; i++ {
+		r.ObserveAt("lat", float64(i+1)/100, des.FromSeconds(float64(i%3)+0.5))
+	}
+	s := r.Windows()
+	m := s.HistOver("lat", 0, 2)
+	if m.Count != 100 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if m.Min != 0.01 || m.Max != 1 {
+		t.Errorf("merged min/max = %g/%g", m.Min, m.Max)
+	}
+	if m.P50 < 0.4 || m.P50 > 0.6 {
+		t.Errorf("merged p50 = %g", m.P50)
+	}
+	if got := s.HistOver("lat", 5, 9).Count; got != 0 {
+		t.Errorf("out-of-range merge count = %d", got)
+	}
+}
+
+func TestExemplarsDeterministicTopK(t *testing.T) {
+	// All values land in one bucket (identical value): retention keeps the
+	// K smallest IDs, independent of insertion order.
+	r1, r2 := NewRegistry(), NewRegistry()
+	ids := []int64{5, 3, 9, 1, 7, 2}
+	for _, id := range ids {
+		r1.ObserveExemplar("h", 2.0, id)
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		r2.ObserveExemplar("h", 2.0, ids[i])
+	}
+	e1 := r1.Snapshot().Hists["h"].Exemplars
+	e2 := r2.Snapshot().Hists["h"].Exemplars
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("insertion order changed exemplars: %v vs %v", e1, e2)
+	}
+	key := bucketKey(2.0)
+	got := e1[key]
+	want := []Exemplar{{ID: 1, V: 2}, {ID: 2, V: 2}, {ID: 3, V: 2}, {ID: 5, V: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("exemplars = %v, want %v", got, want)
+	}
+}
+
+func TestExemplarsKeepMaxValuePerBucket(t *testing.T) {
+	r := NewRegistry()
+	// Values in one bucket vary within the bucket's range: max-value wins.
+	base := bucketValue(bucketKey(1.0))
+	for i := 0; i < 10; i++ {
+		r.ObserveExemplar("h", base*(1+float64(i)/1000), int64(i))
+	}
+	ex := r.Snapshot().Hists["h"].Exemplars
+	list := ex[bucketKey(base)]
+	if len(list) != histExemplars {
+		t.Fatalf("kept %d exemplars, want %d", len(list), histExemplars)
+	}
+	if list[0].ID != 9 {
+		t.Errorf("top exemplar = %+v, want the max-value observation (ID 9)", list[0])
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].V > list[i-1].V {
+			t.Errorf("exemplars not in descending value order: %v", list)
+		}
+	}
+}
+
+func TestExemplarsSurviveMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.ObserveExemplar("h", 1.0, 1)
+	b.ObserveExemplar("h", 1.0, 2)
+	m := a.Snapshot().Merge(b.Snapshot())
+	list := m.Hists["h"].Exemplars[bucketKey(1.0)]
+	if len(list) != 2 || list[0].ID != 1 || list[1].ID != 2 {
+		t.Fatalf("merged exemplars = %v", list)
+	}
+}
+
+// The windowed registry must stay fixed-memory: after warm-up, a million
+// observations into an already-touched window/bucket allocate nothing.
+func TestWindowedRegistryBoundedMemoryAtMillionObservations(t *testing.T) {
+	r := NewRegistry()
+	now := des.Time(0)
+	r.EnableWindows(des.Second, func() des.Time { return now })
+	const n = 1_000_000
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = math.Exp(float64(i%37) / 5)
+	}
+	// Warm up every (window, bucket) cell this loop will touch.
+	warm := func(scale int) {
+		for i := 0; i < scale; i++ {
+			now = des.FromSeconds(float64(i % 10))
+			v := vals[i%len(vals)]
+			r.Observe("lat", v)
+			r.ObserveExemplar("lat.ex", v, int64(i))
+			r.Add("reqs", 1)
+		}
+	}
+	warm(len(vals) * 10)
+	allocs := testing.AllocsPerRun(1, func() { warm(n) })
+	// 3e6 recordings; allow a whisper of noise but nothing per-observation.
+	if allocs > 100 {
+		t.Fatalf("windowed registry allocated %.0f times across %d observations; want O(1)", allocs, 3*n)
+	}
+}
+
+func TestSeriesTableRenders(t *testing.T) {
+	r := NewRegistry()
+	r.EnableWindows(des.Second, nil)
+	r.AddAt("reqs", 10, des.FromSeconds(0.5))
+	r.ObserveAt("lat", 0.2, des.FromSeconds(0.5))
+	r.SetAt("depth", 3, des.FromSeconds(0.5))
+	s := r.Windows()
+	out := s.Table("win", "reqs", "lat", "depth").String()
+	for _, want := range []string{"reqs (/s)", "lat mean", "lat p99", "depth", "10.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file assembles self-contained HTML report pages: inline SVG charts
+// and preformatted tables under headed sections, with a few lines of inline
+// CSS and no external resources — one file that opens anywhere, in the same
+// spirit as the SVG figures.
+
+// VLine is a labeled vertical marker on a line chart — the alert-timeline
+// annotation (rule firings and resolutions over a windowed rate series).
+type VLine struct {
+	X     float64
+	Label string
+	Color string // defaults to #aa3377
+}
+
+// vlines renders the chart's vertical markers: a dashed line at each X with
+// the label rotated alongside it.
+func (c *LineChart) vlines(cv *svgCanvas, sx scale, py0, py1 float64) {
+	for _, v := range c.VLines {
+		color := v.Color
+		if color == "" {
+			color = "#aa3377"
+		}
+		x := sx.at(v.X)
+		fmt.Fprintf(&cv.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2" stroke-dasharray="4,3"/>`+"\n",
+			x, py0, x, py1, color)
+		if v.Label != "" {
+			fmt.Fprintf(&cv.b, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif" fill="%s" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+				x-3, py1+4, color, x-3, py1+4, escape(v.Label))
+		}
+	}
+}
+
+// HTMLPage accumulates sections of a self-contained report page.
+type HTMLPage struct {
+	title    string
+	sections []string
+}
+
+// NewHTMLPage starts a page with the given title.
+func NewHTMLPage(title string) *HTMLPage {
+	return &HTMLPage{title: title}
+}
+
+// AddSVG appends a section holding an inline SVG chart.
+func (p *HTMLPage) AddSVG(heading, svg string) {
+	p.sections = append(p.sections,
+		fmt.Sprintf("<section>\n<h2>%s</h2>\n%s</section>\n", escape(heading), svg))
+}
+
+// AddPre appends a section holding preformatted text (an ASCII table).
+func (p *HTMLPage) AddPre(heading, text string) {
+	p.sections = append(p.sections,
+		fmt.Sprintf("<section>\n<h2>%s</h2>\n<pre>%s</pre>\n</section>\n",
+			escape(heading), escape(text)))
+}
+
+// String renders the complete HTML document.
+func (p *HTMLPage) String() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", escape(p.title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 24px auto; max-width: 960px; color: #222; }
+h1 { font-size: 20px; } h2 { font-size: 15px; margin: 28px 0 8px; }
+pre { background: #f6f6f6; padding: 10px; overflow-x: auto; font-size: 12px; }
+section { margin-bottom: 12px; }
+</style>
+`)
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", escape(p.title))
+	for _, s := range p.sections {
+		b.WriteString(s)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}

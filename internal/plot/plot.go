@@ -27,6 +27,9 @@ type LineChart struct {
 	LogX   bool
 	LogY   bool
 	Series []Series
+	// VLines are labeled vertical markers (SVG only) — alert firings on a
+	// telemetry timeline.
+	VLines []VLine
 }
 
 // StackedBars describes a Figure-3/4/6/7-style chart: for each category

@@ -122,6 +122,7 @@ func (c *LineChart) SVG(width, height int) string {
 		cv.line(px1+10, ly, px1+30, ly, color, 2)
 		cv.text(px1+34, ly+4, 11, "start", s.Name)
 	}
+	c.vlines(cv, sx, py0, py1)
 	return cv.String()
 }
 

@@ -168,6 +168,16 @@ func Times(arrivals []Arrival) []des.Time {
 	return out
 }
 
+// TenantNames extracts each arrival's tenant name, aligned with Times —
+// the core.ServePlan.Tenants payload for per-tenant telemetry.
+func TenantNames(arrivals []Arrival) []string {
+	out := make([]string, len(arrivals))
+	for i, a := range arrivals {
+		out[i] = a.Tenant
+	}
+	return out
+}
+
 // times generates one tenant's arrival instants in [0, horizon).
 func (t Tenant) times(seed int64, horizon des.Time) []des.Time {
 	switch t.Process {

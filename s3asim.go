@@ -550,3 +550,38 @@ func RunServeSweep(opts ServeOptions) (*ServeResult, error) {
 
 // GenerateArrivals expands a traffic plan into its merged arrival schedule.
 func GenerateArrivals(p TrafficPlan) ([]Arrival, error) { return p.Generate() }
+
+// Telemetry pipeline (DESIGN.md §15): Config.Telemetry turns the run's
+// metrics registry into a windowed time-series over virtual time
+// (conservation-checked against the end-of-run snapshot), evaluates
+// declarative SLO alert rules at window boundaries, and arms a bounded
+// flight recorder that dumps the last few virtual seconds of timeline on
+// every alert firing, fault injection, or readback mismatch. Everything is
+// deterministic: the same run produces bit-identical series, alert
+// timelines, and dump bytes at any sweep parallelism.
+type (
+	// Telemetry configures the pipeline (window width, rules, flight sizes).
+	Telemetry = obs.Telemetry
+	// AlertRule is one parsed SLO rule (see ParseAlertRule).
+	AlertRule = obs.Rule
+	// Alert is one firing or resolution edge in an alert timeline.
+	Alert = obs.Alert
+	// MetricsSeries is a windowed time-series (Report.Windows).
+	MetricsSeries = obs.Series
+	// MetricsWindow is one tumbling window of a series.
+	MetricsWindow = obs.Window
+	// Exemplar is one retained (query ID, value) pair in a histogram bucket.
+	Exemplar = obs.Exemplar
+	// FlightRecorder is the triggered ring-buffer event recorder.
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is one captured dump (Report.FlightDumps).
+	FlightDump = obs.FlightDump
+)
+
+// ParseAlertRule parses one rule spec: "name:rate(counter)>thr",
+// "name:pNN(hist)>thr", or "name:burn(bad/total)>thr:slo=f", each with
+// optional ",fast=dur,slow=dur" multiwindow options ("<" inverts).
+func ParseAlertRule(spec string) (*AlertRule, error) { return obs.ParseRule(spec) }
+
+// ParseAlertRules parses a list of rule specs.
+func ParseAlertRules(specs []string) ([]*AlertRule, error) { return obs.ParseRules(specs) }
