@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-scale bench-readback bench-diff check
+.PHONY: build test short race fuzz vet bench bench-quick bench-kernel bench-scale bench-readback bench-adaptive bench-diff check
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ short:
 
 # The sweep executor, workload cache, engine, fault layer, the serving
 # traffic generator, the file-system and ROMIO layers (shared by the
-# verified read path), and the shared observability sinks/registry under
-# concurrent cells.
+# verified read path), the adaptive controller, and the shared
+# observability sinks/registry under concurrent cells.
 race:
-	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/ ./internal/serve/ ./internal/pvfs/ ./internal/romio/
+	$(GO) test -race ./internal/obs/ ./internal/experiments/ ./internal/search/ ./internal/core/ ./internal/fault/ ./internal/causal/ ./internal/serve/ ./internal/pvfs/ ./internal/romio/ ./internal/adapt/
 
 # A short fuzz pass over the chaos-spec parser (longer sessions: raise -fuzztime).
 fuzz:
@@ -36,10 +36,11 @@ bench-quick:
 	S3ASIM_BENCH_SCALE=quick $(GO) test -bench=. -benchmem -benchtime=1x
 
 # Kernel fast-path micro-benchmarks (DESIGN.md §11): calendar throughput,
-# process switches, Signal wake/broadcast, timed-wait re-arm, and the MPI
-# layer riding on them. The steady-state paths must stay 0 allocs/op.
+# process switches, Signal wake/broadcast, timed-wait re-arm, the MPI
+# layer riding on them, and the adaptive controller's decision path
+# (DESIGN.md §16). The steady-state paths must stay 0 allocs/op.
 bench-kernel:
-	$(GO) test -bench=. -benchmem -benchtime=1s ./internal/des/ ./internal/mpi/
+	$(GO) test -bench=. -benchmem -benchtime=1s ./internal/des/ ./internal/mpi/ ./internal/adapt/
 
 # Rank-scaling benchmark (DESIGN.md §12): 1k/10k/100k-rank cells on the
 # FSM worker engine, reporting events/sec and peak memory per rank. The
@@ -52,6 +53,13 @@ bench-scale:
 bench-readback:
 	$(GO) run ./cmd/s3abench -suite readback -quick -quiet -json ""
 
+# Closed-loop adaptive I/O (DESIGN.md §16): the controller against every
+# static strategy across five regimes. Exits nonzero if the controller
+# loses to the best static anywhere or fails to strictly win a mixed
+# regime.
+bench-adaptive:
+	$(GO) run ./cmd/s3abench -suite adaptive -quick -quiet -json ""
+
 # Quick full-suite run compared against the committed baseline record
 # (execution performance only; virtual-time results are deterministic).
 # Telemetry is on so the comparison exercises the windowed pipeline the
@@ -60,6 +68,6 @@ bench-diff:
 	$(GO) run ./cmd/s3abench -suite all -quick -quiet -json "" \
 		-window 500ms \
 		-slo 'slo-burn:burn(serve.slo_violations/serve.queries)>1.8:slo=0.5,fast=1s,slow=3s' \
-		-diff results/BENCH_0006.json
+		-diff results/BENCH_0007.json
 
 check: build vet test race

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	s3abench [-suite procs|speed|figures|extensions|chaos|readback|scale|serve|all] [-quick] [-csv]
+//	s3abench [-suite procs|speed|figures|extensions|chaos|readback|scale|serve|adaptive|all] [-quick] [-csv]
 //	         [-reps N] [-parallel N] [-json dir] [-diff baseline.json]
 //	         [-explain] [-trace-dir dir] [-metrics] [-pprof file]
 //
@@ -31,7 +31,14 @@
 // suite runs the open-loop serving scenario (seeded multi-tenant traffic
 // over strategy × offered load) and reports latency percentiles from
 // fixed-memory histograms, SLO accounting per tenant, throughput against
-// offered load, and per-percentile-band tail critical-path attribution.
+// offered load, and per-percentile-band tail critical-path attribution. The
+// adaptive suite pits the closed-loop controller (per-batch strategy
+// selection plus ROMIO hint hill-climbing, DESIGN.md §16) against every
+// static strategy across five workload regimes, prints per-regime causal
+// diff tables, and enforces the headline in-process: the controller must be
+// no worse than the best static strategy anywhere (within the scale's
+// documented tolerance) and strictly better on at least one mixed regime —
+// a violation exits nonzero.
 //
 // -explain additionally runs the causal-tracing matrix (every strategy ×
 // sync mode at one process count) and prints critical-path attribution
@@ -122,7 +129,7 @@ const benchSchemaVersion = 1
 
 func main() {
 	var (
-		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, readback, scale, serve, all")
+		suite    = flag.String("suite", "all", "which suite to run: procs, speed, figures, extensions, chaos, readback, scale, serve, adaptive, all")
 		quick    = flag.Bool("quick", false, "scaled-down workload and sweep (seconds, not minutes)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		reps     = flag.Int("reps", 1, "repetitions per data point (paper used 3)")
@@ -146,9 +153,9 @@ func main() {
 	flag.Var(&sloSpecs, "slo", "telemetry alert rule, repeatable (e.g. \"burn:burn(serve.slo_violations/serve.queries)>1:slo=0.5,fast=1s,slow=2s\"; needs -window)")
 	flag.Parse()
 	switch *suite {
-	case "procs", "speed", "figures", "extensions", "chaos", "readback", "scale", "serve", "all":
+	case "procs", "speed", "figures", "extensions", "chaos", "readback", "scale", "serve", "adaptive", "all":
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, readback, scale, serve, or all)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want procs, speed, figures, extensions, chaos, readback, scale, serve, adaptive, or all)", *suite))
 	}
 	// "figures" is the paper's figure pair: the process and speed sweeps.
 	wantSweep := func(kind string) bool {
@@ -553,6 +560,58 @@ func main() {
 			srec.Serve = append(srec.Serve, rec)
 		}
 		record.Suites = append(record.Suites, srec)
+	}
+	if *suite == "adaptive" || *suite == "all" {
+		aopts := s3asim.PaperAdaptiveOptions()
+		if *quick {
+			aopts = s3asim.QuickAdaptiveOptions()
+		}
+		aopts.Parallelism = *parallel
+		start := time.Now()
+		ares, err := s3asim.RunAdaptiveSweep(aopts)
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		for _, tb := range ares.Tables() {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		// The suite's headline: never worse than the best static strategy
+		// (beyond the scale's documented tolerance: the 48-query quick scale
+		// carries a visible cold-start transient), strictly better somewhere
+		// mixed. Failing it is a correctness failure of the controller, not a
+		// perf regression.
+		tol := 0.02
+		if *quick {
+			tol = 0.03
+		}
+		lost, wins := ares.Headline(tol)
+		var switches int64
+		for _, rr := range ares.Regimes {
+			switches += rr.Controller().Switches
+		}
+		if len(lost) > 0 {
+			fatal(fmt.Errorf("adaptive suite: controller lost to the best static beyond %.0f%% on %v",
+				100*tol, lost))
+		}
+		if len(wins) == 0 {
+			fatal(fmt.Errorf("adaptive suite: controller strictly won no mixed regime"))
+		}
+		fmt.Printf("adaptive headline: controller >= best static on all %d regimes (tol %.0f%%), strictly better on %v, %d arm switches\n",
+			len(ares.Regimes), 100*tol, wins, switches)
+		fmt.Fprintf(os.Stderr,
+			"suite adaptive: %d regimes x %d cells in %.2fs wall at parallelism %d\n",
+			len(ares.Regimes), len(ares.Regimes)*(len(ares.Strat)+1), wall.Seconds(), effPar)
+		record.Suites = append(record.Suites, suiteRecord{
+			Name:        "adaptive",
+			WallSeconds: wall.Seconds(),
+			Parallelism: effPar,
+			Cells:       len(ares.Regimes) * (len(ares.Strat) + 1),
+		})
 	}
 	if *explain {
 		start := time.Now()

@@ -1,0 +1,497 @@
+// Package adapt implements the closed-loop adaptive I/O controller: an
+// online, deterministic policy that (a) picks the write strategy for each
+// query from its predicted result size and an online per-strategy cost model,
+// and (b) tunes ROMIO hints (cb_nodes, the sieve buffer size) by a bounded
+// hill-climb over observation epochs.
+//
+// The controller is strategy-agnostic: it selects among abstract integer
+// "arms" so the package depends only on romio (for the hint vector), des
+// (virtual time), and causal (attribution breakdowns) — core maps arms to
+// its Strategy enum. All state is per-instance and every decision is a pure
+// function of the observation sequence, so sweeps that run one controller
+// per cell stay bit-identical regardless of host parallelism.
+//
+// Cost model (DESIGN.md §16): per (arm, ⌊log2 bytes⌋ bucket) EWMA of the
+// observed flush-window cost and batch size. Estimating a bucket with no
+// data borrows the nearest populated bucket for that arm, scaled by an
+// affine blend of the byte ratio — a crude interpolation that only needs to
+// rank arms, not price them. An arm never assigned is explored first
+// (lowest index wins ties), unless Params.Prior supplies an ex-ante price
+// for unobserved arms — then the prior replaces the forced bootstrap and a
+// clearly-dominated arm is never tried at all. After that the per-bucket
+// incumbent holds until a challenger undercuts it by the hysteresis margin,
+// which is what stops boundary thrashing.
+//
+// Hint search: decisions are tagged with an epoch id; once EpochLen
+// observations from the current epoch have arrived, the epoch closes and
+// its mean cost feeds the hill-climb — baseline first, then round-robin
+// probes (double/halve each tuned dimension) accepted only when they beat
+// the baseline by AcceptMargin. A full cycle of rejections, or MaxProbes
+// probe epochs, freezes the search. Observations tagged with an older
+// epoch still update the cost model but never count toward the epoch
+// accumulator, so pipelined flushes cannot smear a probe's evaluation.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"s3asim/internal/causal"
+	"s3asim/internal/des"
+	"s3asim/internal/romio"
+)
+
+// nBuckets covers ⌊log2 v⌋ for any positive int64 (plus bucket 0 for v <= 1).
+const nBuckets = 64
+
+// bucketOf returns the log2 size bucket of v.
+func bucketOf(v int64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Hint-search dimensions.
+const (
+	dimCB = iota
+	dimSieve
+)
+
+// move is one hill-climb probe direction: double (+1) or halve (-1) a
+// dimension.
+type move struct {
+	dim int
+	dir int
+}
+
+// Params configures a Controller. Zero values select the documented
+// defaults.
+type Params struct {
+	// Arms names the selectable strategies; the index is the arm id used in
+	// Decide/Observe. Required, at least one.
+	Arms []string
+	// EpochLen is the number of current-epoch observations that close a
+	// hint-search epoch. Default 8.
+	EpochLen int
+	// Hysteresis is the relative margin a challenger arm must beat the
+	// bucket incumbent by to take over. Default 0.10.
+	Hysteresis float64
+	// AcceptMargin is the relative improvement a hint probe epoch must show
+	// over the baseline to be accepted. Default 0.05.
+	AcceptMargin float64
+	// Gamma is the EWMA decay for the cost model. Default 0.3.
+	Gamma float64
+	// BaseHints is the hint vector the search starts from.
+	BaseHints romio.Hints
+	// MaxCBNodes clamps cb_nodes probes (normally the worker count).
+	// Default 64.
+	MaxCBNodes int
+	// MaxProbes bounds the number of probe epochs. Default 16.
+	MaxProbes int
+	// TuneCB/TuneSieve enable the two search dimensions.
+	TuneCB    bool
+	TuneSieve bool
+	// Prior, if non-nil, prices an arm for a predicted batch size ex ante
+	// (same float64 des.Time units as the observed costs). A controller
+	// with a prior skips the forced bootstrap phase: unobserved arms are
+	// ranked by the prior instead of being assigned one batch each, so an
+	// arm the prior prices clearly worst is never tried at all. The online
+	// model replaces the prior per arm as soon as that arm's first
+	// observation lands, so a wrong prior costs at most one batch per
+	// mis-ranked arm — the same as bootstrap, but only when actually wrong.
+	// Must be deterministic and allocation-free (it sits on the Decide hot
+	// path).
+	Prior func(arm int, predBytes int64) float64
+}
+
+// Decision is one per-query strategy/hint assignment.
+type Decision struct {
+	// Arm is the selected strategy index.
+	Arm int
+	// Hints is the ROMIO hint vector the batch should be written with.
+	Hints romio.Hints
+	// Epoch tags the decision for Observe: pass it back with the flush
+	// observation so the hint search scores only its own epoch.
+	Epoch uint32
+	// Switched is set when this decision changed a bucket incumbent.
+	Switched bool
+	// Explore is set while the decision came from the bootstrap phase
+	// (assigning every arm once) rather than the cost model.
+	Explore bool
+}
+
+// cell is one (arm, bucket) entry of the cost model.
+type cell struct {
+	cost  float64 // EWMA of observed window cost, in des.Time units
+	bytes float64 // EWMA of observed batch bytes
+	n     int64
+}
+
+// Controller is the adaptive policy. Not safe for concurrent use: one
+// controller belongs to one simulated master.
+type Controller struct {
+	p    Params
+	arms int
+
+	model     [][nBuckets]cell // [arm][bucket]
+	incumbent [nBuckets]int16  // -1 = none yet
+	obsCount  []int64
+	assigned  []int64
+	attr      []causal.Breakdown
+	switches  int64
+
+	// Hint search state.
+	hints     romio.Hints // incumbent hint vector
+	probe     romio.Hints // candidate under evaluation
+	probing   bool
+	converged bool
+	moves     []move
+	moveIdx   int
+	rejects   int
+	probes    int
+	epoch     uint32
+	epochN    int
+	epochSum  des.Time
+	baseMean  float64
+	haveBase  bool
+}
+
+// New builds a controller. Panics on an empty arm set (a config error, not
+// a runtime condition).
+func New(p Params) *Controller {
+	if len(p.Arms) == 0 {
+		panic("adapt: no arms")
+	}
+	if p.EpochLen <= 0 {
+		p.EpochLen = 8
+	}
+	if p.Hysteresis <= 0 {
+		p.Hysteresis = 0.10
+	}
+	if p.AcceptMargin <= 0 {
+		p.AcceptMargin = 0.05
+	}
+	if p.Gamma <= 0 || p.Gamma > 1 {
+		p.Gamma = 0.3
+	}
+	if p.MaxCBNodes <= 0 {
+		p.MaxCBNodes = 64
+	}
+	if p.MaxProbes <= 0 {
+		p.MaxProbes = 16
+	}
+	c := &Controller{
+		p:        p,
+		arms:     len(p.Arms),
+		model:    make([][nBuckets]cell, len(p.Arms)),
+		obsCount: make([]int64, len(p.Arms)),
+		assigned: make([]int64, len(p.Arms)),
+		attr:     make([]causal.Breakdown, len(p.Arms)),
+		hints:    p.BaseHints,
+	}
+	for i := range c.incumbent {
+		c.incumbent[i] = -1
+	}
+	if p.TuneCB {
+		c.moves = append(c.moves, move{dimCB, -1}, move{dimCB, +1})
+	}
+	if p.TuneSieve {
+		c.moves = append(c.moves, move{dimSieve, -1}, move{dimSieve, +1})
+	}
+	if len(c.moves) == 0 {
+		c.converged = true
+	}
+	return c
+}
+
+// Decide assigns a strategy arm and hint vector to a query with the given
+// predicted result bytes. The steady-state path performs no allocation
+// (pinned by TestAdaptiveDecideSteadyStateAllocs).
+func (c *Controller) Decide(predBytes int64) Decision {
+	d := Decision{Epoch: c.epoch, Hints: c.hints}
+	if c.probing {
+		d.Hints = c.probe
+	}
+
+	// Bootstrap: hand every arm at least one query before trusting the
+	// model (lowest index first — deterministic). A prior replaces this:
+	// unobserved arms are priced by it inside estimate instead.
+	if c.p.Prior == nil {
+		for a := 0; a < c.arms; a++ {
+			if c.assigned[a] == 0 {
+				d.Arm, d.Explore = a, true
+				c.assigned[a]++
+				return d
+			}
+		}
+	}
+
+	// The pending cap below only bites while some arm has real data to
+	// fall back on; in the information-free burst before the first flush
+	// lands, decisions follow the raw prior instead.
+	anyObs := false
+	for a := 0; a < c.arms; a++ {
+		if c.obsCount[a] > 0 {
+			anyObs = true
+			break
+		}
+	}
+	b := bucketOf(predBytes)
+	best, bestEst := -1, math.Inf(1)
+	for a := 0; a < c.arms; a++ {
+		if est := c.estimate(a, b, predBytes, anyObs); est < bestEst {
+			best, bestEst = a, est
+		}
+	}
+	if best < 0 {
+		// No observations anywhere yet and no prior (decisions outrunning
+		// flushes): keep spreading load round-robin over the least-assigned
+		// arm.
+		var minA int
+		for a := 1; a < c.arms; a++ {
+			if c.assigned[a] < c.assigned[minA] {
+				minA = a
+			}
+		}
+		d.Arm, d.Explore = minA, true
+		c.assigned[minA]++
+		return d
+	}
+
+	inc := int(c.incumbent[b])
+	switch {
+	case inc < 0:
+		c.incumbent[b] = int16(best)
+	case best != inc:
+		if incEst := c.estimate(inc, b, predBytes, anyObs); bestEst < incEst*(1-c.p.Hysteresis) {
+			c.incumbent[b] = int16(best)
+			c.switches++
+			d.Switched = true
+		}
+	}
+	d.Arm = int(c.incumbent[b])
+	d.Explore = c.obsCount[d.Arm] == 0
+	c.assigned[d.Arm]++
+	return d
+}
+
+// estimate prices arm a for a predBytes-sized batch in bucket b.
+//
+// An arm with observations is priced from the nearest populated bucket,
+// extrapolated by the prior's shape when one exists (the learned cost is a
+// multiplicative correction on the prior — so a format-bound arm scales
+// linearly in bytes while an overhead-bound arm barely scales), or by a
+// clamped affine byte-ratio blend otherwise.
+//
+// An arm with no observations is priced by the prior — but only one
+// unvalidated assignment may be in flight at a time (capPending): pipelined
+// decisions otherwise stack bets on a mis-priced arm before its first flush
+// window can correct it. +Inf means the arm is unavailable (no data and no
+// prior, or pending validation).
+func (c *Controller) estimate(a, b int, predBytes int64, capPending bool) float64 {
+	if c.obsCount[a] == 0 {
+		if c.p.Prior == nil {
+			return math.Inf(1)
+		}
+		if capPending && c.assigned[a] > 0 {
+			return math.Inf(1)
+		}
+		return c.p.Prior(a, predBytes)
+	}
+	m := &c.model[a]
+	src := -1
+	for d := 0; d < nBuckets; d++ {
+		if b-d >= 0 && m[b-d].n > 0 {
+			src = b - d
+			break
+		}
+		if d > 0 && b+d < nBuckets && m[b+d].n > 0 {
+			src = b + d
+			break
+		}
+	}
+	if src < 0 {
+		return math.Inf(1)
+	}
+	cl := &m[src]
+	if c.p.Prior != nil {
+		pSrc := c.p.Prior(a, int64(cl.bytes))
+		pNew := c.p.Prior(a, predBytes)
+		if pSrc > 0 && pNew > 0 && !math.IsInf(pSrc, 1) && !math.IsInf(pNew, 1) {
+			return cl.cost * (pNew / pSrc)
+		}
+	}
+	ratio := 1.0
+	if cl.bytes > 0 && predBytes > 0 {
+		ratio = float64(predBytes) / cl.bytes
+		if ratio > 8 {
+			ratio = 8
+		} else if ratio < 0.125 {
+			ratio = 0.125
+		}
+	}
+	return cl.cost * (0.5 + 0.5*ratio)
+}
+
+// Observe feeds one completed flush window back: the arm it ran on, the
+// batch's result bytes, the window's critical cost (flush end − flush
+// start), the Decision.Epoch it was assigned under, and optionally the
+// causal attribution of the window. Off the decision hot path; may
+// allocate.
+func (c *Controller) Observe(arm int, bytes int64, cost des.Time, epoch uint32, attr *causal.Attribution) {
+	if arm < 0 || arm >= c.arms {
+		return
+	}
+	cl := &c.model[arm][bucketOf(bytes)]
+	if cl.n == 0 {
+		cl.cost, cl.bytes = float64(cost), float64(bytes)
+	} else {
+		g := c.p.Gamma
+		cl.cost = (1-g)*cl.cost + g*float64(cost)
+		cl.bytes = (1-g)*cl.bytes + g*float64(bytes)
+	}
+	cl.n++
+	c.obsCount[arm]++
+	if attr != nil {
+		c.attr[arm].Add(attr.ByCat)
+	}
+	if c.converged || epoch != c.epoch {
+		return
+	}
+	c.epochSum += cost
+	c.epochN++
+	if c.epochN >= c.p.EpochLen {
+		c.closeEpoch()
+	}
+}
+
+// closeEpoch scores the finished epoch and advances the hint hill-climb.
+func (c *Controller) closeEpoch() {
+	mean := float64(c.epochSum) / float64(c.epochN)
+	c.epochSum, c.epochN = 0, 0
+	c.epoch++
+	if !c.haveBase {
+		c.baseMean, c.haveBase = mean, true
+		c.armNextProbe()
+		return
+	}
+	c.probes++
+	if mean < c.baseMean*(1-c.p.AcceptMargin) {
+		c.hints = c.probe
+		c.baseMean = mean
+		c.rejects = 0
+	} else {
+		c.rejects++
+	}
+	c.moveIdx = (c.moveIdx + 1) % len(c.moves)
+	c.armNextProbe()
+}
+
+// armNextProbe selects the next probe direction that actually changes the
+// hint vector, or freezes the search when the cycle is exhausted.
+func (c *Controller) armNextProbe() {
+	for i := 0; i < len(c.moves); i++ {
+		if c.probes >= c.p.MaxProbes || c.rejects >= len(c.moves) {
+			break
+		}
+		if cand := c.apply(c.hints, c.moves[c.moveIdx]); cand != c.hints {
+			c.probe, c.probing = cand, true
+			return
+		}
+		// A move clamped into a no-op counts as rejected.
+		c.rejects++
+		c.moveIdx = (c.moveIdx + 1) % len(c.moves)
+	}
+	c.converged, c.probing = true, false
+}
+
+// apply executes one probe move with its clamps (cb_nodes in
+// [1, MaxCBNodes]; sieve buffer a power of two in [4 KiB, 8 MiB]).
+func (c *Controller) apply(h romio.Hints, m move) romio.Hints {
+	switch m.dim {
+	case dimCB:
+		n := h.CBNodes
+		if n <= 0 {
+			n = c.p.MaxCBNodes // 0 means "all ranks aggregate"
+		}
+		if m.dir > 0 {
+			n *= 2
+		} else {
+			n /= 2
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > c.p.MaxCBNodes {
+			n = c.p.MaxCBNodes
+		}
+		h.CBNodes = n
+	case dimSieve:
+		s := h.SieveBufferSize
+		if s <= 0 {
+			s = 512 * 1024
+		}
+		if m.dir > 0 {
+			s *= 2
+		} else {
+			s /= 2
+		}
+		if s < 4096 {
+			s = 4096
+		}
+		if s > 8*1024*1024 {
+			s = 8 * 1024 * 1024
+		}
+		h.SieveBufferSize = s
+	}
+	return h
+}
+
+// Switches returns how many times a bucket incumbent changed.
+func (c *Controller) Switches() int64 { return c.switches }
+
+// Assigned returns how many queries were assigned to arm a.
+func (c *Controller) Assigned(a int) int64 { return c.assigned[a] }
+
+// Observations returns how many flush windows arm a has reported.
+func (c *Controller) Observations(a int) int64 { return c.obsCount[a] }
+
+// Attr returns the accumulated critical-path breakdown of arm a's observed
+// flush windows.
+func (c *Controller) Attr(a int) causal.Breakdown { return c.attr[a] }
+
+// Arms returns the number of arms.
+func (c *Controller) Arms() int { return c.arms }
+
+// ArmName returns arm a's display name.
+func (c *Controller) ArmName(a int) string {
+	if a < 0 || a >= c.arms {
+		return fmt.Sprintf("arm(%d)", a)
+	}
+	return c.p.Arms[a]
+}
+
+// EpochID returns the current hint-search epoch.
+func (c *Controller) EpochID() uint32 { return c.epoch }
+
+// BestHints returns the incumbent hint vector (the converged result once
+// Converged reports true).
+func (c *Controller) BestHints() romio.Hints { return c.hints }
+
+// CurrentHints returns what Decide would stamp right now (the probe vector
+// while one is under evaluation).
+func (c *Controller) CurrentHints() romio.Hints {
+	if c.probing {
+		return c.probe
+	}
+	return c.hints
+}
+
+// Converged reports whether the hint search has frozen.
+func (c *Controller) Converged() bool { return c.converged }
+
+// ProbeEpochs returns how many probe epochs were evaluated.
+func (c *Controller) ProbeEpochs() int { return c.probes }

@@ -1,0 +1,318 @@
+package adapt
+
+import (
+	"reflect"
+	"testing"
+
+	"s3asim/internal/causal"
+	"s3asim/internal/des"
+	"s3asim/internal/romio"
+)
+
+func testParams() Params {
+	return Params{
+		Arms:      []string{"mw", "ww-list", "ww-coll"},
+		BaseHints: romio.DefaultHints(),
+	}
+}
+
+// feed runs one decide+observe round with a synthetic cost.
+func feed(c *Controller, bytes int64, cost des.Time) Decision {
+	d := c.Decide(bytes)
+	c.Observe(d.Arm, bytes, cost, d.Epoch, nil)
+	return d
+}
+
+func TestBootstrapAssignsEveryArm(t *testing.T) {
+	c := New(testParams())
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		d := c.Decide(1000)
+		if !d.Explore {
+			t.Fatalf("decision %d not exploratory", i)
+		}
+		seen[d.Arm] = true
+		c.Observe(d.Arm, 1000, des.Millisecond, d.Epoch, nil)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("bootstrap covered %d arms, want 3", len(seen))
+	}
+}
+
+func TestModelPicksCheapestArmPerBucket(t *testing.T) {
+	c := New(testParams())
+	for i := 0; i < 3; i++ { // bootstrap
+		d := c.Decide(1000)
+		c.Observe(d.Arm, 1000, des.Millisecond, d.Epoch, nil)
+	}
+	// Arm 0 is cheap for small batches, arm 2 cheap for huge ones.
+	for i := 0; i < 6; i++ {
+		c.Observe(0, 1<<10, 1*des.Millisecond, c.EpochID(), nil)
+		c.Observe(1, 1<<10, 5*des.Millisecond, c.EpochID(), nil)
+		c.Observe(2, 1<<10, 9*des.Millisecond, c.EpochID(), nil)
+		c.Observe(0, 1<<24, 900*des.Millisecond, c.EpochID(), nil)
+		c.Observe(1, 1<<24, 300*des.Millisecond, c.EpochID(), nil)
+		c.Observe(2, 1<<24, 90*des.Millisecond, c.EpochID(), nil)
+	}
+	if d := c.Decide(1 << 10); d.Arm != 0 {
+		t.Fatalf("small batch went to arm %d, want 0", d.Arm)
+	}
+	if d := c.Decide(1 << 24); d.Arm != 2 {
+		t.Fatalf("huge batch went to arm %d, want 2", d.Arm)
+	}
+	if c.Assigned(0) == 0 || c.Observations(2) == 0 {
+		t.Fatal("accounting not updated")
+	}
+}
+
+func TestHysteresisHoldsIncumbent(t *testing.T) {
+	p := testParams()
+	p.Arms = []string{"a", "b"}
+	c := New(p)
+	for i := 0; i < 2; i++ {
+		d := c.Decide(1 << 12)
+		c.Observe(d.Arm, 1<<12, des.Millisecond, d.Epoch, nil)
+	}
+	// Arm 0 starts cheapest and is seated as the bucket incumbent.
+	for i := 0; i < 8; i++ {
+		c.Observe(0, 1<<12, 9500*des.Microsecond, c.EpochID(), nil)
+		c.Observe(1, 1<<12, 10*des.Millisecond, c.EpochID(), nil)
+	}
+	if d := c.Decide(1 << 12); d.Arm != 0 {
+		t.Fatalf("incumbent seated on arm %d, want 0", d.Arm)
+	}
+	before := c.Switches()
+	// Arm 1 edges ahead but stays within the 10% hysteresis band.
+	for i := 0; i < 30; i++ {
+		c.Observe(1, 1<<12, 9*des.Millisecond, c.EpochID(), nil)
+	}
+	for i := 0; i < 5; i++ {
+		if d := c.Decide(1 << 12); d.Switched || d.Arm != 0 {
+			t.Fatalf("switched inside hysteresis band: %+v", d)
+		}
+	}
+	if c.Switches() != before {
+		t.Fatal("switch counter moved inside hysteresis band")
+	}
+	// Now arm 1 clearly undercuts: the controller must switch, once.
+	for i := 0; i < 12; i++ {
+		c.Observe(1, 1<<12, 2*des.Millisecond, c.EpochID(), nil)
+	}
+	d := c.Decide(1 << 12)
+	if d.Arm != 1 || !d.Switched {
+		t.Fatalf("no switch to the clearly better arm: %+v", d)
+	}
+	if c.Switches() != before+1 {
+		t.Fatalf("switches = %d, want %d", c.Switches(), before+1)
+	}
+}
+
+func TestHintSearchWalksDownhillAndFreezes(t *testing.T) {
+	p := Params{
+		Arms:      []string{"only"},
+		BaseHints: romio.DefaultHints(),
+		EpochLen:  2,
+		TuneSieve: true,
+		MaxProbes: 64,
+	}
+	c := New(p)
+	// Synthetic world where cost is proportional to the sieve buffer: every
+	// halving probe wins, every doubling probe loses.
+	cost := func(h romio.Hints) des.Time { return des.Time(h.SieveBufferSize) }
+	for i := 0; i < 200 && !c.Converged(); i++ {
+		d := c.Decide(1 << 12)
+		c.Observe(d.Arm, 1<<12, cost(d.Hints), d.Epoch, nil)
+	}
+	if !c.Converged() {
+		t.Fatal("search never froze")
+	}
+	if got := c.BestHints().SieveBufferSize; got != 4096 {
+		t.Fatalf("converged sieve buffer = %d, want the 4 KiB clamp", got)
+	}
+	if err := c.BestHints().Validate(); err != nil {
+		t.Fatalf("converged hints invalid: %v", err)
+	}
+	if c.ProbeEpochs() > p.MaxProbes {
+		t.Fatalf("probe epochs %d exceeded bound %d", c.ProbeEpochs(), p.MaxProbes)
+	}
+}
+
+func TestHintSearchRespectsMaxProbes(t *testing.T) {
+	p := Params{
+		Arms:      []string{"only"},
+		BaseHints: romio.DefaultHints(),
+		EpochLen:  1,
+		TuneCB:    true,
+		TuneSieve: true,
+		MaxProbes: 3,
+	}
+	c := New(p)
+	for i := 0; i < 100 && !c.Converged(); i++ {
+		feed(c, 1<<12, des.Time(i+1)*des.Millisecond)
+	}
+	if !c.Converged() {
+		t.Fatal("search did not freeze at MaxProbes")
+	}
+	if c.ProbeEpochs() > 3 {
+		t.Fatalf("probe epochs = %d, want <= 3", c.ProbeEpochs())
+	}
+}
+
+func TestStaleEpochObservationsDontScoreEpochs(t *testing.T) {
+	p := Params{
+		Arms:      []string{"only"},
+		BaseHints: romio.DefaultHints(),
+		EpochLen:  2,
+		TuneSieve: true,
+	}
+	c := New(p)
+	d := c.Decide(100)
+	c.Observe(d.Arm, 100, des.Millisecond, d.Epoch, nil)
+	// A flood of stale-tagged observations must not close the epoch.
+	before := c.EpochID()
+	for i := 0; i < 10; i++ {
+		c.Observe(0, 100, des.Millisecond, before+7, nil)
+	}
+	if c.EpochID() != before {
+		t.Fatal("stale observations advanced the epoch")
+	}
+	if c.Observations(0) != 11 {
+		t.Fatalf("cost model skipped stale observations: %d", c.Observations(0))
+	}
+	// One more current-epoch observation closes it.
+	c.Observe(0, 100, des.Millisecond, before, nil)
+	if c.EpochID() != before+1 {
+		t.Fatal("epoch did not close")
+	}
+}
+
+func TestAttributionAccumulates(t *testing.T) {
+	c := New(testParams())
+	att := &causal.Attribution{Total: 3 * des.Millisecond}
+	att.ByCat[causal.CatSyncWait] = 2 * des.Millisecond
+	att.ByCat[causal.CatIOQueue] = des.Millisecond
+	c.Observe(1, 500, 3*des.Millisecond, 0, att)
+	c.Observe(1, 500, 3*des.Millisecond, 0, att)
+	got := c.Attr(1)
+	if got[causal.CatSyncWait] != 4*des.Millisecond || got[causal.CatIOQueue] != 2*des.Millisecond {
+		t.Fatalf("attribution totals = %v", got)
+	}
+	if c.Attr(0) != (causal.Breakdown{}) {
+		t.Fatal("attribution leaked across arms")
+	}
+}
+
+func TestControllerDeterministic(t *testing.T) {
+	run := func() ([]Decision, romio.Hints, int64) {
+		p := testParams()
+		p.EpochLen = 3
+		p.TuneCB, p.TuneSieve = true, true
+		p.MaxCBNodes = 16
+		c := New(p)
+		var ds []Decision
+		for i := 0; i < 120; i++ {
+			bytes := int64(1) << uint(10+(i*7)%16)
+			d := c.Decide(bytes)
+			ds = append(ds, d)
+			// Cost model favoring arm (bytes >> 20): deterministic but
+			// non-trivial feedback.
+			cost := des.Time(bytes/1024+int64(d.Arm*100)) * des.Microsecond
+			c.Observe(d.Arm, bytes, cost, d.Epoch, nil)
+		}
+		return ds, c.BestHints(), c.Switches()
+	}
+	d1, h1, s1 := run()
+	d2, h2, s2 := run()
+	if !reflect.DeepEqual(d1, d2) || h1 != h2 || s1 != s2 {
+		t.Fatal("two identical runs diverged")
+	}
+}
+
+func TestPredictorLearnsRatio(t *testing.T) {
+	pr := NewPredictor(0.3, func(length int64) int64 { return length * 100 })
+	if got := pr.Predict(1000); got != 100000 {
+		t.Fatalf("prior prediction = %d", got)
+	}
+	for i := 0; i < 20; i++ {
+		pr.Observe(1000, 3000) // true ratio 3
+	}
+	got := pr.Predict(1000)
+	if got < 2500 || got > 3500 {
+		t.Fatalf("learned prediction = %d, want ~3000", got)
+	}
+	// Nearest-bucket borrowing: a 4x length reuses the learned ratio.
+	got = pr.Predict(4000)
+	if got < 10000 || got > 14000 {
+		t.Fatalf("borrowed prediction = %d, want ~12000", got)
+	}
+}
+
+// TestAdaptiveDecideSteadyStateAllocs pins the decision hot path at zero
+// allocations per op: the controller sits on the master's dispatch path,
+// which the FSM engine keeps allocation-free (DESIGN.md §11).
+func TestAdaptiveDecideSteadyStateAllocs(t *testing.T) {
+	p := testParams()
+	p.TuneCB, p.TuneSieve = true, true
+	c := New(p)
+	for i := 0; i < 64; i++ {
+		bytes := int64(1) << uint(8+i%20)
+		d := c.Decide(bytes)
+		c.Observe(d.Arm, bytes, des.Time(bytes)*des.Nanosecond, d.Epoch, nil)
+	}
+	sizes := [...]int64{1 << 10, 1 << 16, 1 << 24}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = c.Decide(sizes[i%len(sizes)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Decide allocates %.1f/op in steady state, want 0", allocs)
+	}
+	j := 0
+	allocs = testing.AllocsPerRun(200, func() {
+		_ = NewPredictor(0.3, nil).Predict(1 << uint(8+j%20)) // predictor path
+		j++
+	})
+	_ = allocs // NewPredictor allocates; only Predict must not — checked below
+	pr := NewPredictor(0.3, nil)
+	for k := 0; k < 32; k++ {
+		pr.Observe(int64(1)<<uint(8+k%16), int64(k+1)*1000)
+	}
+	k := 0
+	allocs = testing.AllocsPerRun(200, func() {
+		_ = pr.Predict(int64(1) << uint(8+k%20))
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("Predict allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkAdaptiveDecide(b *testing.B) {
+	p := testParams()
+	p.TuneCB, p.TuneSieve = true, true
+	c := New(p)
+	for i := 0; i < 64; i++ {
+		bytes := int64(1) << uint(8+i%20)
+		d := c.Decide(bytes)
+		c.Observe(d.Arm, bytes, des.Time(bytes)*des.Nanosecond, d.Epoch, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Decide(int64(1) << uint(8+i%20))
+	}
+}
+
+func BenchmarkAdaptiveObserve(b *testing.B) {
+	c := New(testParams())
+	for i := 0; i < 3; i++ {
+		d := c.Decide(1000)
+		c.Observe(d.Arm, 1000, des.Millisecond, d.Epoch, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(i%3, int64(1)<<uint(8+i%20), des.Millisecond, c.EpochID(), nil)
+	}
+}

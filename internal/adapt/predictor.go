@@ -1,0 +1,62 @@
+package adapt
+
+// Predictor estimates a query's total result bytes from its ex-ante
+// features (the query length — the only thing the master knows at dispatch
+// time) by tracking an EWMA of the observed bytes/length ratio per
+// log2(length) bucket. Until a bucket's neighborhood has data it falls back
+// to the caller-supplied prior. Like the controller, it is deterministic
+// and allocation-free on the predict path.
+type Predictor struct {
+	gamma float64
+	prior func(length int64) int64
+	cells [nBuckets]struct {
+		ratio float64
+		n     int64
+	}
+}
+
+// NewPredictor builds a predictor with EWMA decay gamma (<=0 defaults to
+// 0.3) and the given prior. A nil prior predicts 0 for unseen lengths.
+func NewPredictor(gamma float64, prior func(length int64) int64) *Predictor {
+	if gamma <= 0 || gamma > 1 {
+		gamma = 0.3
+	}
+	return &Predictor{gamma: gamma, prior: prior}
+}
+
+// Observe feeds one completed query: its length and its actual total result
+// bytes.
+func (p *Predictor) Observe(length, bytes int64) {
+	if length <= 0 {
+		return
+	}
+	c := &p.cells[bucketOf(length)]
+	r := float64(bytes) / float64(length)
+	if c.n == 0 {
+		c.ratio = r
+	} else {
+		c.ratio = (1-p.gamma)*c.ratio + p.gamma*r
+	}
+	c.n++
+}
+
+// Predict estimates the result bytes for a query of the given length,
+// borrowing the nearest populated length bucket's ratio.
+func (p *Predictor) Predict(length int64) int64 {
+	if length <= 0 {
+		length = 1
+	}
+	b := bucketOf(length)
+	for d := 0; d < nBuckets; d++ {
+		if b-d >= 0 && p.cells[b-d].n > 0 {
+			return int64(p.cells[b-d].ratio * float64(length))
+		}
+		if d > 0 && b+d < nBuckets && p.cells[b+d].n > 0 {
+			return int64(p.cells[b+d].ratio * float64(length))
+		}
+	}
+	if p.prior == nil {
+		return 0
+	}
+	return p.prior(length)
+}

@@ -229,6 +229,16 @@ type Config struct {
 	// identical event sequence, so reports and fingerprints do not depend on
 	// the choice.
 	ProcModel ProcModel
+
+	// Adaptive, if non-nil, switches the run into closed-loop adaptive I/O
+	// (DESIGN.md §16): the master picks each flush batch's write strategy and
+	// ROMIO hints at dispatch time from an online cost model fed by observed
+	// flush windows (and their causal attribution on Causal runs), instead of
+	// committing to Strategy for the whole run. Requires a single query group
+	// and the non-resilient protocol; works in both the closed batch and
+	// serving modes and under either worker engine. Nil runs the original
+	// fixed-strategy protocol byte-for-byte.
+	Adaptive *AdaptiveConfig
 }
 
 // ProcModel selects the kernel backing for worker processes.
@@ -328,6 +338,17 @@ func (c *Config) Validate() error {
 	}
 	if c.ProcModel == ProcFSM && c.resilient() {
 		return errors.New("core: ProcFSM is incompatible with the resilient protocol (use ProcAuto or ProcGoroutine)")
+	}
+	hints := romio.Hints{
+		CBNodes:         c.CBNodes,
+		CollWriteMethod: c.CollMethod,
+		IndWriteMethod:  c.indMethod(),
+	}
+	if err := hints.Validate(); err != nil {
+		return err
+	}
+	if err := c.validateAdaptive(); err != nil {
+		return err
 	}
 	if err := c.validateServe(); err != nil {
 		return err

@@ -3,6 +3,7 @@ package core
 import (
 	"s3asim/internal/des"
 	"s3asim/internal/mpi"
+	"s3asim/internal/romio"
 	"s3asim/internal/search"
 )
 
@@ -35,7 +36,7 @@ func (rt *runtime) master(r *mpi.Rank, g *group) {
 	// Step 1: set up the output file and distribute input variables.
 	pt.Switch(PhaseSetup)
 	rt.openFile(r, g)
-	if cfg.Strategy == WWColl {
+	if cfg.Strategy == WWColl || (rt.ad != nil && rt.ad.hasColl) {
 		g.collGroup = rt.file.NewGroup(g.workers)
 	}
 	g.team.Bcast(r, g.masterRank, configMsgBytes, "input-variables")
@@ -69,6 +70,9 @@ func (rt *runtime) master(r *mpi.Rank, g *group) {
 				pt.Switch(PhaseDataDist)
 			} else if st.nextQ < g.hiQ {
 				t = task{Q: st.nextQ, F: st.nextF}
+				if rt.ad != nil {
+					t.Strat = rt.adaptTaskStrat(g, st.nextQ)
+				}
 				have = true
 				st.nextF++
 				if st.nextF == cfg.Workload.NumFragments {
@@ -126,7 +130,7 @@ func (rt *runtime) masterDrain(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 		// Merge the arriving ordered list into the master's ordered list:
 		// full results under MW, scores only under worker-writing (§2).
 		newBytes := int64(sm.Count) * cfg.ScoreEntryBytes
-		if cfg.Strategy == MW {
+		if rt.taskStrat(sm.Task) == MW {
 			newBytes += sm.ResultBytes
 		}
 		rt.mergeSleep(r, cfg.mergeTime(st.mergeAcc[q], newBytes))
@@ -137,6 +141,7 @@ func (rt *runtime) masterDrain(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 		if st.remaining[q] == 0 {
 			st.complete[q] = true
 			rt.serveStampGathered(q)
+			rt.adaptQueryDone(q)
 		}
 	}
 	rt.masterFlush(r, pt, g, st)
@@ -173,13 +178,26 @@ func (rt *runtime) masterFlush(r *mpi.Rank, pt *PhaseTimer, g *group, st *master
 func (rt *runtime) flushBatch(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterState, bi int) {
 	cfg := rt.cfg
 	b := g.batches[bi]
-	if cfg.Strategy == MW {
+	gb := g.batchBase + bi
+	// Resolve the batch's write strategy and hints: the controller's stamped
+	// decision under adaptive I/O (normally made at dispatch; deciding here
+	// covers a batch flushed without dispatches), the config otherwise.
+	strat := cfg.Strategy
+	var hints romio.Hints
+	if rt.ad != nil {
+		strat = rt.adaptTaskStrat(g, b.LoQ)
+		hints = rt.ad.decisions[gb].hints
+	}
+	if strat == MW {
 		// Step 18: format the merged results (the mpiBLAST master's
 		// serialization bottleneck), then one large contiguous write
 		// followed by sync. Workers drain their in-flight tasks during
 		// this stall — which is why the paper finds forced
 		// synchronization nearly free under MW.
 		pt.Switch(PhaseIO)
+		if rt.ad != nil {
+			rt.adaptFlushStart(gb, 1)
+		}
 		rt.mergeSleep(r, des.BytesOver(b.Bytes, cfg.FormatBandwidth))
 		var data []byte
 		if cfg.CaptureData {
@@ -189,11 +207,22 @@ func (rt *runtime) flushBatch(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterS
 		if cfg.SyncEveryWrite {
 			rt.file.Sync(r)
 		}
-		rt.flushTimes[g.batchBase+bi] = rt.sim.Now()
-		rt.serveStampDone(g.batchBase+bi, r.Proc().Name())
+		rt.flushTimes[gb] = rt.sim.Now()
+		rt.serveStampDone(gb, r.Proc().Name())
+		if rt.ad != nil {
+			rt.adaptStamped(gb, r.Proc().Name())
+		}
 		rt.rbInRunMaster(r, pt, b, data)
 		pt.Switch(PhaseGather)
-		if cfg.QuerySync {
+		if rt.ad != nil {
+			// Adaptive MW batches still send (empty) offset lists: the
+			// workers' batch tracker, and the QuerySync barrier trigger.
+			for _, w := range g.workers {
+				st.offsetSends = append(st.offsetSends,
+					r.Isend(w, tagOffsets, offsetHdrBytes,
+						offsetMsg{Batch: bi, Strat: MW, Hints: hints}))
+			}
+		} else if cfg.QuerySync {
 			for _, w := range g.workers {
 				st.offsetSends = append(st.offsetSends,
 					r.Isend(w, tagSyncToken, tokenMsgBytes, bi))
@@ -211,8 +240,25 @@ func (rt *runtime) flushBatch(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterS
 				perWorker[w] = append(perWorker[w], res)
 			}
 		}
+		if rt.ad != nil {
+			// A collective round is stamped by every group worker; an
+			// individual WW batch only by the workers holding placements.
+			writers := len(g.workers)
+			if strat != WWColl {
+				writers = 0
+				for _, w := range g.workers {
+					if len(perWorker[w]) > 0 {
+						writers++
+					}
+				}
+			}
+			rt.adaptFlushStart(gb, writers)
+		}
 		for _, w := range g.workers {
 			msg := offsetMsg{Batch: bi, Placements: perWorker[w]}
+			if rt.ad != nil {
+				msg.Strat, msg.Hints = strat, hints
+			}
 			bytes := int64(offsetHdrBytes) + int64(len(perWorker[w]))*offsetPerResult
 			st.offsetSends = append(st.offsetSends,
 				r.Isend(w, tagOffsets, bytes, msg))

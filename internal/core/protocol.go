@@ -1,6 +1,9 @@
 package core
 
-import "s3asim/internal/search"
+import (
+	"s3asim/internal/romio"
+	"s3asim/internal/search"
+)
 
 // MPI tags of the S3aSim protocol. The collective-I/O layer uses tags above
 // 1<<20; these stay well below. Tags 7–9 exist only in the resilient
@@ -51,9 +54,14 @@ func delayableTag(tag int) bool { return tag < 1<<20 }
 // gate — the worker must have handled that many collective rounds before it
 // may start computing. Closed-batch runs leave it zero and derive the gate
 // from the query index instead (batches flush strictly in order there).
+// Strat is the query's write strategy under adaptive I/O (Config.Adaptive):
+// the controller stamps it when the first fragment is dispatched, and the
+// worker routes its local merge, wire accounting, and WW-Coll gating on it.
+// Fixed-strategy runs leave it zero and consult Config.Strategy instead.
 type task struct {
-	Q, F int
-	Gate int
+	Q, F  int
+	Gate  int
+	Strat Strategy
 }
 
 // scoreMsg is a worker's report for one completed task.
@@ -72,6 +80,11 @@ type scoreMsg struct {
 // (a restarted worker ignores waves addressed to its dead predecessor);
 // Fallback forces individual list I/O instead of the collective round;
 // Sync marks the addressee as a member of this batch's barrier epoch.
+// Strat and Hints are adaptive-I/O fields (Config.Adaptive): the batch's
+// decided write strategy and the ROMIO hint vector to write it with — under
+// adaptive I/O every batch sends offset lists, including MW batches, whose
+// empty message (sent after the master's own write+sync) is the batch
+// tracker and, with QuerySync, the barrier trigger. Zero otherwise.
 type offsetMsg struct {
 	Batch      int
 	Placements []search.Result
@@ -79,6 +92,8 @@ type offsetMsg struct {
 	Inc        int
 	Fallback   bool
 	Sync       bool
+	Strat      Strategy
+	Hints      romio.Hints
 }
 
 // workReqMsg is the resilient work request: Seq increments per new request

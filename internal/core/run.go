@@ -69,6 +69,9 @@ type runtime struct {
 	// Serving-mode state (nil for the paper's closed batch).
 	serve *serveState
 
+	// Adaptive-I/O state (nil when Config.Adaptive is unset).
+	ad *adaptState
+
 	// Verified-read-path state (nil when Config.Readback is unset).
 	rb *readbackState
 
@@ -146,6 +149,11 @@ type Report struct {
 	Windows     *obs.Series
 	Alerts      []obs.Alert
 	FlightDumps []obs.FlightDump
+
+	// Adaptive summarizes the closed-loop controller's decisions, per-arm
+	// observations and attribution, switch count, and hint-search outcome —
+	// present only with Config.Adaptive.
+	Adaptive *AdaptiveReport
 
 	// Attribution is the run's critical-path decomposition, present only
 	// when Config.Causal was set: every nanosecond of Overall assigned to a
@@ -229,6 +237,9 @@ func RunWithWorkload(cfg Config, wl *search.Workload) (*Report, error) {
 		flight:  flight,
 	}
 	rt.buildGroups()
+	if cfg.Adaptive != nil {
+		rt.ad = rt.newAdaptState()
+	}
 	if cfg.Readback != nil {
 		rt.rb = &readbackState{conf: *cfg.Readback}
 	}
@@ -429,6 +440,9 @@ func (rt *runtime) report() (*Report, error) {
 		rep.Queries = rt.serveQueryStats()
 		rt.serveEmitSpans(cfg.sink())
 	}
+	if rt.ad != nil {
+		rep.Adaptive = rt.adaptReport()
+	}
 	masters := map[int]bool{}
 	for _, g := range rt.groups {
 		masters[g.masterRank] = true
@@ -489,7 +503,8 @@ func (rt *runtime) report() (*Report, error) {
 	// unsafe under concurrent writers. The report carries the overlap count
 	// instead of failing; this is exactly why ROMIO disables sieved writes
 	// on PVFS2.
-	sieving := cfg.indMethod() == romio.DataSieve && cfg.Strategy.WorkerWriting()
+	sieving := cfg.indMethod() == romio.DataSieve &&
+		(cfg.Strategy.WorkerWriting() && rt.ad == nil || rt.adaptWorkerWrites())
 	if !sieving {
 		if rep.OverlappedBytes != 0 {
 			return rep, fmt.Errorf("core: %d bytes written more than once", rep.OverlappedBytes)
@@ -530,6 +545,14 @@ func (rt *runtime) recordMetrics(rep *Report) {
 	}
 	if rt.serve != nil {
 		rt.serveRecordMetrics()
+	}
+	if ad := rt.ad; ad != nil {
+		m.Set("adapt.epochs", float64(ad.ctrl.EpochID()))
+		if ad.ctrl.Converged() {
+			m.Set("adapt.converged", 1)
+		} else {
+			m.Set("adapt.converged", 0)
+		}
 	}
 	if rb := rt.rb; rb != nil {
 		m.Add("readback.reads", rb.reads)

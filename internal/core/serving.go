@@ -161,6 +161,9 @@ func (rt *runtime) serveNext(r *mpi.Rank, pt *PhaseTimer, g *group, st *masterSt
 		}
 		if sv.curQ >= 0 {
 			t := task{Q: sv.curQ, F: sv.curF, Gate: sv.flushesSent}
+			if rt.ad != nil {
+				t.Strat = rt.adaptTaskStrat(g, sv.curQ)
+			}
 			sv.curF++
 			if sv.curF == cfg.Workload.NumFragments {
 				sv.curQ = -1

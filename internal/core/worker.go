@@ -38,7 +38,9 @@ func (rt *runtime) worker(r *mpi.Rank, g *group) {
 	rt.workerLoadDatabase(r, pt)
 
 	st := &workerState{g: g, mergeAcc: make(map[int]int64)}
-	if cfg.Strategy.WorkerWriting() {
+	// Adaptive workers always track offset lists: every batch sends one,
+	// whichever strategy its controller picked (MW batches send empty lists).
+	if rt.ad != nil || cfg.Strategy.WorkerWriting() {
 		st.offReq = r.Irecv(boss, tagOffsets)
 	} else if cfg.QuerySync {
 		st.tokReq = r.Irecv(boss, tagSyncToken)
@@ -66,11 +68,14 @@ func (rt *runtime) worker(r *mpi.Rank, g *group) {
 				// Serving masters hold work requests across arrival gaps, so
 				// a request-blocked worker must also service offset lists or
 				// it would sit on pending writes until the next arrival.
-				if (st.tokReq != nil || rt.serve != nil) && rt.workerDrainIO(r, pt, st) {
+				// Adaptive runs drain here too: an MW batch's post-write
+				// notification must be honored before the next task, exactly
+				// as MW+sync tokens are.
+				if (st.tokReq != nil || rt.serve != nil || rt.ad != nil) && rt.workerDrainIO(r, pt, st) {
 					pt.Switch(PhaseDataDist)
 					continue
 				}
-				r.WaitAny(workerWaitSet(replyReq, st, rt.serve != nil))
+				r.WaitAny(workerWaitSet(replyReq, st, rt.serve != nil || rt.ad != nil))
 			}
 			reply := replyReq.Message()
 			if reply.Payload == nil {
@@ -113,13 +118,14 @@ func (rt *runtime) workerTask(r *mpi.Rank, pt *PhaseTimer, st *workerState, t ta
 	cfg := rt.cfg
 	bytes := rt.wl.TaskBytes(t.Q, t.F)
 	count := rt.wl.TaskCount(t.Q, t.F)
+	strat := rt.taskStrat(t)
 
 	// Under WW-Coll a worker cannot begin an upcoming query until the
 	// collective I/O for all earlier batches has completed (§2.3: "the
 	// WW-Coll strategy cannot allow worker processes to begin upcoming
 	// queries until after the I/O operation"). The wait for the master's
 	// offset list bills to data distribution.
-	if cfg.Strategy == WWColl {
+	if strat == WWColl {
 		// Serving runs flush out of order, so the query index no longer
 		// implies how many rounds precede this task; the master tells us
 		// directly (task.Gate).
@@ -148,7 +154,7 @@ func (rt *runtime) workerTask(r *mpi.Rank, pt *PhaseTimer, st *workerState, t ta
 	r.Compute(cfg.Compute.TaskTime(bytes, cfg.ComputeSpeed))
 
 	// Step 8: merge with previous results for this query (parallel I/O).
-	if cfg.Strategy.WorkerWriting() {
+	if strat.WorkerWriting() {
 		pt.Switch(PhaseMerge)
 		rt.mergeSleep(r, cfg.mergeTime(st.mergeAcc[t.Q], bytes))
 		st.mergeAcc[t.Q] += bytes
@@ -157,7 +163,7 @@ func (rt *runtime) workerTask(r *mpi.Rank, pt *PhaseTimer, st *workerState, t ta
 	// Step 10: send ordered scores (and the result data itself under MW).
 	pt.Switch(PhaseGather)
 	wire := int64(count) * cfg.ScoreEntryBytes
-	if cfg.Strategy == MW {
+	if strat == MW {
 		wire += bytes
 	}
 	st.pending = append(st.pending,
@@ -244,14 +250,15 @@ func waitDone(r *mpi.Rank, req *mpi.Request) {
 
 // workerWaitSet lists the requests a worker may block on while awaiting a
 // work reply: the reply itself, plus the sync-token receive under MW+sync —
-// and, in serving runs, the offset-list receive, since the reply may be an
-// arrival gap away.
-func workerWaitSet(reply *mpi.Request, st *workerState, serve bool) []*mpi.Request {
+// and, in serving and adaptive runs (offsets=true), the offset-list receive:
+// a serving reply may be an arrival gap away, and an adaptive MW batch's
+// notification must wake a request-blocked worker.
+func workerWaitSet(reply *mpi.Request, st *workerState, offsets bool) []*mpi.Request {
 	set := []*mpi.Request{reply}
 	if st.tokReq != nil {
 		set = append(set, st.tokReq)
 	}
-	if serve && st.offReq != nil {
+	if offsets && st.offReq != nil {
 		set = append(set, st.offReq)
 	}
 	return set
@@ -261,6 +268,12 @@ func workerWaitSet(reply *mpi.Request, st *workerState, serve bool) []*mpi.Reque
 // configured strategy.
 func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetMsg) {
 	cfg := rt.cfg
+	strat := rt.batchStrat(om)
+	if rt.ad != nil && strat == MW {
+		// The master already wrote this batch; the (empty) offset list only
+		// tracks batch progress (the drain loop handles the sync barrier).
+		return
+	}
 	segs := rt.placementsToSegments(om.Placements)
 	// Format this worker's share of the results before writing (under WW
 	// strategies each worker serializes its own output).
@@ -272,7 +285,7 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 		pt.Switch(PhaseIO)
 		rt.mergeSleep(r, des.BytesOver(segBytes, cfg.FormatBandwidth))
 	}
-	if cfg.Strategy == WWColl {
+	if strat == WWColl {
 		// Collective write: every group worker participates, with or
 		// without data — the inherent synchronization the paper measures.
 		// For two-phase, waiting for the last worker to become ready is
@@ -286,7 +299,11 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 			g.collEntry.Arrive(r)
 		}
 		pt.Switch(PhaseIO)
-		g.collGroup.WriteAll(r, segs)
+		if rt.ad != nil {
+			g.collGroup.WriteAllHinted(r, segs, om.Hints)
+		} else {
+			g.collGroup.WriteAll(r, segs)
+		}
 		if cfg.SyncEveryWrite {
 			rt.file.Sync(r)
 		}
@@ -297,9 +314,14 @@ func (rt *runtime) workerWrite(r *mpi.Rank, pt *PhaseTimer, g *group, om offsetM
 	if len(segs) == 0 {
 		return
 	}
-	// Individual noncontiguous write (POSIX or list I/O per hints).
+	// Individual noncontiguous write (POSIX or list I/O per hints; adaptive
+	// batches carry their decided hint vector in the offset message).
 	pt.Switch(PhaseIO)
-	rt.file.WriteSegs(r, segs)
+	if rt.ad != nil {
+		rt.file.WriteSegsHinted(r, segs, om.Hints)
+	} else {
+		rt.file.WriteSegs(r, segs)
+	}
 	if cfg.SyncEveryWrite {
 		rt.file.Sync(r)
 	}
@@ -317,6 +339,9 @@ func (rt *runtime) stampFlush(proc string, g *group, localBatch int) {
 	if now := rt.sim.Now(); now > rt.flushTimes[idx] {
 		rt.flushTimes[idx] = now
 		rt.serveStampDone(idx, proc)
+	}
+	if rt.ad != nil {
+		rt.adaptStamped(idx, proc)
 	}
 }
 

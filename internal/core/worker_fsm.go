@@ -191,8 +191,9 @@ func (m *workerFSM) step() bool {
 		}
 		// Serving masters hold work requests across arrival gaps, so a
 		// request-blocked worker must also service offset lists
-		// (worker.go's reply-wait loop).
-		if m.st.tokReq != nil || m.rt.serve != nil {
+		// (worker.go's reply-wait loop); adaptive runs drain here too so an
+		// MW batch's post-write notification is honored before the next task.
+		if m.st.tokReq != nil || m.rt.serve != nil || m.rt.ad != nil {
 			m.startDrain()
 			m.pc = wfReplyDrain
 			return true
@@ -290,7 +291,9 @@ func (m *workerFSM) done() bool {
 func (m *workerFSM) initState() {
 	cfg, r, boss := m.rt.cfg, m.r, m.g.masterRank
 	m.st = &workerState{g: m.g, mergeAcc: make(map[int]int64)}
-	if cfg.Strategy.WorkerWriting() {
+	// Adaptive workers always track offset lists: every batch sends one,
+	// whichever strategy its controller picked (MW batches send empty lists).
+	if m.rt.ad != nil || cfg.Strategy.WorkerWriting() {
 		m.st.offReq = r.Irecv(boss, tagOffsets)
 	} else if cfg.QuerySync {
 		m.st.tokReq = r.Irecv(boss, tagSyncToken)
@@ -330,7 +333,7 @@ func (m *workerFSM) armReplyWait() {
 	if m.st.tokReq != nil {
 		m.waitSet = append(m.waitSet, m.st.tokReq)
 	}
-	if m.rt.serve != nil && m.st.offReq != nil {
+	if (m.rt.serve != nil || m.rt.ad != nil) && m.st.offReq != nil {
 		m.waitSet = append(m.waitSet, m.st.offReq)
 	}
 	m.waitAny.Init(m.r, m.waitSet)
@@ -424,6 +427,13 @@ func (m *workerFSM) stepDrain() bool {
 // (workerWrite).
 func (m *workerFSM) startWrite() {
 	cfg := m.rt.cfg
+	if m.rt.ad != nil && m.om.Strat == MW {
+		// The master already wrote this batch; the (empty) offset list only
+		// tracks batch progress (stepWrite's route returns immediately).
+		m.segs = nil
+		m.writePC = wwRoute
+		return
+	}
 	m.segs = m.rt.placementsToSegments(m.om.Placements)
 	var segBytes int64
 	for _, s := range m.segs {
@@ -454,7 +464,11 @@ func (m *workerFSM) stepWrite() bool {
 			m.billMerge()
 			m.writePC = wwRoute
 		case wwRoute:
-			if cfg.Strategy == WWColl {
+			strat := rt.batchStrat(m.om)
+			if rt.ad != nil && strat == MW {
+				return true
+			}
+			if strat == WWColl {
 				// Collective write: every group worker participates, with or
 				// without data. For two-phase, waiting for the last worker to
 				// become ready is billed to data distribution (paper §4); the
@@ -471,9 +485,14 @@ func (m *workerFSM) stepWrite() bool {
 			if len(m.segs) == 0 {
 				return true
 			}
-			// Individual noncontiguous write (POSIX or list I/O per hints).
+			// Individual noncontiguous write (POSIX or list I/O per hints;
+			// adaptive batches carry their hint vector in the offset message).
 			m.pt.Switch(PhaseIO)
-			m.wsegs.Init(rt.file, r, m.segs)
+			if rt.ad != nil {
+				m.wsegs.InitHinted(rt.file, r, m.segs, m.om.Hints)
+			} else {
+				m.wsegs.Init(rt.file, r, m.segs)
+			}
 			m.writePC = wwSegs
 		case wwCollEntry:
 			if !m.barrier.Step() {
@@ -513,7 +532,7 @@ func (m *workerFSM) stepWrite() bool {
 				return false
 			}
 			rt.stampFlush(r.Proc().Name(), m.g, m.om.Batch)
-			if m.armReadback(cfg.Strategy == WWColl) {
+			if m.armReadback(rt.batchStrat(m.om) == WWColl) {
 				continue
 			}
 			return true
@@ -546,7 +565,11 @@ func (m *workerFSM) stepWrite() bool {
 // startColl arms the collective write round.
 func (m *workerFSM) startColl() {
 	m.pt.Switch(PhaseIO)
-	m.coll.Init(m.g.collGroup, m.r, m.segs)
+	if m.rt.ad != nil {
+		m.coll.InitHinted(m.g.collGroup, m.r, m.segs, m.om.Hints)
+	} else {
+		m.coll.Init(m.g.collGroup, m.r, m.segs)
+	}
 	m.writePC = wwColl
 }
 
@@ -597,7 +620,7 @@ func (m *workerFSM) stepTask() bool {
 		case tkGate:
 			// Under WW-Coll a worker cannot begin an upcoming query until the
 			// collective I/O for all earlier batches has completed (§2.3).
-			if cfg.Strategy == WWColl {
+			if rt.taskStrat(m.t) == WWColl {
 				// Serving runs flush out of order; the master sends the gate
 				// directly (task.Gate, see workerTask).
 				need := (m.t.Q - m.g.loQ) / cfg.QueriesPerWrite
@@ -646,7 +669,7 @@ func (m *workerFSM) stepTask() bool {
 				c.Busy(r.Proc().Name(), causal.CatCompute, m.sleepStart, r.Now())
 			}
 			// Step 8: merge with previous results for this query.
-			if cfg.Strategy.WorkerWriting() {
+			if rt.taskStrat(m.t).WorkerWriting() {
 				m.pt.Switch(PhaseMerge)
 				m.sleepStart = rt.sim.Now()
 				r.Proc().Sleep(cfg.mergeTime(m.st.mergeAcc[m.t.Q], m.taskBytes))
@@ -682,7 +705,7 @@ func (m *workerFSM) taskSend() {
 	cfg := m.rt.cfg
 	m.pt.Switch(PhaseGather)
 	wire := int64(m.taskCount) * cfg.ScoreEntryBytes
-	if cfg.Strategy == MW {
+	if m.rt.taskStrat(m.t) == MW {
 		wire += m.taskBytes
 	}
 	m.st.pending = append(m.st.pending,

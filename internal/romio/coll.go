@@ -32,6 +32,10 @@ type collRound struct {
 	segs     map[int][]pvfs.Segment
 	plan     *collPlan
 	departed int
+	// hints are the round creator's effective hints: collective method,
+	// cb_nodes, and plan cost all come from here, so a per-batch override
+	// (adaptive mode) applies consistently to every member of the round.
+	hints Hints
 }
 
 // collPlan is the deterministic two-phase exchange plan every member
@@ -100,9 +104,13 @@ func (g *Group) Deregister(rank int) {
 	g.exit.Deregister()
 }
 
-// numAggregators resolves the cb_nodes hint against the group size.
-func (g *Group) numAggregators() int {
-	n := g.f.hints.CBNodes
+// numAggregators resolves the file's open-time cb_nodes hint against the
+// group size.
+func (g *Group) numAggregators() int { return g.numAggregatorsFor(g.f.hints) }
+
+// numAggregatorsFor resolves a cb_nodes hint against the group size.
+func (g *Group) numAggregatorsFor(h Hints) int {
+	n := h.CBNodes
 	if n <= 0 || n > len(g.ranks) {
 		n = len(g.ranks)
 	}
@@ -117,6 +125,14 @@ func (g *Group) numAggregators() int {
 func (g *Group) WriteAll(r *mpi.Rank, segs []pvfs.Segment) {
 	var op CollWriteOp
 	op.Init(g, r, segs)
+	op.Step()
+}
+
+// WriteAllHinted is WriteAll with a per-round hint override (see
+// CollWriteOp.InitHinted for the first-arriver-stamps-the-round rule).
+func (g *Group) WriteAllHinted(r *mpi.Rank, segs []pvfs.Segment, h Hints) {
+	var op CollWriteOp
+	op.InitHinted(g, r, segs, h)
 	op.Step()
 }
 
@@ -140,7 +156,7 @@ func (g *Group) buildPlan(round *collRound) *collPlan {
 	if first {
 		return nil // empty round
 	}
-	nAgg := g.numAggregators()
+	nAgg := g.numAggregatorsFor(round.hints)
 	plan := &collPlan{lo: lo, hi: hi, sendPieces: make(map[int]map[int][]pvfs.Segment)}
 	// ROMIO divides the aggregate extent evenly among aggregators.
 	span := hi - lo

@@ -38,6 +38,7 @@ type WriteSegsOp struct {
 	f     *File
 	r     *mpi.Rank
 	segs  []pvfs.Segment
+	hints Hints
 	issue pvfs.IssueOp
 	pc    uint8
 
@@ -63,15 +64,21 @@ const (
 	segsSieveWrite
 )
 
-// Init arms the op for rank r over segs. An empty list completes
-// immediately.
+// Init arms the op for rank r over segs using the file's open-time hints.
+// An empty list completes immediately.
 func (op *WriteSegsOp) Init(f *File, r *mpi.Rank, segs []pvfs.Segment) {
-	op.f, op.r, op.segs = f, r, segs
+	op.InitHinted(f, r, segs, f.hints)
+}
+
+// InitHinted arms the op with a per-call hint override: the individual-write
+// method and sieve window come from h instead of the file's open-time hints.
+func (op *WriteSegsOp) InitHinted(f *File, r *mpi.Rank, segs []pvfs.Segment, h Hints) {
+	op.f, op.r, op.segs, op.hints = f, r, segs, h
 	if len(segs) == 0 {
 		op.pc = segsDone
 		return
 	}
-	switch f.hints.IndWriteMethod {
+	switch h.IndWriteMethod {
 	case Posix:
 		op.i, op.armed = 0, false
 		op.pc = segsPosix
@@ -121,7 +128,7 @@ func (op *WriteSegsOp) Step() bool {
 				return true
 			}
 			winLo := op.sorted[0].Offset
-			winHi := winLo + f.hints.SieveBufferSize
+			winHi := winLo + op.hints.sieveBuffer()
 			// Collect the segments that start inside this window.
 			j := 0
 			last := winLo
@@ -228,6 +235,15 @@ const (
 // op. Must be called exactly when the blocking WriteAll would have been:
 // registration and round bookkeeping happen here.
 func (op *CollWriteOp) Init(g *Group, r *mpi.Rank, segs []pvfs.Segment) {
+	op.InitHinted(g, r, segs, g.f.hints)
+}
+
+// InitHinted is Init with a per-round hint override. The first rank to
+// arrive stamps the round's hints; every later arrival follows the stamped
+// round (the MPI_File_write_at_all contract requires all members to agree on
+// the round anyway, and the adaptive master hands every worker the same
+// hints per batch).
+func (op *CollWriteOp) InitHinted(g *Group, r *mpi.Rank, segs []pvfs.Segment, h Hints) {
 	if _, ok := g.indexOf[r.Rank()]; !ok {
 		panic("romio: rank not in collective group")
 	}
@@ -237,13 +253,13 @@ func (op *CollWriteOp) Init(g *Group, r *mpi.Rank, segs []pvfs.Segment) {
 	op.gathered = nil
 	op.rreq = nil
 	if g.cur == nil {
-		g.cur = &collRound{id: g.round, segs: make(map[int][]pvfs.Segment, len(g.ranks))}
+		g.cur = &collRound{id: g.round, segs: make(map[int][]pvfs.Segment, len(g.ranks)), hints: h}
 		g.round++
 	}
 	op.round = g.cur
 	op.round.segs[r.Rank()] = segs
 
-	if g.f.hints.CollWriteMethod == ListSync {
+	if op.round.hints.CollWriteMethod == ListSync {
 		// The paper's proposed collective: each rank writes its own
 		// segments with native list I/O as soon as it arrives, with a
 		// forced synchronization only at the END of the I/O operation —
@@ -300,7 +316,7 @@ func (op *CollWriteOp) Step() bool {
 			}
 			// Phase 1: every participant processes the union access pattern
 			// (ROMIO flattens and domain-assigns all ranks' offsets locally).
-			perSeg := g.f.hints.TwoPhasePlanPerSeg
+			perSeg := op.round.hints.TwoPhasePlanPerSeg
 			if perSeg <= 0 {
 				perSeg = 400 * des.Microsecond
 			}

@@ -262,7 +262,7 @@ func (op *CollReadOp) Init(g *Group, r *mpi.Rank, segs []pvfs.Segment) {
 		op.data = make([][]byte, len(segs))
 	}
 	if g.curRead == nil {
-		g.curRead = &collRound{id: g.round, segs: make(map[int][]pvfs.Segment, len(g.ranks))}
+		g.curRead = &collRound{id: g.round, segs: make(map[int][]pvfs.Segment, len(g.ranks)), hints: g.f.hints}
 		g.round++
 	}
 	op.round = g.curRead

@@ -110,6 +110,40 @@ func DefaultHints() Hints {
 	}
 }
 
+// Validate bounds-checks the hints. A zero SieveBufferSize means "use the
+// default"; any other value must be a power of two of at least 4 KiB, because
+// the sieve window walk degenerates (zero-length read-modify-write windows
+// that never consume a segment) for smaller or odd sizes.
+func (h Hints) Validate() error {
+	if h.CBNodes < 0 {
+		return fmt.Errorf("romio: cb_nodes %d is negative", h.CBNodes)
+	}
+	if h.CollWriteMethod != TwoPhase && h.CollWriteMethod != ListSync {
+		return fmt.Errorf("romio: unknown collective write method %d", int(h.CollWriteMethod))
+	}
+	if h.IndWriteMethod != Posix && h.IndWriteMethod != ListIO && h.IndWriteMethod != DataSieve {
+		return fmt.Errorf("romio: unknown individual write method %d", int(h.IndWriteMethod))
+	}
+	if s := h.SieveBufferSize; s != 0 {
+		if s < 4096 || s&(s-1) != 0 {
+			return fmt.Errorf("romio: ind_wr_buffer_size %d must be 0 (default) or a power of two >= 4 KiB", s)
+		}
+	}
+	if h.TwoPhasePlanPerSeg < 0 {
+		return fmt.Errorf("romio: two-phase plan cost %v is negative", h.TwoPhasePlanPerSeg)
+	}
+	return nil
+}
+
+// sieveBuffer resolves the sieve window size, clamping the degenerate <= 0
+// case to the 512 KB ROMIO default.
+func (h Hints) sieveBuffer() int64 {
+	if h.SieveBufferSize <= 0 {
+		return 512 * 1024
+	}
+	return h.SieveBufferSize
+}
+
 // File is an MPI-IO file handle shared by all ranks of a world: the
 // underlying PVFS2 file plus one storage port per node, so file traffic
 // contends with message traffic on the same NICs.
@@ -167,6 +201,15 @@ func (f *File) ReadAt(r *mpi.Rank, off, n int64) []byte {
 func (f *File) WriteSegs(r *mpi.Rank, segs []pvfs.Segment) {
 	var op WriteSegsOp
 	op.Init(f, r, segs)
+	op.Step()
+}
+
+// WriteSegsHinted is WriteSegs with a per-call hint override — the adaptive
+// controller's path, where the individual-write method and sieve window vary
+// per batch instead of being fixed at Open.
+func (f *File) WriteSegsHinted(r *mpi.Rank, segs []pvfs.Segment, h Hints) {
+	var op WriteSegsOp
+	op.InitHinted(f, r, segs, h)
 	op.Step()
 }
 

@@ -585,3 +585,40 @@ func ParseAlertRule(spec string) (*AlertRule, error) { return obs.ParseRule(spec
 
 // ParseAlertRules parses a list of rule specs.
 func ParseAlertRules(specs []string) ([]*AlertRule, error) { return obs.ParseRules(specs) }
+
+// Closed-loop adaptive I/O (DESIGN.md §16): with Config.Adaptive set, the
+// master picks each flush batch's write strategy and ROMIO hint vector
+// online, from a per-query result-size predictor and an observed per-arm
+// cost model seeded by a device-model prior, and hill-climbs cb_nodes and
+// the sieve buffer over observation epochs — the machinery behind
+// `s3abench -suite adaptive`.
+type (
+	// AdaptiveConfig switches a run into closed-loop adaptive I/O
+	// (Config.Adaptive).
+	AdaptiveConfig = core.AdaptiveConfig
+	// AdaptiveReport summarizes the controller's run (Report.Adaptive).
+	AdaptiveReport = core.AdaptiveReport
+	// AdaptiveOptions configures RunAdaptiveSweep.
+	AdaptiveOptions = experiments.AdaptiveOptions
+	// AdaptiveResult is a completed adaptive sweep.
+	AdaptiveResult = experiments.AdaptiveResult
+	// AdaptiveRegimeResult is one regime's static-vs-controller comparison.
+	AdaptiveRegimeResult = experiments.AdaptiveRegimeResult
+	// AdaptiveCellResult is one (regime, policy) outcome.
+	AdaptiveCellResult = experiments.AdaptiveCellResult
+)
+
+// PaperAdaptiveOptions returns the full adaptive scenario (five regimes at
+// the paper's 16-process topology, 96 queries each); QuickAdaptiveOptions
+// the same topology at 48 queries, for smoke runs.
+func PaperAdaptiveOptions() AdaptiveOptions { return experiments.PaperAdaptiveOptions() }
+
+// QuickAdaptiveOptions returns the reduced adaptive scenario.
+func QuickAdaptiveOptions() AdaptiveOptions { return experiments.QuickAdaptiveOptions() }
+
+// RunAdaptiveSweep runs every regime × (static + controller) cell under a
+// causal recorder; every attribution is conservation-checked before
+// returning.
+func RunAdaptiveSweep(opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return experiments.RunAdaptiveSweep(opts)
+}
